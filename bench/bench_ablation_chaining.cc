@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: overhead-reduction techniques (paper Section V-D
+ * "Minimum TOL overhead", ref [17]): translation chaining and the
+ * IBTC. Disabling either forces control back through the TOL
+ * dispatch loop, inflating prologue/lookup overhead.
+ */
+
+#include "harness.hh"
+
+using namespace darco;
+using namespace darco::bench;
+
+namespace
+{
+
+void
+row(const char *label, const workloads::Benchmark &b,
+    std::vector<std::string> extra)
+{
+    RunMetrics m = runBenchmark(b, Config(std::move(extra)));
+    std::printf("%-24s %10.1f %10.1f %10.1f %10.1f %10llu\n", label,
+                100 * m.overheadFrac, 100 * m.ovBreakdown[3],
+                100 * m.ovBreakdown[4], 100 * m.ovBreakdown[5],
+                (unsigned long long)m.chains);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto suite = workloads::paperSuite(benchScale());
+    // omnetpp: indirect-heavy (virtual-dispatch-like) workload.
+    const workloads::Benchmark *b =
+        workloads::findBenchmark(suite, "471.omnetpp");
+
+    std::printf("=== Ablation: chaining + IBTC (%s) ===\n",
+                b->params.name.c_str());
+    std::printf("%-24s %10s %10s %10s %10s %10s\n", "config",
+                "overhead%", "prolog%", "chain%", "lookup%", "chains");
+    row("baseline", *b, {});
+    row("no chaining", *b, {"tol.chaining=false"});
+    row("tiny IBTC (8 entries)", *b, {"hemu.ibtc_entries=8"});
+    row("big IBTC (4096)", *b, {"hemu.ibtc_entries=4096"});
+    row("no chaining+tiny IBTC", *b,
+        {"tol.chaining=false", "hemu.ibtc_entries=8"});
+    std::printf("(without chaining every region exit pays dispatch + "
+                "lookup + prologue)\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: contribution of each optimization stage to emulation
+ * cost (paper Section V-D "minimum emulation cost"): forward passes
+ * (fold/prop/CSE + DCE + memory optimization), list scheduling,
+ * memory speculation, flag fusion — plus the fully-disabled
+ * baseline.
+ */
+
+#include "harness.hh"
+
+using namespace darco;
+using namespace darco::bench;
+
+namespace
+{
+
+void
+row(const char *label, std::vector<std::string> extra,
+    const std::vector<workloads::Benchmark> &suite)
+{
+    // Average over one benchmark per group.
+    const char *names[3] = {"400.perlbench", "433.milc", "explosions"};
+    double cost[3], sbm[3];
+    for (int g = 0; g < 3; ++g) {
+        const auto *b = workloads::findBenchmark(suite, names[g]);
+        RunMetrics m = runBenchmark(*b, Config(extra));
+        cost[g] = m.emuCostSbm;
+        sbm[g] = m.sbmFrac;
+    }
+    std::printf("%-28s %8.2f %8.2f %8.2f   (SBM%% %4.0f/%4.0f/%4.0f)\n",
+                label, cost[0], cost[1], cost[2], 100 * sbm[0],
+                100 * sbm[1], 100 * sbm[2]);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto suite = workloads::paperSuite(benchScale());
+    std::printf("=== Ablation: optimization levels -> SBM emulation "
+                "cost (INT / FP / PHY) ===\n");
+    std::printf("%-28s %8s %8s %8s\n", "config", "INT", "FP", "PHY");
+    row("baseline (all passes)", {}, suite);
+    row("no IR optimization", {"tol.opt=false"}, suite);
+    row("no scheduling", {"tol.sched=false"}, suite);
+    row("no memory speculation", {"tol.spec_mem=false"}, suite);
+    row("no flag fusion", {"tol.fuse_flags=false"}, suite);
+    row("everything off",
+        {"tol.opt=false", "tol.sched=false", "tol.spec_mem=false",
+         "tol.fuse_flags=false", "tol.unroll=false"},
+        suite);
+    std::printf("(the gap between baseline and everything-off is the "
+                "dynamic optimizer's contribution)\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: superblock design choices (paper Sections III / V-B3) —
+ * asserts vs multiple exits, loop unrolling, superblock size caps,
+ * and memory speculation. Reports SBM emulation cost, speculation
+ * failures and rollbacks.
+ */
+
+#include "harness.hh"
+
+using namespace darco;
+using namespace darco::bench;
+
+namespace
+{
+
+void
+row(const char *label, const workloads::Benchmark &b,
+    std::vector<std::string> extra)
+{
+    RunMetrics m = runBenchmark(b, Config(std::move(extra)));
+    std::printf("%-28s %8.2f %8.1f %10llu %10llu %8llu\n", label,
+                m.emuCostSbm, 100 * m.sbmFrac,
+                (unsigned long long)m.assertFails,
+                (unsigned long long)m.rollbacks,
+                (unsigned long long)m.translationsSb);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto suite = workloads::paperSuite(benchScale());
+    const workloads::Benchmark *b =
+        workloads::findBenchmark(suite, "445.gobmk");
+
+    std::printf("=== Ablation: superblock design choices (%s) ===\n",
+                b->params.name.c_str());
+    std::printf("%-28s %8s %8s %10s %10s %8s\n", "config", "SBcost",
+                "SBM%", "assertF", "rollbacks", "SBs");
+
+    row("baseline (asserts)", *b, {});
+    row("multi-exit (no asserts)", *b, {"tol.asserts=false"});
+    row("no loop unrolling", *b, {"tol.unroll=false"});
+    row("unroll factor 8", *b, {"tol.unroll_factor=8"});
+    row("no memory speculation", *b, {"tol.spec_mem=false"});
+    row("max 4 BBs per SB", *b, {"tol.max_sb_bbs=4"});
+    row("max 2 BBs per SB", *b, {"tol.max_sb_bbs=2"});
+    row("max 50 insts per SB", *b, {"tol.max_sb_insts=50"});
+    row("bias threshold 0.95", *b, {"tol.bias_threshold=0.95"});
+    row("bias threshold 0.70", *b, {"tol.bias_threshold=0.70"});
+    std::printf("(asserts buy single-entry/single-exit freedom at the "
+                "price of rollbacks on bias misses)\n");
+    return 0;
+}

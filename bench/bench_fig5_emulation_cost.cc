@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 5: emulation cost — host instructions per guest instruction
+ * in SBM, per benchmark and group averages.
+ *
+ * Paper shape: ~4.0 (SPECINT, branch-dominated small blocks),
+ * ~2.6 (SPECFP, large regular blocks), ~3.1 (Physicsbench, inflated
+ * by software-expanded trigonometric instructions).
+ */
+
+#include "harness.hh"
+
+using namespace darco;
+using namespace darco::bench;
+
+int
+main()
+{
+    auto suite = workloads::paperSuite(benchScale());
+    std::printf("=== Figure 5: host instructions per guest "
+                "instruction in SBM ===\n");
+    std::printf("%-16s %5s %10s %10s\n", "benchmark", "grp",
+                "SBM cost", "BBM cost");
+
+    GroupAvg avg[3];
+    for (const auto &b : suite) {
+        RunMetrics m = runBenchmark(b);
+        std::printf("%-16s %5s %10.2f %10.2f\n", m.name.c_str(),
+                    shortGroup(m.group), m.emuCostSbm, m.emuCostBbm);
+        avg[int(m.group)].add({m.emuCostSbm});
+    }
+
+    std::printf("---- averages (measured vs paper) ----\n");
+    const char *names[3] = {"SPECINT2006", "SPECFP2006", "Physicsbench"};
+    const double paper[3] = {4.0, 2.6, 3.1};
+    for (int g = 0; g < 3; ++g) {
+        std::printf("%-16s       %10.2f   paper=%.1f\n", names[g],
+                    avg[g].avg(0), paper[g]);
+    }
+    return 0;
+}

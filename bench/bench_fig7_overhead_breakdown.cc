@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 7: TOL overhead decomposed into the paper's seven
+ * categories: interpreter, BB translator, SB translator, prologue,
+ * chaining, code-cache lookup, others.
+ *
+ * Paper shape: interpretation + BB translation dominate Physicsbench
+ * (low dynamic-to-static ratio), while the SB translator share stays
+ * comparatively small everywhere.
+ */
+
+#include "harness.hh"
+
+using namespace darco;
+using namespace darco::bench;
+
+int
+main()
+{
+    auto suite = workloads::paperSuite(benchScale());
+    std::printf("=== Figure 7: dynamic TOL overhead distribution "
+                "(%% of overhead) ===\n");
+    std::printf("%-16s %5s %7s %7s %7s %7s %7s %7s %7s\n", "benchmark",
+                "grp", "interp", "bbxl", "sbxl", "prolog", "chain",
+                "lookup", "other");
+
+    GroupAvg avg[3];
+    for (const auto &b : suite) {
+        RunMetrics m = runBenchmark(b);
+        std::printf(
+            "%-16s %5s %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+            m.name.c_str(), shortGroup(m.group),
+            100 * m.ovBreakdown[0], 100 * m.ovBreakdown[1],
+            100 * m.ovBreakdown[2], 100 * m.ovBreakdown[3],
+            100 * m.ovBreakdown[4], 100 * m.ovBreakdown[5],
+            100 * m.ovBreakdown[6]);
+        avg[int(m.group)].add(
+            {m.ovBreakdown[0], m.ovBreakdown[1], m.ovBreakdown[2],
+             m.ovBreakdown[3], m.ovBreakdown[4], m.ovBreakdown[5],
+             m.ovBreakdown[6]});
+    }
+
+    std::printf("---- group averages ----\n");
+    const char *names[3] = {"SPECINT2006", "SPECFP2006", "Physicsbench"};
+    for (int g = 0; g < 3; ++g) {
+        std::printf(
+            "%-16s       %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+            names[g], 100 * avg[g].avg(0), 100 * avg[g].avg(1),
+            100 * avg[g].avg(2), 100 * avg[g].avg(3),
+            100 * avg[g].avg(4), 100 * avg[g].avg(5),
+            100 * avg[g].avg(6));
+    }
+    std::printf("(paper: interpreter + BB-translator dominate "
+                "Physicsbench; SB translator small everywhere)\n");
+    return 0;
+}

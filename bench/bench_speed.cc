@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Section VI-A: DARCO speed — instructions emulated/simulated per
+ * second for guest and host ISAs (google-benchmark harness).
+ *
+ * Paper reference (authors' cluster): guest 3.4 MIPS emulated /
+ * 0.37 MIPS with the timing simulator; host 20 MIPS / 2 MIPS.
+ * Absolute numbers depend on the machine; the shape to check is
+ * emulation >> timing-enabled simulation, and host-ISA rates above
+ * guest-ISA rates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness.hh"
+#include "power/power.hh"
+#include "timing/core.hh"
+#include "xemu/ref_component.hh"
+
+using namespace darco;
+
+namespace
+{
+
+guest::Program
+speedWorkload()
+{
+    workloads::WorkloadParams p;
+    p.seed = 77;
+    p.name = "speed";
+    p.numBlocks = 48;
+    p.outerIters = 600;
+    p.fpFrac = 0.25;
+    return workloads::synthesize(p);
+}
+
+/** Guest-ISA functional emulation rate (reference component). */
+void
+BM_GuestEmulation(benchmark::State &state)
+{
+    guest::Program p = speedWorkload();
+    u64 insts = 0;
+    for (auto _ : state) {
+        xemu::RefComponent ref;
+        ref.load(p);
+        ref.runToCompletion();
+        insts += ref.instCount();
+    }
+    state.SetItemsProcessed(s64(insts));
+    state.SetLabel("guest insts/s");
+}
+
+/** Guest rate through the full co-designed flow (all components). */
+void
+BM_DarcoFullFlow(benchmark::State &state)
+{
+    guest::Program p = speedWorkload();
+    u64 insts = 0;
+    for (auto _ : state) {
+        sim::Controller ctl((Config()));
+        ctl.load(p);
+        ctl.run();
+        insts += ctl.tol().completedInsts();
+    }
+    state.SetItemsProcessed(s64(insts));
+    state.SetLabel("guest insts/s");
+}
+
+/** Guest rate with the timing (and power) simulator enabled. */
+void
+BM_DarcoWithTiming(benchmark::State &state)
+{
+    guest::Program p = speedWorkload();
+    u64 insts = 0;
+    for (auto _ : state) {
+        Config cfg;
+        sim::Controller ctl(cfg);
+        StatGroup tstats("timing");
+        timing::InOrderCore core(cfg, tstats);
+        ctl.load(p);
+        ctl.tol().setTraceSink(&core);
+        ctl.run();
+        power::PowerModel pm(cfg);
+        benchmark::DoNotOptimize(pm.analyze(tstats).totalEnergyJ);
+        insts += ctl.tol().completedInsts();
+    }
+    state.SetItemsProcessed(s64(insts));
+    state.SetLabel("guest insts/s (timing+power on)");
+}
+
+/** Host-ISA rate: host instructions executed per second. */
+void
+BM_HostEmulation(benchmark::State &state)
+{
+    guest::Program p = speedWorkload();
+    u64 host_insts = 0;
+    for (auto _ : state) {
+        sim::Controller ctl((Config()));
+        ctl.load(p);
+        ctl.run();
+        host_insts += ctl.tol().hostEmu().instsExecuted();
+    }
+    state.SetItemsProcessed(s64(host_insts));
+    state.SetLabel("host insts/s");
+}
+
+/** Host rate with timing enabled. */
+void
+BM_HostWithTiming(benchmark::State &state)
+{
+    guest::Program p = speedWorkload();
+    u64 host_insts = 0;
+    for (auto _ : state) {
+        Config cfg;
+        sim::Controller ctl(cfg);
+        StatGroup tstats("timing");
+        timing::InOrderCore core(cfg, tstats);
+        ctl.load(p);
+        ctl.tol().setTraceSink(&core);
+        ctl.run();
+        host_insts += core.instructions();
+    }
+    state.SetItemsProcessed(s64(host_insts));
+    state.SetLabel("host insts/s (timing on)");
+}
+
+} // namespace
+
+BENCHMARK(BM_GuestEmulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DarcoFullFlow)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DarcoWithTiming)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HostEmulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HostWithTiming)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

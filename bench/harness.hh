@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared harness for the figure-reproduction benches: runs suite
+ * workloads through the full DARCO system (controller + both
+ * components) and extracts the metrics the paper's figures report.
+ *
+ * Every bench accepts the environment variable DARCO_BENCH_SCALE
+ * (default 1.0) to scale workload dynamic length.
+ */
+
+#ifndef DARCO_BENCH_HARNESS_HH
+#define DARCO_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/controller.hh"
+#include "tol/cost_model.hh"
+#include "workloads/suite.hh"
+
+namespace darco::bench
+{
+
+/** Metrics of one full-system run. */
+struct RunMetrics
+{
+    std::string name;
+    workloads::SuiteGroup group;
+
+    u64 guestInsts = 0;
+    double imFrac = 0, bbmFrac = 0, sbmFrac = 0;
+    double emuCostSbm = 0;   //!< host insts per guest inst in SBM
+    double emuCostBbm = 0;
+    u64 hostApp = 0;         //!< application host instructions
+    u64 hostOverhead = 0;    //!< TOL overhead host instructions
+    double overheadFrac = 0; //!< overhead share of the host stream
+    /** Fraction of overhead per category (paper Fig. 7 order). */
+    double ovBreakdown[7] = {};
+    u64 translationsBb = 0, translationsSb = 0;
+    u64 assertFails = 0, rollbacks = 0, chains = 0;
+};
+
+inline double
+benchScale()
+{
+    const char *s = std::getenv("DARCO_BENCH_SCALE");
+    return s ? std::atof(s) : 1.0;
+}
+
+/** Run one benchmark through the full system. */
+inline RunMetrics
+runBenchmark(const workloads::Benchmark &b, const Config &extra = Config())
+{
+    Config cfg = extra;
+    cfg.set("seed", s64(b.params.seed));
+    sim::Controller ctl(cfg);
+    ctl.load(workloads::synthesize(b.params));
+    ctl.run();
+
+    RunMetrics m;
+    m.name = b.params.name;
+    m.group = b.group;
+    StatGroup &s = ctl.stats();
+    tol::Tol &t = ctl.tol();
+
+    double im = double(s.value("tol.guest_im"));
+    double bbm = double(s.value("tol.guest_bbm"));
+    double sbm = double(s.value("tol.guest_sbm"));
+    double total = std::max(1.0, im + bbm + sbm);
+    m.guestInsts = t.completedInsts();
+    m.imFrac = im / total;
+    m.bbmFrac = bbm / total;
+    m.sbmFrac = sbm / total;
+    m.emuCostSbm =
+        sbm > 0 ? double(s.value("tol.host_app_sbm")) / sbm : 0;
+    m.emuCostBbm =
+        bbm > 0 ? double(s.value("tol.host_app_bbm")) / bbm : 0;
+    m.hostApp =
+        s.value("tol.host_app_bbm") + s.value("tol.host_app_sbm");
+    m.hostOverhead = t.costModel().totalAll();
+    m.overheadFrac =
+        double(m.hostOverhead) /
+        std::max<u64>(1, m.hostApp + m.hostOverhead);
+    for (unsigned c = 0; c < 7; ++c) {
+        m.ovBreakdown[c] =
+            double(t.costModel().total(tol::Overhead(c))) /
+            std::max<u64>(1, m.hostOverhead);
+    }
+    m.translationsBb = s.value("tol.translations_bb");
+    m.translationsSb = s.value("tol.translations_sb");
+    m.assertFails = s.value("tol.assert_fails");
+    m.rollbacks = t.hostEmu().rollbacks();
+    m.chains = s.value("tol.chains");
+    return m;
+}
+
+/** Group-average helper. */
+struct GroupAvg
+{
+    double sum[8] = {};
+    int n = 0;
+
+    void
+    add(std::initializer_list<double> vals)
+    {
+        int i = 0;
+        for (double v : vals)
+            sum[i++] += v;
+        ++n;
+    }
+
+    double
+    avg(int i) const
+    {
+        return n ? sum[i] / n : 0;
+    }
+};
+
+inline const char *
+shortGroup(workloads::SuiteGroup g)
+{
+    switch (g) {
+      case workloads::SuiteGroup::SpecInt: return "INT";
+      case workloads::SuiteGroup::SpecFp: return "FP";
+      default: return "PHY";
+    }
+}
+
+} // namespace darco::bench
+
+#endif // DARCO_BENCH_HARNESS_HH

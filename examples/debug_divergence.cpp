@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The debug toolchain (paper Sections IV / V-D): inject a fault into
+ * the co-designed execution — emulating a bug in a translator pass —
+ * and let the divergence debugger pinpoint the first region whose
+ * retirement disagrees with the authoritative x86-component state.
+ *
+ * Run: ./build/examples/debug_divergence
+ */
+
+#include <cstdio>
+
+#include "sim/debug.hh"
+#include "workloads/synth.hh"
+
+using namespace darco;
+using namespace darco::sim;
+
+int
+main()
+{
+    workloads::WorkloadParams p;
+    p.seed = 2026;
+    p.name = "buggy";
+    p.numBlocks = 40;
+    p.outerIters = 150;
+    p.fpFrac = 0.2;
+    guest::Program prog = workloads::synthesize(p);
+
+    Config cfg({"tol.bb_threshold=4", "tol.sb_threshold=12",
+                "tol.min_edge_total=8"});
+
+    std::printf("step 1: clean lockstep replay (should report no "
+                "divergence)...\n");
+    auto clean = findFirstDivergence(prog, cfg, 10'000'000);
+    std::printf("  -> %s\n\n",
+                clean ? "DIVERGED (bug in DARCO!)" : "no divergence");
+
+    std::printf("step 2: inject a single-bit register corruption at "
+                "~30000 retired instructions\n");
+    std::printf("        (emulates a code-generator bug in a hot "
+                "region)...\n");
+    bool fired = false;
+    auto bad = findFirstDivergence(
+        prog, cfg, 10'000'000, [&](tol::Tol &t, u64 completed) {
+            if (!fired && completed >= 30'000) {
+                fired = true;
+                t.state().gpr[guest::RDX] ^= 0x40; // one flipped bit
+            }
+        });
+
+    if (!bad) {
+        std::printf("  -> not detected (unexpected)\n");
+        return 1;
+    }
+    std::printf("\n=== divergence report ===\n");
+    std::printf("first bad region entry : 0x%x\n", bad->regionEntryPc);
+    std::printf("retired-inst window    : %llu .. %llu\n",
+                (unsigned long long)bad->instFrom,
+                (unsigned long long)bad->instTo);
+    std::printf("state diff (authoritative vs emulated):\n  %s\n",
+                bad->stateDiff.c_str());
+    std::printf("guest code of the region's first basic block:\n%s",
+                bad->disassembly.c_str());
+    std::printf("\nFrom here the workflow is: re-run with the suspect "
+                "pass disabled (tol.opt / tol.sched / tol.spec_mem "
+                "...), bisecting to the guilty stage.\n");
+    return 0;
+}

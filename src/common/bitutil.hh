@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoders/decoders.
+ */
+
+#ifndef DARCO_COMMON_BITUTIL_HH
+#define DARCO_COMMON_BITUTIL_HH
+
+#include "common/types.hh"
+
+namespace darco
+{
+
+/** Extract bits [lo, lo+width) of x. */
+constexpr u32
+bits(u32 x, unsigned lo, unsigned width)
+{
+    return (x >> lo) & ((width >= 32) ? ~0u : ((1u << width) - 1));
+}
+
+/** Insert the low `width` bits of v at position lo. */
+constexpr u32
+insertBits(u32 x, unsigned lo, unsigned width, u32 v)
+{
+    u32 mask = ((width >= 32) ? ~0u : ((1u << width) - 1)) << lo;
+    return (x & ~mask) | ((v << lo) & mask);
+}
+
+/** Sign-extend the low `width` bits of x to 32 bits. */
+constexpr s32
+sext(u32 x, unsigned width)
+{
+    u32 shift = 32 - width;
+    return s32(x << shift) >> shift;
+}
+
+/** True if v fits in a signed immediate of `width` bits. */
+constexpr bool
+fitsSigned(s64 v, unsigned width)
+{
+    s64 lo = -(s64(1) << (width - 1));
+    s64 hi = (s64(1) << (width - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace darco
+
+#endif // DARCO_COMMON_BITUTIL_HH

@@ -1,0 +1,125 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace darco
+{
+
+Config::Config(const std::vector<std::string> &kvs)
+{
+    for (const auto &kv : kvs)
+        parseLine(kv);
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    store_[key] = value;
+}
+
+void
+Config::set(const std::string &key, s64 value)
+{
+    store_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    store_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    store_[key] = value ? "true" : "false";
+}
+
+void
+Config::parseLine(const std::string &kv)
+{
+    auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0)
+        fatal("malformed config entry '", kv, "', expected key=value");
+    store_[kv.substr(0, eq)] = kv.substr(eq + 1);
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return store_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = store_.find(key);
+    return it == store_.end() ? def : it->second;
+}
+
+s64
+Config::getInt(const std::string &key, s64 def) const
+{
+    auto it = store_.find(key);
+    if (it == store_.end())
+        return def;
+    char *end = nullptr;
+    s64 v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "' has non-integer value '",
+              it->second, "'");
+    return v;
+}
+
+u64
+Config::getUint(const std::string &key, u64 def) const
+{
+    auto it = store_.find(key);
+    if (it == store_.end())
+        return def;
+    char *end = nullptr;
+    u64 v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "' has non-integer value '",
+              it->second, "'");
+    return v;
+}
+
+double
+Config::getFloat(const std::string &key, double def) const
+{
+    auto it = store_.find(key);
+    if (it == store_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "' has non-float value '",
+              it->second, "'");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = store_.find(key);
+    if (it == store_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '", key, "' has non-boolean value '", v, "'");
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.store_)
+        store_[k] = v;
+}
+
+} // namespace darco

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Typed key/value configuration store.
+ *
+ * Every DARCO component is parameterized through a Config: a flat
+ * string-keyed dictionary with typed accessors and "k=v" parsing, so
+ * that benches and examples can sweep parameters without recompiling.
+ */
+
+#ifndef DARCO_COMMON_CONFIG_HH
+#define DARCO_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace darco
+{
+
+/**
+ * Flat configuration dictionary with typed getters.
+ *
+ * Unknown keys fall back to caller-provided defaults; malformed values
+ * raise fatal() since they are user errors.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Build from a list of "key=value" strings. */
+    explicit Config(const std::vector<std::string> &kvs);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, s64 value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** Parse and apply one "key=value" string. */
+    void parseLine(const std::string &kv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    s64 getInt(const std::string &key, s64 def) const;
+    u64 getUint(const std::string &key, u64 def) const;
+    double getFloat(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Merge another config on top of this one (other wins). */
+    void merge(const Config &other);
+
+    /** All key/value pairs in sorted order (for dumping). */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return store_;
+    }
+
+  private:
+    std::map<std::string, std::string> store_;
+};
+
+} // namespace darco
+
+#endif // DARCO_COMMON_CONFIG_HH

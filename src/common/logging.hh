@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 tradition: panic() for internal
+ * invariant violations, fatal() for user errors, warn()/inform() for
+ * non-fatal conditions.
+ */
+
+#ifndef DARCO_COMMON_LOGGING_HH
+#define DARCO_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace darco
+{
+
+/** Thrown by panic(): an internal invariant was violated (a DARCO bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the simulation cannot continue due to user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort via exception.
+ * Use only for conditions that indicate a bug in DARCO itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::format("panic: ", args...));
+}
+
+/** Report an unrecoverable user-level error (bad config, bad input). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::format("fatal: ", args...));
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fprintf(stderr, "warn: %s\n", detail::format(args...).c_str());
+}
+
+/** Informational message to stderr. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fprintf(stderr, "info: %s\n", detail::format(args...).c_str());
+}
+
+/** panic() unless the condition holds. */
+#define darco_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::darco::panic("assertion '", #cond, "' failed at ", __FILE__, \
+                           ":", __LINE__, " ", ##__VA_ARGS__);              \
+        }                                                                   \
+    } while (0)
+
+} // namespace darco
+
+#endif // DARCO_COMMON_LOGGING_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized behaviour in DARCO (workload synthesis, randomized
+ * tests) flows through Rng so that a single seed reproduces every
+ * figure bit-identically. The generator is xoshiro256** seeded via
+ * SplitMix64.
+ */
+
+#ifndef DARCO_COMMON_RNG_HH
+#define DARCO_COMMON_RNG_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace darco
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 1)
+    {
+        // SplitMix64 expansion of the seed into the full state.
+        u64 x = seed;
+        for (auto &s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    u64
+    next()
+    {
+        u64 result = rotl(state_[1] * 5, 7) * 9;
+        u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        darco_assert(lo <= hi);
+        u64 span = hi - lo + 1;
+        return span == 0 ? next() : lo + next() % span;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Pick an index according to non-negative weights.
+     * @return index in [0, weights.size()).
+     */
+    std::size_t
+    weighted(const std::vector<double> &weights)
+    {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        darco_assert(total > 0, "weighted() needs positive total weight");
+        double r = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            r -= weights[i];
+            if (r < 0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+  private:
+    static constexpr u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state_[4];
+};
+
+} // namespace darco
+
+#endif // DARCO_COMMON_RNG_HH

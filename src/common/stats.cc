@@ -1,0 +1,79 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace darco
+{
+
+Histogram::Histogram(std::vector<u64> bucket_limits)
+    : limits_(std::move(bucket_limits)),
+      counts_(limits_.size() + 1, 0)
+{
+}
+
+void
+Histogram::sample(u64 v, u64 weight)
+{
+    std::size_t i = 0;
+    while (i < limits_.size() && v > limits_[i])
+        ++i;
+    counts_[i] += weight;
+    count_ += weight;
+    sum_ += v * weight;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    count_ = 0;
+    sum_ = 0;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, std::vector<u64> limits)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(std::move(limits))).first;
+    return it->second;
+}
+
+u64
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[_, c] : counters_)
+        c.reset();
+    for (auto &[_, h] : histograms_)
+        h.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---- " << name_ << " ----\n";
+    for (const auto &[k, c] : counters_)
+        os << std::left << std::setw(44) << k << " " << c.value() << "\n";
+    for (const auto &[k, h] : histograms_) {
+        os << std::left << std::setw(44) << (k + ".count") << " "
+           << h.count() << "\n";
+        os << std::left << std::setw(44) << (k + ".mean") << " "
+           << h.mean() << "\n";
+    }
+}
+
+} // namespace darco

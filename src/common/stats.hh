@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components register named scalar counters, averages, and histograms
+ * against a StatGroup. The registry supports dumping in a stable text
+ * format and resetting (needed by the sampling methodology, which
+ * discards warm-up statistics).
+ */
+
+#ifndef DARCO_COMMON_STATS_HH
+#define DARCO_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace darco
+{
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(u64 by = 1) { value_ += by; }
+    void set(u64 v) { value_ = v; }
+    void reset() { value_ = 0; }
+    u64 value() const { return value_; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** Simple fixed-bucket histogram over u64 samples. */
+class Histogram
+{
+  public:
+    /** @param bucket_limits ascending upper bounds; a final overflow
+     *  bucket is added implicitly. */
+    explicit Histogram(std::vector<u64> bucket_limits = {});
+
+    void sample(u64 v, u64 weight = 1);
+    void reset();
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+    const std::vector<u64> &buckets() const { return counts_; }
+    const std::vector<u64> &limits() const { return limits_; }
+
+  private:
+    std::vector<u64> limits_;
+    std::vector<u64> counts_;
+    u64 count_ = 0;
+    u64 sum_ = 0;
+};
+
+/**
+ * A named collection of counters and histograms.
+ *
+ * Lookup is by string name; creation is lazy, so components can simply
+ * write `stats.counter("tol.chained").inc()`.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "stats") : name_(std::move(name))
+    {}
+
+    Counter &counter(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::vector<u64> limits = {});
+
+    /** Read a counter without creating it; 0 if absent. */
+    u64 value(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    void resetAll();
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace darco
+
+#endif // DARCO_COMMON_STATS_HH

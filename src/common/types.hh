@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the DARCO infrastructure.
+ */
+
+#ifndef DARCO_COMMON_TYPES_HH
+#define DARCO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace darco
+{
+
+/** Guest virtual address (32-bit guest address space). */
+using GAddr = std::uint32_t;
+
+/** Host code-cache address (index into the code cache, in words). */
+using HAddr = std::uint32_t;
+
+/** Cycle count of the timing simulator. */
+using Cycle = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Size of a guest memory page in bytes. */
+constexpr u32 pageSizeBytes = 4096;
+
+/** Extract the page base of a guest address. */
+constexpr GAddr
+pageBase(GAddr a)
+{
+    return a & ~(pageSizeBytes - 1);
+}
+
+/** Byte offset of a guest address within its page. */
+constexpr u32
+pageOffset(GAddr a)
+{
+    return a & (pageSizeBytes - 1);
+}
+
+} // namespace darco
+
+#endif // DARCO_COMMON_TYPES_HH

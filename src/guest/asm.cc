@@ -1,0 +1,274 @@
+#include "guest/asm.hh"
+
+#include <cstring>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace darco::guest
+{
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labels_.push_back(-1);
+    return Label{u32(labels_.size() - 1)};
+}
+
+void
+Assembler::bind(Label l)
+{
+    darco_assert(l.id < labels_.size(), "unknown label");
+    darco_assert(labels_[l.id] < 0, "label bound twice");
+    labels_[l.id] = s64(code_.size());
+}
+
+std::size_t
+Assembler::labelOffset(Label l) const
+{
+    darco_assert(l.id < labels_.size(), "unknown label");
+    darco_assert(labels_[l.id] >= 0, "label not bound");
+    return std::size_t(labels_[l.id]);
+}
+
+void
+Assembler::emit(GInst inst)
+{
+    u8 buf[16];
+    std::size_t n = encode(inst, buf);
+    code_.insert(code_.end(), buf, buf + n);
+}
+
+void
+Assembler::none(GOp op)
+{
+    GInst i;
+    i.op = op;
+    emit(i);
+}
+
+void
+Assembler::r(GOp op, GReg rd)
+{
+    GInst i;
+    i.op = op;
+    i.rd = u8(rd);
+    emit(i);
+}
+
+void
+Assembler::rr(GOp op, GReg rd, GReg rs)
+{
+    GInst i;
+    i.op = op;
+    i.rd = u8(rd);
+    i.rs = u8(rs);
+    emit(i);
+}
+
+void
+Assembler::ri(GOp op, GReg rd, s32 imm)
+{
+    GInst i;
+    i.op = op;
+    i.rd = u8(rd);
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Assembler::rm(GOp op, u8 rd, const Mem &m)
+{
+    GInst i;
+    i.op = op;
+    i.rd = rd;
+    i.memMode = m.mode;
+    i.memBase = m.base;
+    i.memIndex = m.index;
+    i.memScale = m.scale;
+    i.disp = m.disp;
+    emit(i);
+}
+
+void
+Assembler::mr(GOp op, const Mem &m, u8 rs)
+{
+    // MR shares the RM layout: the data register lives in the "rd"
+    // field of the modbyte.
+    rm(op, rs, m);
+}
+
+void
+Assembler::fp(GOp op, u8 fd, u8 fs)
+{
+    GInst i;
+    i.op = op;
+    i.rd = fd;
+    i.rs = fs;
+    emit(i);
+}
+
+void
+Assembler::movsb(bool rep_prefix)
+{
+    GInst i;
+    i.op = GOp::MOVSB;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::movsw(bool rep_prefix)
+{
+    GInst i;
+    i.op = GOp::MOVSW;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::stosb(bool rep_prefix)
+{
+    GInst i;
+    i.op = GOp::STOSB;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::stosw(bool rep_prefix)
+{
+    GInst i;
+    i.op = GOp::STOSW;
+    i.rep = rep_prefix;
+    emit(i);
+}
+
+void
+Assembler::branchTo(GOp op, GCond c, Label l, bool rel8)
+{
+    darco_assert(l.id < labels_.size(), "unknown label");
+    GInst i;
+    i.op = op;
+    i.cond = c;
+    i.imm = 0;
+    u8 buf[16];
+    std::size_t n = encode(i, buf);
+    std::size_t start = code_.size();
+    code_.insert(code_.end(), buf, buf + n);
+    // The offset field is at the end of the instruction.
+    std::size_t field = code_.size() - (rel8 ? 1 : 4);
+    fixups_.push_back(Fixup{field, code_.size(), l.id, rel8});
+    (void)start;
+}
+
+void
+Assembler::jmp(Label l)
+{
+    branchTo(GOp::JMP_REL32, GCond::EQ, l, false);
+}
+
+void
+Assembler::jmp8(Label l)
+{
+    branchTo(GOp::JMP_REL8, GCond::EQ, l, true);
+}
+
+void
+Assembler::jcc(GCond c, Label l)
+{
+    branchTo(GOp::JCC_REL32, c, l, false);
+}
+
+void
+Assembler::jcc8(GCond c, Label l)
+{
+    branchTo(GOp::JCC_REL8, c, l, true);
+}
+
+void
+Assembler::call(Label l)
+{
+    branchTo(GOp::CALL_REL32, GCond::EQ, l, false);
+}
+
+void
+Assembler::setcc(GCond c, GReg d)
+{
+    GInst i;
+    i.op = GOp::SETCC;
+    i.cond = c;
+    i.rd = u8(d);
+    emit(i);
+}
+
+void
+Assembler::cmovcc(GCond c, GReg d, GReg s)
+{
+    GInst i;
+    i.op = GOp::CMOVCC;
+    i.cond = c;
+    i.rd = u8(d);
+    i.rs = u8(s);
+    emit(i);
+}
+
+std::size_t
+Assembler::dataBytes(const void *p, std::size_t len)
+{
+    std::size_t off = data_.size();
+    const u8 *b = static_cast<const u8 *>(p);
+    data_.insert(data_.end(), b, b + len);
+    return off;
+}
+
+std::size_t
+Assembler::dataU32(u32 v)
+{
+    return dataBytes(&v, 4);
+}
+
+std::size_t
+Assembler::dataF64(double v)
+{
+    return dataBytes(&v, 8);
+}
+
+std::size_t
+Assembler::dataZero(std::size_t len)
+{
+    std::size_t off = data_.size();
+    data_.resize(data_.size() + len, 0);
+    return off;
+}
+
+Program
+Assembler::finish(const std::string &name)
+{
+    darco_assert(!finished_, "assembler reused after finish()");
+    finished_ = true;
+
+    for (const Fixup &f : fixups_) {
+        s64 target = labels_[f.label];
+        darco_assert(target >= 0, "unbound label ", f.label);
+        s64 rel = target - s64(f.instEnd);
+        if (f.rel8) {
+            darco_assert(fitsSigned(rel, 8),
+                         "rel8 branch out of range: ", rel);
+            code_[f.pos] = u8(s8(rel));
+        } else {
+            u32 v = u32(s32(rel));
+            for (int i = 0; i < 4; ++i)
+                code_[f.pos + i] = u8(v >> (8 * i));
+        }
+    }
+
+    Program p;
+    p.name = name;
+    p.code = std::move(code_);
+    p.data = std::move(data_);
+    p.entry = layout::codeBase;
+    return p;
+}
+
+} // namespace darco::guest

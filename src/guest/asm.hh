@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Programmatic GISA assembler.
+ *
+ * The assembler is the construction API for guest programs: examples,
+ * tests and the synthetic workload generator all build binaries with
+ * it. It supports forward references through Label handles and both
+ * short (rel8) and near (rel32) branch forms.
+ */
+
+#ifndef DARCO_GUEST_ASM_HH
+#define DARCO_GUEST_ASM_HH
+
+#include <string>
+#include <vector>
+
+#include "guest/gisa.hh"
+#include "guest/program.hh"
+
+namespace darco::guest
+{
+
+/** A memory-operand reference for RM/MR instructions. */
+struct Mem
+{
+    u8 mode = memBase;
+    u8 base = 0;
+    u8 index = 0;
+    u8 scale = 0;
+    s32 disp = 0;
+};
+
+/** [base] */
+inline Mem
+mem(GReg base)
+{
+    return Mem{memBase, u8(base), 0, 0, 0};
+}
+
+/** [base + disp] (picks disp8/disp32 encoding automatically) */
+inline Mem
+mem(GReg base, s32 disp)
+{
+    if (disp >= -128 && disp <= 127)
+        return Mem{memBaseD8, u8(base), 0, 0, disp};
+    return Mem{memBaseD32, u8(base), 0, 0, disp};
+}
+
+/** [base + index << scale + disp] */
+inline Mem
+memIdx(GReg base, GReg index, u8 scale_log2, s32 disp = 0)
+{
+    return Mem{memSib, u8(base), u8(index), scale_log2, disp};
+}
+
+/** [abs32] */
+inline Mem
+memAbs32(GAddr addr)
+{
+    return Mem{memAbs, 0, 0, 0, s32(addr)};
+}
+
+/**
+ * Incremental assembler over a code buffer.
+ *
+ * Typical use:
+ * @code
+ *   Assembler a;
+ *   auto loop = a.newLabel();
+ *   a.movri(RCX, 10);
+ *   a.bind(loop);
+ *   a.addri(RAX, 3);
+ *   a.dec(RCX);
+ *   a.jcc(GCond::NE, loop);
+ *   a.hlt();
+ *   Program p = a.finish("demo");
+ * @endcode
+ */
+class Assembler
+{
+  public:
+    /** Opaque label handle. */
+    struct Label
+    {
+        u32 id;
+    };
+
+    Assembler() = default;
+
+    Label newLabel();
+    /** Bind a label to the current position. */
+    void bind(Label l);
+    /** Current code offset (next instruction position). */
+    std::size_t here() const { return code_.size(); }
+    /** Code offset of a bound label (panics if unbound). */
+    std::size_t labelOffset(Label l) const;
+
+    // --- generic emitters ---------------------------------------------
+    void emit(GInst inst);
+    void none(GOp op);
+    void r(GOp op, GReg rd);
+    void rr(GOp op, GReg rd, GReg rs);
+    void ri(GOp op, GReg rd, s32 imm);
+    void rm(GOp op, u8 rd, const Mem &m);
+    void mr(GOp op, const Mem &m, u8 rs);
+    void fp(GOp op, u8 fd, u8 fs);
+
+    // --- integer convenience ------------------------------------------
+    void nop() { none(GOp::NOP); }
+    void hlt() { none(GOp::HLT); }
+    void ret() { none(GOp::RET); }
+    void syscall() { none(GOp::SYSCALL); }
+    void movrr(GReg d, GReg s) { rr(GOp::MOV_RR, d, s); }
+    void movri(GReg d, s32 v) { ri(GOp::MOV_RI, d, v); }
+    void addrr(GReg d, GReg s) { rr(GOp::ADD_RR, d, s); }
+    void addri(GReg d, s32 v) { ri(GOp::ADD_RI, d, v); }
+    void addri8(GReg d, s8 v) { ri(GOp::ADD_RI8, d, v); }
+    void subrr(GReg d, GReg s) { rr(GOp::SUB_RR, d, s); }
+    void subri(GReg d, s32 v) { ri(GOp::SUB_RI, d, v); }
+    void andrr(GReg d, GReg s) { rr(GOp::AND_RR, d, s); }
+    void andri(GReg d, s32 v) { ri(GOp::AND_RI, d, v); }
+    void orrr(GReg d, GReg s) { rr(GOp::OR_RR, d, s); }
+    void orri(GReg d, s32 v) { ri(GOp::OR_RI, d, v); }
+    void xorrr(GReg d, GReg s) { rr(GOp::XOR_RR, d, s); }
+    void xorri(GReg d, s32 v) { ri(GOp::XOR_RI, d, v); }
+    void cmprr(GReg d, GReg s) { rr(GOp::CMP_RR, d, s); }
+    void cmpri(GReg d, s32 v) { ri(GOp::CMP_RI, d, v); }
+    void cmpri8(GReg d, s8 v) { ri(GOp::CMP_RI8, d, v); }
+    void testrr(GReg d, GReg s) { rr(GOp::TEST_RR, d, s); }
+    void imulrr(GReg d, GReg s) { rr(GOp::IMUL_RR, d, s); }
+    void imulri(GReg d, s32 v) { ri(GOp::IMUL_RI, d, v); }
+    void idivrr(GReg d, GReg s) { rr(GOp::IDIV_RR, d, s); }
+    void iremrr(GReg d, GReg s) { rr(GOp::IREM_RR, d, s); }
+    void shlrr(GReg d, GReg s) { rr(GOp::SHL_RR, d, s); }
+    void shlri(GReg d, s8 v) { ri(GOp::SHL_RI8, d, v); }
+    void shrri(GReg d, s8 v) { ri(GOp::SHR_RI8, d, v); }
+    void sarri(GReg d, s8 v) { ri(GOp::SAR_RI8, d, v); }
+    void notr(GReg d) { r(GOp::NOT, d); }
+    void negr(GReg d) { r(GOp::NEG, d); }
+    void inc(GReg d) { r(GOp::INC, d); }
+    void dec(GReg d) { r(GOp::DEC, d); }
+    void push(GReg s) { r(GOp::PUSH, s); }
+    void pop(GReg d) { r(GOp::POP, d); }
+
+    // --- memory ---------------------------------------------------------
+    void movrm(GReg d, const Mem &m) { rm(GOp::MOV_RM, d, m); }
+    void movmr(const Mem &m, GReg s) { mr(GOp::MOV_MR, m, s); }
+    void mov8mr(const Mem &m, GReg s) { mr(GOp::MOV8_MR, m, s); }
+    void mov16mr(const Mem &m, GReg s) { mr(GOp::MOV16_MR, m, s); }
+    void movzx8(GReg d, const Mem &m) { rm(GOp::MOVZX8_RM, d, m); }
+    void movzx16(GReg d, const Mem &m) { rm(GOp::MOVZX16_RM, d, m); }
+    void movsx8(GReg d, const Mem &m) { rm(GOp::MOVSX8_RM, d, m); }
+    void movsx16(GReg d, const Mem &m) { rm(GOp::MOVSX16_RM, d, m); }
+    void lea(GReg d, const Mem &m) { rm(GOp::LEA, d, m); }
+    void addrm(GReg d, const Mem &m) { rm(GOp::ADD_RM, d, m); }
+    void cmprm(GReg d, const Mem &m) { rm(GOp::CMP_RM, d, m); }
+    void addmr(const Mem &m, GReg s) { mr(GOp::ADD_MR, m, s); }
+
+    // --- string ops -------------------------------------------------
+    void movsb(bool rep_prefix = false);
+    void movsw(bool rep_prefix = false);
+    void stosb(bool rep_prefix = false);
+    void stosw(bool rep_prefix = false);
+
+    // --- control flow -----------------------------------------------
+    void jmp(Label l);             //!< rel32
+    void jmp8(Label l);            //!< rel8 (must be in range at fixup)
+    void jcc(GCond c, Label l);    //!< rel32
+    void jcc8(GCond c, Label l);   //!< rel8
+    void call(Label l);
+    void jmpr(GReg r_) { r(GOp::JMPR, r_); }
+    void callr(GReg r_) { r(GOp::CALLR, r_); }
+    void setcc(GCond c, GReg d);
+    void cmovcc(GCond c, GReg d, GReg s);
+
+    // --- floating point -----------------------------------------------
+    void fmov(u8 d, u8 s) { fp(GOp::FMOV, d, s); }
+    void fadd(u8 d, u8 s) { fp(GOp::FADD, d, s); }
+    void fsub(u8 d, u8 s) { fp(GOp::FSUB, d, s); }
+    void fmul(u8 d, u8 s) { fp(GOp::FMUL, d, s); }
+    void fdiv(u8 d, u8 s) { fp(GOp::FDIV, d, s); }
+    void fsqrt(u8 d, u8 s) { fp(GOp::FSQRT, d, s); }
+    void fsin(u8 d, u8 s) { fp(GOp::FSIN, d, s); }
+    void fcos(u8 d, u8 s) { fp(GOp::FCOS, d, s); }
+    void fabs_(u8 d, u8 s) { fp(GOp::FABS, d, s); }
+    void fneg(u8 d, u8 s) { fp(GOp::FNEG, d, s); }
+    void fcmp(u8 a, u8 b) { fp(GOp::FCMP, a, b); }
+    void cvtif(u8 fd, GReg s) { fp(GOp::CVTIF, fd, u8(s)); }
+    void cvtfi(GReg d, u8 fs) { fp(GOp::CVTFI, u8(d), fs); }
+    void fld(u8 fd, const Mem &m) { rm(GOp::FLD, fd, m); }
+    void fst(const Mem &m, u8 fs) { mr(GOp::FST, m, fs); }
+
+    // --- data section --------------------------------------------------
+    /** Append raw bytes to the data section; returns its offset. */
+    std::size_t dataBytes(const void *p, std::size_t len);
+    std::size_t dataU32(u32 v);
+    std::size_t dataF64(double v);
+    /** Reserve zeroed data space; returns its offset. */
+    std::size_t dataZero(std::size_t len);
+
+    /**
+     * Resolve fixups and produce the program image.
+     * The assembler must not be reused afterwards.
+     */
+    Program finish(const std::string &name = "anon");
+
+  private:
+    struct Fixup
+    {
+        std::size_t pos;      //!< offset of the offset field in code_
+        std::size_t instEnd;  //!< offset just past the instruction
+        u32 label;
+        bool rel8;
+    };
+
+    void branchTo(GOp op, GCond c, Label l, bool rel8);
+
+    std::vector<u8> code_;
+    std::vector<u8> data_;
+    std::vector<s64> labels_;    //!< bound offset or -1
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_ASM_HH

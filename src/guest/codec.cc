@@ -1,0 +1,299 @@
+/**
+ * @file
+ * GISA variable-length encoder/decoder.
+ */
+
+#include <cstring>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "guest/gisa.hh"
+
+namespace darco::guest
+{
+
+namespace
+{
+
+/** Cursor over the raw instruction bytes. */
+struct Reader
+{
+    const u8 *p;
+    std::size_t avail;
+    std::size_t pos = 0;
+
+    bool ok = true;
+
+    u8
+    byte()
+    {
+        if (pos >= avail) {
+            ok = false;
+            return 0;
+        }
+        return p[pos++];
+    }
+
+    u32
+    word()
+    {
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= u32(byte()) << (8 * i);
+        return v;
+    }
+};
+
+/** Decode the memory-operand bytes for RM/MR formats. */
+bool
+decodeMem(Reader &r, GInst &inst)
+{
+    switch (inst.memMode) {
+      case memBase:
+        inst.memBase = r.byte() & 7;
+        break;
+      case memBaseD8:
+        inst.memBase = r.byte() & 7;
+        inst.disp = s8(r.byte());
+        break;
+      case memBaseD32:
+        inst.memBase = r.byte() & 7;
+        inst.disp = s32(r.word());
+        break;
+      case memSib: {
+        u8 sib = r.byte();
+        inst.memScale = bits(sib, 6, 2);
+        inst.memIndex = bits(sib, 3, 3);
+        inst.memBase = bits(sib, 0, 3);
+        inst.disp = s32(r.word());
+        break;
+      }
+      case memAbs:
+        inst.disp = s32(r.word());
+        break;
+      default:
+        return false;
+    }
+    return r.ok;
+}
+
+/** Append the memory-operand bytes for RM/MR formats. */
+std::size_t
+encodeMem(const GInst &inst, u8 *out)
+{
+    std::size_t n = 0;
+    switch (inst.memMode) {
+      case memBase:
+        out[n++] = inst.memBase;
+        break;
+      case memBaseD8:
+        out[n++] = inst.memBase;
+        out[n++] = u8(inst.disp);
+        break;
+      case memBaseD32:
+        out[n++] = inst.memBase;
+        break;
+      case memSib:
+        out[n++] = u8((inst.memScale << 6) | (inst.memIndex << 3) |
+                      inst.memBase);
+        break;
+      case memAbs:
+        break;
+      default:
+        panic("encode: bad memMode ", int(inst.memMode));
+    }
+    if (inst.memMode == memBaseD32 || inst.memMode == memSib ||
+        inst.memMode == memAbs) {
+        u32 d = u32(inst.disp);
+        for (int i = 0; i < 4; ++i)
+            out[n++] = u8(d >> (8 * i));
+    }
+    return n;
+}
+
+} // namespace
+
+bool
+decode(const u8 *bytes, std::size_t avail, GInst &out)
+{
+    out = GInst();
+    Reader r{bytes, avail};
+
+    u8 first = r.byte();
+    if (!r.ok)
+        return false;
+    if (first == repPrefix) {
+        out.rep = true;
+        first = r.byte();
+    }
+    if (first >= u8(GOp::NumOps))
+        return false;
+    out.op = static_cast<GOp>(first);
+    const GOpInfo &info = gopInfo(out.op);
+    if (out.rep && info.fmt != GFmt::Str)
+        return false;
+
+    switch (info.fmt) {
+      case GFmt::None:
+      case GFmt::Str:
+        break;
+      case GFmt::R:
+        out.rd = r.byte() & 7;
+        break;
+      case GFmt::RR: {
+        u8 b = r.byte();
+        out.rd = bits(b, 4, 3);
+        out.rs = bits(b, 0, 3);
+        break;
+      }
+      case GFmt::RI:
+        out.rd = r.byte() & 7;
+        out.imm = s32(r.word());
+        break;
+      case GFmt::RI8:
+        out.rd = r.byte() & 7;
+        out.imm = s8(r.byte());
+        break;
+      case GFmt::RM:
+      case GFmt::MR: {
+        u8 b = r.byte();
+        out.rd = bits(b, 4, 3);
+        out.memMode = bits(b, 0, 3);
+        if (out.memMode < memBase || out.memMode > memAbs)
+            return false;
+        if (!decodeMem(r, out))
+            return false;
+        break;
+      }
+      case GFmt::Rel8:
+        out.imm = s8(r.byte());
+        break;
+      case GFmt::Rel32:
+        out.imm = s32(r.word());
+        break;
+      case GFmt::Jcc8: {
+        u8 c = r.byte();
+        if (c >= u8(GCond::NumConds))
+            return false;
+        out.cond = static_cast<GCond>(c);
+        out.imm = s8(r.byte());
+        break;
+      }
+      case GFmt::Jcc32: {
+        u8 c = r.byte();
+        if (c >= u8(GCond::NumConds))
+            return false;
+        out.cond = static_cast<GCond>(c);
+        out.imm = s32(r.word());
+        break;
+      }
+      case GFmt::SetCC: {
+        u8 b = r.byte();
+        u8 c = bits(b, 4, 4);
+        if (c >= u8(GCond::NumConds))
+            return false;
+        out.cond = static_cast<GCond>(c);
+        out.rd = bits(b, 0, 3) & 7;
+        break;
+      }
+      case GFmt::CmovCC: {
+        u8 c = r.byte();
+        if (c >= u8(GCond::NumConds))
+            return false;
+        out.cond = static_cast<GCond>(c);
+        u8 b = r.byte();
+        out.rd = bits(b, 4, 3);
+        out.rs = bits(b, 0, 3);
+        break;
+      }
+      case GFmt::FP:
+      case GFmt::FInt: {
+        u8 b = r.byte();
+        out.rd = bits(b, 4, 3);
+        out.rs = bits(b, 0, 3);
+        break;
+      }
+      default:
+        return false;
+    }
+
+    if (!r.ok)
+        return false;
+    out.length = u8(r.pos);
+    return true;
+}
+
+std::size_t
+encode(GInst &inst, u8 *out)
+{
+    std::size_t n = 0;
+    const GOpInfo &info = gopInfo(inst.op);
+    if (inst.rep) {
+        darco_assert(info.fmt == GFmt::Str, "REP on non-string op");
+        out[n++] = repPrefix;
+    }
+    out[n++] = u8(inst.op);
+
+    auto imm32 = [&](s32 v) {
+        u32 u = u32(v);
+        for (int i = 0; i < 4; ++i)
+            out[n++] = u8(u >> (8 * i));
+    };
+
+    switch (info.fmt) {
+      case GFmt::None:
+      case GFmt::Str:
+        break;
+      case GFmt::R:
+        out[n++] = inst.rd & 7;
+        break;
+      case GFmt::RR:
+      case GFmt::FP:
+      case GFmt::FInt:
+        out[n++] = u8((inst.rd << 4) | (inst.rs & 7));
+        break;
+      case GFmt::RI:
+        out[n++] = inst.rd & 7;
+        imm32(inst.imm);
+        break;
+      case GFmt::RI8:
+        darco_assert(fitsSigned(inst.imm, 8), "imm8 out of range");
+        out[n++] = inst.rd & 7;
+        out[n++] = u8(inst.imm);
+        break;
+      case GFmt::RM:
+      case GFmt::MR:
+        out[n++] = u8((inst.rd << 4) | (inst.memMode & 0xf));
+        n += encodeMem(inst, out + n);
+        break;
+      case GFmt::Rel8:
+        darco_assert(fitsSigned(inst.imm, 8), "rel8 out of range");
+        out[n++] = u8(inst.imm);
+        break;
+      case GFmt::Rel32:
+        imm32(inst.imm);
+        break;
+      case GFmt::Jcc8:
+        darco_assert(fitsSigned(inst.imm, 8), "rel8 out of range");
+        out[n++] = u8(inst.cond);
+        out[n++] = u8(inst.imm);
+        break;
+      case GFmt::Jcc32:
+        out[n++] = u8(inst.cond);
+        imm32(inst.imm);
+        break;
+      case GFmt::SetCC:
+        out[n++] = u8((u8(inst.cond) << 4) | (inst.rd & 7));
+        break;
+      case GFmt::CmovCC:
+        out[n++] = u8(inst.cond);
+        out[n++] = u8((inst.rd << 4) | (inst.rs & 7));
+        break;
+      default:
+        panic("encode: bad format");
+    }
+    inst.length = u8(n);
+    return n;
+}
+
+} // namespace darco::guest

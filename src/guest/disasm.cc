@@ -1,0 +1,124 @@
+/**
+ * @file
+ * GISA disassembler (debug toolchain support).
+ */
+
+#include <iomanip>
+#include <sstream>
+
+#include "guest/gisa.hh"
+
+namespace darco::guest
+{
+
+namespace
+{
+
+const char *gregNames[] = {
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+};
+
+std::string
+memStr(const GInst &i)
+{
+    std::ostringstream os;
+    os << "[";
+    switch (i.memMode) {
+      case memBase:
+        os << gregNames[i.memBase];
+        break;
+      case memBaseD8:
+      case memBaseD32:
+        os << gregNames[i.memBase];
+        if (i.disp >= 0)
+            os << "+" << i.disp;
+        else
+            os << i.disp;
+        break;
+      case memSib:
+        os << gregNames[i.memBase] << "+" << gregNames[i.memIndex] << "*"
+           << (1 << i.memScale);
+        if (i.disp >= 0)
+            os << "+" << i.disp;
+        else
+            os << i.disp;
+        break;
+      case memAbs:
+        os << "0x" << std::hex << u32(i.disp);
+        break;
+      default:
+        os << "?";
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disasm(const GInst &i, GAddr pc)
+{
+    const GOpInfo &info = i.info();
+    std::ostringstream os;
+    if (i.rep)
+        os << "rep ";
+    os << info.name;
+
+    auto g = [&](u8 r) { return std::string(gregNames[r & 7]); };
+    auto f = [&](u8 r) { return "f" + std::to_string(r & 7); };
+    auto hex = [&](u32 v) {
+        std::ostringstream h;
+        h << "0x" << std::hex << v;
+        return h.str();
+    };
+
+    switch (info.fmt) {
+      case GFmt::None:
+      case GFmt::Str:
+        break;
+      case GFmt::R:
+        os << " " << g(i.rd);
+        break;
+      case GFmt::RR:
+        os << " " << g(i.rd) << ", " << g(i.rs);
+        break;
+      case GFmt::RI:
+      case GFmt::RI8:
+        os << " " << g(i.rd) << ", " << i.imm;
+        break;
+      case GFmt::RM:
+        os << " " << (info.isFp ? f(i.rd) : g(i.rd)) << ", " << memStr(i);
+        break;
+      case GFmt::MR:
+        os << " " << memStr(i) << ", " << (info.isFp ? f(i.rd) : g(i.rd));
+        break;
+      case GFmt::Rel8:
+      case GFmt::Rel32:
+        os << " " << hex(i.target(pc));
+        break;
+      case GFmt::Jcc8:
+      case GFmt::Jcc32:
+        os << gcondName(i.cond) << " " << hex(i.target(pc));
+        break;
+      case GFmt::SetCC:
+        os << gcondName(i.cond) << " " << g(i.rd);
+        break;
+      case GFmt::CmovCC:
+        os << gcondName(i.cond) << " " << g(i.rd) << ", " << g(i.rs);
+        break;
+      case GFmt::FP:
+        os << " " << f(i.rd) << ", " << f(i.rs);
+        break;
+      case GFmt::FInt:
+        if (i.op == GOp::CVTIF)
+            os << " " << f(i.rd) << ", " << g(i.rs);
+        else
+            os << " " << g(i.rd) << ", " << f(i.rs);
+        break;
+      default:
+        os << " ?";
+    }
+    return os.str();
+}
+
+} // namespace darco::guest

@@ -1,0 +1,168 @@
+#include "guest/gisa.hh"
+
+#include "common/logging.hh"
+
+namespace darco::guest
+{
+
+namespace
+{
+
+// Shorthand for table entries.
+constexpr GOpInfo
+op(const char *name, GFmt fmt, u8 fw = 0, bool rf = false, bool cti = false,
+   u8 mw = 0, bool fp = false)
+{
+    return GOpInfo{name, fmt, fw, rf, cti, mw, fp};
+}
+
+const GOpInfo opTable[] = {
+    // no-operand
+    op("nop", GFmt::None),
+    op("hlt", GFmt::None, 0, false, true),
+    op("ret", GFmt::None, 0, false, true, 4),
+    op("syscall", GFmt::None, 0, false, true),
+    // string
+    op("movsb", GFmt::Str, 0, false, false, 1),
+    op("movsw", GFmt::Str, 0, false, false, 4),
+    op("stosb", GFmt::Str, 0, false, false, 1),
+    op("stosw", GFmt::Str, 0, false, false, 4),
+    // one GPR
+    op("not", GFmt::R),
+    op("neg", GFmt::R, flagAll),
+    op("inc", GFmt::R, flagZSO),
+    op("dec", GFmt::R, flagZSO),
+    op("push", GFmt::R, 0, false, false, 4),
+    op("pop", GFmt::R, 0, false, false, 4),
+    op("jmpr", GFmt::R, 0, false, true),
+    op("callr", GFmt::R, 0, false, true, 4),
+    // reg, reg
+    op("mov", GFmt::RR),
+    op("add", GFmt::RR, flagAll),
+    op("sub", GFmt::RR, flagAll),
+    op("and", GFmt::RR, flagAll),
+    op("or", GFmt::RR, flagAll),
+    op("xor", GFmt::RR, flagAll),
+    op("cmp", GFmt::RR, flagAll),
+    op("test", GFmt::RR, flagAll),
+    op("imul", GFmt::RR, flagAll),
+    op("idiv", GFmt::RR),
+    op("irem", GFmt::RR),
+    op("shl", GFmt::RR, flagAll),
+    op("shr", GFmt::RR, flagAll),
+    op("sar", GFmt::RR, flagAll),
+    // reg, imm32
+    op("mov", GFmt::RI),
+    op("add", GFmt::RI, flagAll),
+    op("sub", GFmt::RI, flagAll),
+    op("and", GFmt::RI, flagAll),
+    op("or", GFmt::RI, flagAll),
+    op("xor", GFmt::RI, flagAll),
+    op("cmp", GFmt::RI, flagAll),
+    op("test", GFmt::RI, flagAll),
+    op("imul", GFmt::RI, flagAll),
+    // reg, imm8
+    op("add", GFmt::RI8, flagAll),
+    op("cmp", GFmt::RI8, flagAll),
+    op("shl", GFmt::RI8, flagAll),
+    op("shr", GFmt::RI8, flagAll),
+    op("sar", GFmt::RI8, flagAll),
+    // loads
+    op("mov", GFmt::RM, 0, false, false, 4),
+    op("movzx8", GFmt::RM, 0, false, false, 1),
+    op("movzx16", GFmt::RM, 0, false, false, 2),
+    op("movsx8", GFmt::RM, 0, false, false, 1),
+    op("movsx16", GFmt::RM, 0, false, false, 2),
+    op("lea", GFmt::RM),
+    op("add", GFmt::RM, flagAll, false, false, 4),
+    op("cmp", GFmt::RM, flagAll, false, false, 4),
+    // stores
+    op("mov", GFmt::MR, 0, false, false, 4),
+    op("mov8", GFmt::MR, 0, false, false, 1),
+    op("mov16", GFmt::MR, 0, false, false, 2),
+    op("add", GFmt::MR, flagAll, false, false, 4),
+    // control transfer
+    op("jmp", GFmt::Rel8, 0, false, true),
+    op("jmp", GFmt::Rel32, 0, false, true),
+    op("call", GFmt::Rel32, 0, false, true, 4),
+    op("jcc", GFmt::Jcc8, 0, true, true),
+    op("jcc", GFmt::Jcc32, 0, true, true),
+    // conditional data
+    op("setcc", GFmt::SetCC, 0, true),
+    op("cmovcc", GFmt::CmovCC, 0, true),
+    // floating point
+    op("fmov", GFmt::FP, 0, false, false, 0, true),
+    op("fadd", GFmt::FP, 0, false, false, 0, true),
+    op("fsub", GFmt::FP, 0, false, false, 0, true),
+    op("fmul", GFmt::FP, 0, false, false, 0, true),
+    op("fdiv", GFmt::FP, 0, false, false, 0, true),
+    op("fsqrt", GFmt::FP, 0, false, false, 0, true),
+    op("fsin", GFmt::FP, 0, false, false, 0, true),
+    op("fcos", GFmt::FP, 0, false, false, 0, true),
+    op("fabs", GFmt::FP, 0, false, false, 0, true),
+    op("fneg", GFmt::FP, 0, false, false, 0, true),
+    op("fcmp", GFmt::FP, flagAll, false, false, 0, true),
+    op("cvtif", GFmt::FInt, 0, false, false, 0, true),
+    op("cvtfi", GFmt::FInt, 0, false, false, 0, true),
+    op("fld", GFmt::RM, 0, false, false, 8, true),
+    op("fst", GFmt::MR, 0, false, false, 8, true),
+};
+
+static_assert(sizeof(opTable) / sizeof(opTable[0]) ==
+                  static_cast<std::size_t>(GOp::NumOps),
+              "opcode table out of sync with GOp enum");
+
+const char *condNames[] = {
+    "eq", "ne", "lt", "ge", "le", "gt", "b", "ae", "be", "a", "s", "ns",
+};
+
+} // namespace
+
+const GOpInfo &
+gopInfo(GOp o)
+{
+    auto idx = static_cast<std::size_t>(o);
+    darco_assert(idx < static_cast<std::size_t>(GOp::NumOps),
+                 "bad opcode ", idx);
+    return opTable[idx];
+}
+
+const char *
+gopName(GOp o)
+{
+    return gopInfo(o).name;
+}
+
+const char *
+gcondName(GCond c)
+{
+    auto idx = static_cast<std::size_t>(c);
+    darco_assert(idx < static_cast<std::size_t>(GCond::NumConds));
+    return condNames[idx];
+}
+
+bool
+evalCond(GCond c, u8 f)
+{
+    const bool zf = f & flagZ;
+    const bool sf = f & flagS;
+    const bool cf = f & flagC;
+    const bool of = f & flagO;
+    switch (c) {
+      case GCond::EQ: return zf;
+      case GCond::NE: return !zf;
+      case GCond::LT: return sf != of;
+      case GCond::GE: return sf == of;
+      case GCond::LE: return zf || sf != of;
+      case GCond::GT: return !zf && sf == of;
+      case GCond::B:  return cf;
+      case GCond::AE: return !cf;
+      case GCond::BE: return cf || zf;
+      case GCond::A:  return !cf && !zf;
+      case GCond::S:  return sf;
+      case GCond::NS: return !sf;
+      default: panic("bad condition ", int(c));
+    }
+}
+
+} // namespace darco::guest

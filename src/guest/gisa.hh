@@ -1,0 +1,271 @@
+/**
+ * @file
+ * GISA: the synthetic 32-bit CISC guest ISA.
+ *
+ * GISA stands in for the paper's x86 guest ISA (see DESIGN.md,
+ * substitution table). It deliberately reproduces the structural
+ * properties the evaluation depends on:
+ *
+ *  - variable-length encodings (1..8 bytes),
+ *  - only 8 general-purpose registers (register pressure),
+ *  - condition flags written as an implicit side effect of ALU ops,
+ *  - complex addressing modes (base + index*scale + disp),
+ *  - read-modify-write memory operands,
+ *  - string instructions with a REP prefix,
+ *  - transcendental instructions (FSIN/FCOS) that the host must expand
+ *    in software.
+ */
+
+#ifndef DARCO_GUEST_GISA_HH
+#define DARCO_GUEST_GISA_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace darco::guest
+{
+
+/** Number of guest general-purpose registers. */
+constexpr unsigned numGRegs = 8;
+/** Number of guest floating-point registers. */
+constexpr unsigned numFRegs = 8;
+
+/** Conventional register roles (x86-flavoured). */
+enum GReg : u8
+{
+    RAX = 0, //!< return value / string data
+    RCX = 1, //!< REP count
+    RDX = 2,
+    RBX = 3,
+    RSP = 4, //!< stack pointer (PUSH/POP/CALL/RET)
+    RBP = 5,
+    RSI = 6, //!< string source
+    RDI = 7, //!< string destination
+};
+
+/** Flag register bits. */
+enum GFlag : u8
+{
+    flagZ = 1 << 0,
+    flagS = 1 << 1,
+    flagC = 1 << 2,
+    flagO = 1 << 3,
+    flagAll = flagZ | flagS | flagC | flagO,
+    flagZSO = flagZ | flagS | flagO, //!< INC/DEC do not touch CF
+};
+
+/** Branch/set/cmov condition codes. */
+enum class GCond : u8
+{
+    EQ, NE,  //!< ZF / !ZF
+    LT, GE,  //!< signed compares (SF ^ OF)
+    LE, GT,
+    B, AE,   //!< unsigned (CF)
+    BE, A,
+    S, NS,   //!< sign flag
+    NumConds,
+};
+
+/** Instruction encoding formats. */
+enum class GFmt : u8
+{
+    None,    //!< [op]
+    Str,     //!< [REP?][op] implicit-operand string op
+    R,       //!< [op][rd]
+    RR,      //!< [op][rd<<4|rs]
+    RI,      //!< [op][rd][imm32]
+    RI8,     //!< [op][rd][imm8]
+    RM,      //!< [op][modbyte][mem...]        reg <- mem (or LEA)
+    MR,      //!< [op][modbyte][mem...]        mem <- reg
+    Rel8,    //!< [op][rel8]
+    Rel32,   //!< [op][rel32]
+    Jcc8,    //!< [op][cond][rel8]
+    Jcc32,   //!< [op][cond][rel32]
+    SetCC,   //!< [op][cond<<4|rd]
+    CmovCC,  //!< [op][cond][rd<<4|rs]
+    FP,      //!< [op][fd<<4|fs]
+    FInt,    //!< [op][rd<<4|rs] cross register-file moves (CVT)
+};
+
+/** Memory addressing modes for RM/MR formats. */
+enum GMemMode : u8
+{
+    memNone = 0,
+    memBase = 1,        //!< [base]
+    memBaseD8 = 2,      //!< [base + disp8]
+    memBaseD32 = 3,     //!< [base + disp32]
+    memSib = 4,         //!< [base + index << scale + disp32]
+    memAbs = 5,         //!< [abs32]
+};
+
+/** GISA opcodes. Values are the literal encoding bytes. */
+enum class GOp : u8
+{
+    // --- no-operand ---
+    NOP = 0x00,
+    HLT,
+    RET,
+    SYSCALL,
+    // --- string ops (REP-able) ---
+    MOVSB,
+    MOVSW,
+    STOSB,
+    STOSW,
+    // --- one GPR ---
+    NOT,
+    NEG,
+    INC,
+    DEC,
+    PUSH,
+    POP,
+    JMPR,   //!< indirect jump through register
+    CALLR,  //!< indirect call through register
+    // --- reg, reg ---
+    MOV_RR,
+    ADD_RR,
+    SUB_RR,
+    AND_RR,
+    OR_RR,
+    XOR_RR,
+    CMP_RR,
+    TEST_RR,
+    IMUL_RR,
+    IDIV_RR,
+    IREM_RR,
+    SHL_RR,
+    SHR_RR,
+    SAR_RR,
+    // --- reg, imm32 ---
+    MOV_RI,
+    ADD_RI,
+    SUB_RI,
+    AND_RI,
+    OR_RI,
+    XOR_RI,
+    CMP_RI,
+    TEST_RI,
+    IMUL_RI,
+    // --- reg, imm8 (sign-extended) ---
+    ADD_RI8,
+    CMP_RI8,
+    SHL_RI8,
+    SHR_RI8,
+    SAR_RI8,
+    // --- loads: reg <- mem ---
+    MOV_RM,     //!< 32-bit load
+    MOVZX8_RM,
+    MOVZX16_RM,
+    MOVSX8_RM,
+    MOVSX16_RM,
+    LEA,        //!< address computation only
+    ADD_RM,     //!< reg += mem32 (CISC ALU-with-memory)
+    CMP_RM,     //!< flags = reg - mem32
+    // --- stores: mem <- reg ---
+    MOV_MR,     //!< 32-bit store
+    MOV8_MR,
+    MOV16_MR,
+    ADD_MR,     //!< mem32 += reg (read-modify-write)
+    // --- control transfer ---
+    JMP_REL8,
+    JMP_REL32,
+    CALL_REL32,
+    JCC_REL8,
+    JCC_REL32,
+    // --- conditional data ---
+    SETCC,      //!< rd = cond ? 1 : 0
+    CMOVCC,     //!< rd = cond ? rs : rd
+    // --- floating point (double precision) ---
+    FMOV,
+    FADD,
+    FSUB,
+    FMUL,
+    FDIV,
+    FSQRT,
+    FSIN,       //!< no host equivalent: expanded in software
+    FCOS,       //!< no host equivalent: expanded in software
+    FABS,
+    FNEG,
+    FCMP,       //!< sets ZF (equal) and CF (less), clears SF/OF
+    CVTIF,      //!< fd = double(gpr rs)
+    CVTFI,      //!< gpr rd = s32(trunc(fs))
+    FLD,        //!< fd <- mem64
+    FST,        //!< mem64 <- fs
+    NumOps,
+};
+
+/** The REP prefix byte (never a valid opcode). */
+constexpr u8 repPrefix = 0xfe;
+
+/** Static description of one opcode. */
+struct GOpInfo
+{
+    const char *name;    //!< mnemonic
+    GFmt fmt;            //!< encoding format
+    u8 flagsWritten;     //!< GFlag mask this op defines
+    bool readsFlags;     //!< consumes condition flags
+    bool isCti;          //!< control-transfer instruction (ends a BB)
+    u8 memWidth;         //!< bytes accessed (0 if no memory operand)
+    bool isFp;           //!< operates on the FP register file
+};
+
+/** Look up static info for an opcode. */
+const GOpInfo &gopInfo(GOp op);
+
+/** Mnemonic for an opcode. */
+const char *gopName(GOp op);
+
+/** Printable condition name. */
+const char *gcondName(GCond c);
+
+/** Evaluate a condition against a flags byte. */
+bool evalCond(GCond c, u8 flags);
+
+/** A decoded GISA instruction. */
+struct GInst
+{
+    GOp op = GOp::NOP;
+    GCond cond = GCond::EQ; //!< for JCC/SETCC/CMOVCC
+    u8 rd = 0;              //!< destination register (GPR or FPR)
+    u8 rs = 0;              //!< source register (GPR or FPR)
+    bool rep = false;       //!< REP prefix present (string ops)
+    u8 memMode = memNone;   //!< GMemMode
+    u8 memBase = 0;
+    u8 memIndex = 0;
+    u8 memScale = 0;        //!< log2 scale (0..3)
+    s32 disp = 0;           //!< displacement / absolute address
+    s32 imm = 0;            //!< immediate or branch offset
+    u8 length = 0;          //!< encoded length in bytes
+
+    const GOpInfo &info() const { return gopInfo(op); }
+    bool isCti() const { return info().isCti; }
+
+    /** Branch target for direct CTIs, given this instruction's PC. */
+    GAddr
+    target(GAddr pc) const
+    {
+        return pc + length + u32(imm);
+    }
+};
+
+/**
+ * Decode one instruction at `bytes` (at least `avail` valid bytes).
+ *
+ * @return true on success; false if the bytes do not form a valid
+ *         instruction (invalid opcode or truncated).
+ */
+bool decode(const u8 *bytes, std::size_t avail, GInst &out);
+
+/**
+ * Encode an instruction into `out` (must have >= 16 bytes of space).
+ *
+ * @return encoded length in bytes. Also updates inst.length.
+ */
+std::size_t encode(GInst &inst, u8 *out);
+
+/** Disassemble one decoded instruction. */
+std::string disasm(const GInst &inst, GAddr pc);
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_GISA_HH

@@ -1,0 +1,164 @@
+#include "guest/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace darco::guest
+{
+
+u8 *
+PagedMemory::page(GAddr a)
+{
+    GAddr base = pageBase(a);
+    auto it = pages_.find(base);
+    if (it == pages_.end()) {
+        if (policy_ == MissPolicy::Signal)
+            throw PageMiss{base};
+        auto p = std::make_unique<Page>();
+        p->fill(0);
+        it = pages_.emplace(base, std::move(p)).first;
+    }
+    return it->second->data();
+}
+
+u8 *
+PagedMemory::ptr(GAddr a)
+{
+    return page(a) + pageOffset(a);
+}
+
+namespace
+{
+
+/** True if [a, a+len) stays within one page. */
+inline bool
+samePage(GAddr a, std::size_t len)
+{
+    return pageOffset(a) + len <= pageSizeBytes;
+}
+
+} // namespace
+
+u16
+PagedMemory::read16(GAddr a)
+{
+    if (samePage(a, 2)) {
+        u16 v;
+        std::memcpy(&v, ptr(a), 2);
+        return v;
+    }
+    return u16(read8(a)) | (u16(read8(a + 1)) << 8);
+}
+
+u32
+PagedMemory::read32(GAddr a)
+{
+    if (samePage(a, 4)) {
+        u32 v;
+        std::memcpy(&v, ptr(a), 4);
+        return v;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= u32(read8(a + i)) << (8 * i);
+    return v;
+}
+
+u64
+PagedMemory::read64(GAddr a)
+{
+    if (samePage(a, 8)) {
+        u64 v;
+        std::memcpy(&v, ptr(a), 8);
+        return v;
+    }
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= u64(read8(a + i)) << (8 * i);
+    return v;
+}
+
+void
+PagedMemory::write16(GAddr a, u16 v)
+{
+    if (samePage(a, 2)) {
+        std::memcpy(ptr(a), &v, 2);
+        return;
+    }
+    write8(a, u8(v));
+    write8(a + 1, u8(v >> 8));
+}
+
+void
+PagedMemory::write32(GAddr a, u32 v)
+{
+    if (samePage(a, 4)) {
+        std::memcpy(ptr(a), &v, 4);
+        return;
+    }
+    for (int i = 0; i < 4; ++i)
+        write8(a + i, u8(v >> (8 * i)));
+}
+
+void
+PagedMemory::write64(GAddr a, u64 v)
+{
+    if (samePage(a, 8)) {
+        std::memcpy(ptr(a), &v, 8);
+        return;
+    }
+    for (int i = 0; i < 8; ++i)
+        write8(a + i, u8(v >> (8 * i)));
+}
+
+void
+PagedMemory::readBlock(GAddr a, void *dst, std::size_t len)
+{
+    u8 *out = static_cast<u8 *>(dst);
+    while (len > 0) {
+        std::size_t chunk =
+            std::min<std::size_t>(len, pageSizeBytes - pageOffset(a));
+        std::memcpy(out, ptr(a), chunk);
+        a += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PagedMemory::writeBlock(GAddr a, const void *src, std::size_t len)
+{
+    const u8 *in = static_cast<const u8 *>(src);
+    while (len > 0) {
+        std::size_t chunk =
+            std::min<std::size_t>(len, pageSizeBytes - pageOffset(a));
+        std::memcpy(ptr(a), in, chunk);
+        a += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PagedMemory::installPage(GAddr page_addr, const u8 *data)
+{
+    darco_assert(pageOffset(page_addr) == 0, "unaligned page install");
+    auto p = std::make_unique<Page>();
+    std::memcpy(p->data(), data, pageSizeBytes);
+    pages_[page_addr] = std::move(p);
+}
+
+std::vector<GAddr>
+PagedMemory::residentPages() const
+{
+    std::vector<GAddr> out;
+    out.reserve(pages_.size());
+    for (const auto &[base, _] : pages_)
+        out.push_back(base);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace darco::guest

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sparse paged guest memory.
+ *
+ * Both DARCO components keep a full guest memory image in a
+ * PagedMemory. The *reference* component owns the authoritative image
+ * and allocates pages on demand (MissPolicy::AllocateZero). The
+ * *co-designed* component starts with no pages and must fetch each
+ * page from the reference side through the controller's data-request
+ * protocol; its memory therefore signals a PageMiss on first touch
+ * (MissPolicy::Signal). This mirrors the paper's Section V-A.
+ */
+
+#ifndef DARCO_GUEST_MEMORY_HH
+#define DARCO_GUEST_MEMORY_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace darco::guest
+{
+
+/** Raised on access to an absent page when the policy is Signal. */
+struct PageMiss
+{
+    GAddr page; //!< base address of the missing page
+};
+
+/** What to do when an absent page is touched. */
+enum class MissPolicy
+{
+    AllocateZero, //!< authoritative image: fresh zero page
+    Signal,       //!< emulated image: throw PageMiss
+};
+
+/** Sparse 32-bit paged memory. */
+class PagedMemory
+{
+  public:
+    explicit PagedMemory(MissPolicy policy = MissPolicy::AllocateZero)
+        : policy_(policy)
+    {}
+
+    u8 read8(GAddr a) { return *ptr(a); }
+    u16 read16(GAddr a);
+    u32 read32(GAddr a);
+    u64 read64(GAddr a);
+
+    void write8(GAddr a, u8 v) { *ptr(a) = v; }
+    void write16(GAddr a, u16 v);
+    void write32(GAddr a, u32 v);
+    void write64(GAddr a, u64 v);
+
+    /** Bulk copy helpers (loader, page transfer, syscalls). */
+    void readBlock(GAddr a, void *dst, std::size_t len);
+    void writeBlock(GAddr a, const void *src, std::size_t len);
+
+    bool hasPage(GAddr a) const
+    {
+        return pages_.count(pageBase(a)) != 0;
+    }
+
+    /** Raw page contents (allocating per policy). */
+    u8 *page(GAddr a);
+
+    /** Install a full page image (used by the data-request protocol). */
+    void installPage(GAddr page_addr, const u8 *data);
+
+    /** Addresses of all resident pages, sorted. */
+    std::vector<GAddr> residentPages() const;
+
+    std::size_t pageCount() const { return pages_.size(); }
+
+    MissPolicy policy() const { return policy_; }
+
+  private:
+    using Page = std::array<u8, pageSizeBytes>;
+
+    /** Pointer to the byte backing address a (allocating per policy). */
+    u8 *ptr(GAddr a);
+
+    MissPolicy policy_;
+    std::unordered_map<GAddr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_MEMORY_HH

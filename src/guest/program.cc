@@ -1,0 +1,27 @@
+#include "guest/program.hh"
+
+#include "common/logging.hh"
+
+namespace darco::guest
+{
+
+CpuState
+Program::load(PagedMemory &mem) const
+{
+    darco_assert(!code.empty(), "loading empty program");
+    mem.writeBlock(layout::codeBase, code.data(), code.size());
+    if (!data.empty())
+        mem.writeBlock(layout::dataBase, data.data(), data.size());
+
+    // Touch the top stack page so the first PUSH doesn't fault in the
+    // reference component (the co-designed side still requests it).
+    if (mem.policy() == MissPolicy::AllocateZero)
+        mem.page(layout::stackTop - 4);
+
+    CpuState st;
+    st.pc = entry;
+    st.gpr[RSP] = layout::stackTop;
+    return st;
+}
+
+} // namespace darco::guest

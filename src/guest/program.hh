@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Guest program image and memory-layout conventions.
+ */
+
+#ifndef DARCO_GUEST_PROGRAM_HH
+#define DARCO_GUEST_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "guest/memory.hh"
+#include "guest/state.hh"
+
+namespace darco::guest
+{
+
+/** Fixed guest virtual-memory layout. */
+namespace layout
+{
+constexpr GAddr codeBase = 0x0000'1000;
+constexpr GAddr dataBase = 0x0040'0000;
+constexpr GAddr heapBase = 0x0080'0000; //!< initial brk
+constexpr GAddr stackTop = 0x0ff0'0000; //!< grows downward
+} // namespace layout
+
+/**
+ * A loadable guest program: code + initialized data + entry point.
+ */
+struct Program
+{
+    std::string name = "anon";
+    std::vector<u8> code;           //!< loaded at layout::codeBase
+    std::vector<u8> data;           //!< loaded at layout::dataBase
+    GAddr entry = layout::codeBase;
+
+    /** Load segments into memory and return the initial CPU state. */
+    CpuState load(PagedMemory &mem) const;
+
+    /** Guest address of a code-section offset. */
+    static GAddr
+    codeAddr(std::size_t off)
+    {
+        return layout::codeBase + GAddr(off);
+    }
+
+    /** Guest address of a data-section offset. */
+    static GAddr
+    dataAddr(std::size_t off)
+    {
+        return layout::dataBase + GAddr(off);
+    }
+};
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_PROGRAM_HH

@@ -1,0 +1,47 @@
+#include "guest/state.hh"
+
+#include <sstream>
+
+namespace darco::guest
+{
+
+std::string
+CpuState::toString() const
+{
+    std::ostringstream os;
+    os << std::hex;
+    os << "pc=0x" << pc << " flags=0x" << int(flags);
+    for (unsigned i = 0; i < numGRegs; ++i)
+        os << " r" << i << "=0x" << gpr[i];
+    os << std::dec;
+    for (unsigned i = 0; i < numFRegs; ++i)
+        os << " f" << i << "=" << fpr[i];
+    return os.str();
+}
+
+std::string
+CpuState::diff(const CpuState &o) const
+{
+    std::ostringstream os;
+    os << std::hex;
+    if (pc != o.pc)
+        os << "pc: 0x" << pc << " vs 0x" << o.pc << "; ";
+    if (flags != o.flags)
+        os << "flags: 0x" << int(flags) << " vs 0x" << int(o.flags) << "; ";
+    for (unsigned i = 0; i < numGRegs; ++i) {
+        if (gpr[i] != o.gpr[i]) {
+            os << "r" << i << ": 0x" << gpr[i] << " vs 0x" << o.gpr[i]
+               << "; ";
+        }
+    }
+    os << std::dec;
+    for (unsigned i = 0; i < numFRegs; ++i) {
+        if (std::memcmp(&fpr[i], &o.fpr[i], sizeof(double)) != 0) {
+            os << "f" << i << ": " << fpr[i] << " vs " << o.fpr[i]
+               << "; ";
+        }
+    }
+    return os.str();
+}
+
+} // namespace darco::guest

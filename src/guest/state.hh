@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Architectural guest CPU state.
+ *
+ * Both components keep one of these: the reference component's copy is
+ * authoritative; the co-designed component's copy is the "emulated x86
+ * state" of the paper, validated against the reference at sync points.
+ */
+
+#ifndef DARCO_GUEST_STATE_HH
+#define DARCO_GUEST_STATE_HH
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "guest/gisa.hh"
+
+namespace darco::guest
+{
+
+/** Complete guest-visible register state. */
+struct CpuState
+{
+    std::array<u32, numGRegs> gpr{};
+    std::array<double, numFRegs> fpr{};
+    u8 flags = 0;
+    GAddr pc = 0;
+
+    bool
+    operator==(const CpuState &o) const
+    {
+        // FP registers are compared bit-exactly: both execution paths
+        // must produce identical doubles, not merely close ones.
+        return gpr == o.gpr && flags == o.flags && pc == o.pc &&
+               std::memcmp(fpr.data(), o.fpr.data(), sizeof(fpr)) == 0;
+    }
+
+    /** Human-readable dump for divergence reports. */
+    std::string toString() const;
+
+    /** Describe the first difference vs another state ("" if equal). */
+    std::string diff(const CpuState &o) const;
+};
+
+} // namespace darco::guest
+
+#endif // DARCO_GUEST_STATE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The translation code cache.
+ *
+ * A flat array of host instruction words. TOL appends translated
+ * regions and patches EXITB words into J words when chaining; the
+ * cache tracks occupancy and supports a full flush (the classic
+ * "code cache full" policy).
+ */
+
+#ifndef DARCO_HOST_CODE_CACHE_HH
+#define DARCO_HOST_CODE_CACHE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "host/hisa.hh"
+
+namespace darco::host
+{
+
+/** Flat host-code store addressed by word index. */
+class CodeCache
+{
+  public:
+    explicit CodeCache(u32 capacity_words = 1u << 20)
+        : capacity_(capacity_words)
+    {
+        words_.reserve(1024);
+    }
+
+    bool
+    hasSpace(u32 n) const
+    {
+        return u32(words_.size()) + n <= capacity_;
+    }
+
+    /**
+     * Append a translated region.
+     * @return base word index of the region.
+     */
+    u32
+    append(const std::vector<u32> &region)
+    {
+        u32 base = u32(words_.size());
+        words_.insert(words_.end(), region.begin(), region.end());
+        return base;
+    }
+
+    u32 word(u32 idx) const { return words_[idx]; }
+    void setWord(u32 idx, u32 w) { words_[idx] = w; }
+    const u32 *raw() const { return words_.data(); }
+
+    u32 used() const { return u32(words_.size()); }
+    u32 capacity() const { return capacity_; }
+
+    /** Drop every translation (TOL must reset its maps too). */
+    void
+    flush()
+    {
+        words_.clear();
+        ++flushCount_;
+    }
+
+    u64 flushCount() const { return flushCount_; }
+
+  private:
+    u32 capacity_;
+    std::vector<u32> words_;
+    u64 flushCount_ = 0;
+};
+
+} // namespace darco::host
+
+#endif // DARCO_HOST_CODE_CACHE_HH

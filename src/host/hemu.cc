@@ -1,0 +1,771 @@
+#include "host/hemu.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "guest/semantics.hh"
+
+namespace darco::host
+{
+
+using guest::PageMiss;
+
+namespace
+{
+
+/** Power-of-two check for the IBTC size. */
+constexpr bool
+isPow2(u32 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+InstClass
+classify(HOp op)
+{
+    switch (op) {
+      case HOp::MUL:
+      case HOp::MULH:
+        return InstClass::IntMul;
+      case HOp::DIV:
+      case HOp::REM:
+        return InstClass::IntDiv;
+      case HOp::FADD:
+      case HOp::FSUB:
+      case HOp::FABS:
+      case HOp::FNEG:
+      case HOp::FMOV:
+      case HOp::FRND:
+      case HOp::FCVTWD:
+      case HOp::FCVTZW:
+      case HOp::FEQ:
+      case HOp::FLT:
+      case HOp::FLE:
+        return InstClass::FpAlu;
+      case HOp::FMUL:
+        return InstClass::FpMul;
+      case HOp::FDIV:
+      case HOp::FSQRT:
+        return InstClass::FpDiv;
+      case HOp::LB:
+      case HOp::LBU:
+      case HOp::LH:
+      case HOp::LHU:
+      case HOp::LW:
+      case HOp::LWS:
+      case HOp::FLD:
+      case HOp::FLDS:
+      case HOp::LWL:
+      case HOp::FLDL:
+      case HOp::FLDC:
+        return InstClass::Load;
+      case HOp::SB:
+      case HOp::SH:
+      case HOp::SW:
+      case HOp::FST:
+      case HOp::SBC:
+      case HOp::SHC:
+      case HOp::SWC:
+      case HOp::FSTC:
+      case HOp::SWL:
+      case HOp::FSTL:
+        return InstClass::Store;
+      case HOp::BEQ:
+      case HOp::BNE:
+      case HOp::BLT:
+      case HOp::BGE:
+      case HOp::BLTU:
+      case HOp::BGEU:
+        return InstClass::Branch;
+      case HOp::J:
+      case HOp::IBTC:
+      case HOp::EXITB:
+        return InstClass::Jump;
+      case HOp::CKPT:
+      case HOp::COMMIT:
+      case HOp::ASSERTZ:
+      case HOp::ASSERTNZ:
+      case HOp::RETIRE:
+        return InstClass::Other;
+      default:
+        return InstClass::IntAlu;
+    }
+}
+
+IbtcTable::IbtcTable(u32 entries)
+{
+    darco_assert(isPow2(entries), "IBTC size must be a power of two");
+    entries_.resize(entries);
+    mask_ = entries - 1;
+}
+
+bool
+IbtcTable::lookup(GAddr guest_pc, u32 &host_pc) const
+{
+    const Entry &e = entries_[index(guest_pc)];
+    if (e.tag == guest_pc) {
+        ++hits_;
+        host_pc = e.hostPc;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+IbtcTable::insert(GAddr guest_pc, u32 host_pc)
+{
+    entries_[index(guest_pc)] = Entry{guest_pc, host_pc};
+}
+
+void
+IbtcTable::invalidate(GAddr guest_pc)
+{
+    Entry &e = entries_[index(guest_pc)];
+    if (e.tag == guest_pc)
+        e = Entry{};
+}
+
+void
+IbtcTable::clear()
+{
+    for (auto &e : entries_)
+        e = Entry{};
+}
+
+HostEmu::HostEmu(CodeCache &cache, guest::PagedMemory &guest_mem,
+                 const Config &cfg)
+    : cache_(cache),
+      mem_(guest_mem),
+      ibtc_(u32(cfg.getUint("hemu.ibtc_entries", 512))),
+      localMem_(cfg.getUint("hemu.local_mem_bytes", 1u << 20), 0),
+      ibtcHitCost_(u32(cfg.getUint("hemu.ibtc_hit_cost", 6)))
+{
+}
+
+void
+HostEmu::loadGuestState(const guest::CpuState &st)
+{
+    using namespace regmap;
+    for (unsigned i = 0; i < guest::numGRegs; ++i)
+        ctx_.gpr[guestGprBase + i] = st.gpr[i];
+    ctx_.gpr[flagZ] = (st.flags & guest::flagZ) ? 1 : 0;
+    ctx_.gpr[flagS] = (st.flags & guest::flagS) ? 1 : 0;
+    ctx_.gpr[flagC] = (st.flags & guest::flagC) ? 1 : 0;
+    ctx_.gpr[flagO] = (st.flags & guest::flagO) ? 1 : 0;
+    for (unsigned i = 0; i < guest::numFRegs; ++i)
+        ctx_.fpr[guestFprBase + i] = st.fpr[i];
+}
+
+void
+HostEmu::storeGuestState(guest::CpuState &st) const
+{
+    using namespace regmap;
+    for (unsigned i = 0; i < guest::numGRegs; ++i)
+        st.gpr[i] = ctx_.gpr[guestGprBase + i];
+    u8 f = 0;
+    if (ctx_.gpr[flagZ])
+        f |= guest::flagZ;
+    if (ctx_.gpr[flagS])
+        f |= guest::flagS;
+    if (ctx_.gpr[flagC])
+        f |= guest::flagC;
+    if (ctx_.gpr[flagO])
+        f |= guest::flagO;
+    st.flags = f;
+    for (unsigned i = 0; i < guest::numFRegs; ++i)
+        st.fpr[i] = ctx_.fpr[guestFprBase + i];
+}
+
+u32
+HostEmu::readLocal32(u32 addr) const
+{
+    darco_assert(addr + 4 <= localMem_.size(), "local mem OOB read");
+    u32 v;
+    __builtin_memcpy(&v, localMem_.data() + addr, 4);
+    return v;
+}
+
+void
+HostEmu::writeLocal32(u32 addr, u32 v)
+{
+    darco_assert(addr + 4 <= localMem_.size(), "local mem OOB write");
+    __builtin_memcpy(localMem_.data() + addr, &v, 4);
+}
+
+void
+HostEmu::rollback()
+{
+    if (speculative_) {
+        ctx_ = ckpt_;
+        storeBuf_.clear();
+        specLoads_.clear();
+        speculative_ = false;
+        ++rollbacks_;
+    }
+}
+
+u8
+HostEmu::specRead8(GAddr a)
+{
+    if (speculative_) {
+        auto it = storeBuf_.find(a);
+        if (it != storeBuf_.end())
+            return it->second;
+    }
+    return mem_.read8(a);
+}
+
+void
+HostEmu::specWrite8(GAddr a, u8 v)
+{
+    storeBuf_[a] = v;
+}
+
+u32
+HostEmu::specRead(GAddr a, unsigned size)
+{
+    if (!speculative_ || storeBuf_.empty()) {
+        switch (size) {
+          case 1: return mem_.read8(a);
+          case 2: return mem_.read16(a);
+          default: return mem_.read32(a);
+        }
+    }
+    u32 v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= u32(specRead8(a + i)) << (8 * i);
+    return v;
+}
+
+void
+HostEmu::specWrite(GAddr a, u32 v, unsigned size)
+{
+    if (!speculative_) {
+        switch (size) {
+          case 1: mem_.write8(a, u8(v)); return;
+          case 2: mem_.write16(a, u16(v)); return;
+          default: mem_.write32(a, v); return;
+        }
+    }
+    probePages(a, size);
+    for (unsigned i = 0; i < size; ++i)
+        specWrite8(a + i, u8(v >> (8 * i)));
+}
+
+u64
+HostEmu::specRead64(GAddr a)
+{
+    if (!speculative_ || storeBuf_.empty())
+        return mem_.read64(a);
+    u64 v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= u64(specRead8(a + i)) << (8 * i);
+    return v;
+}
+
+void
+HostEmu::specWrite64(GAddr a, u64 v)
+{
+    if (!speculative_) {
+        mem_.write64(a, v);
+        return;
+    }
+    probePages(a, 8);
+    for (unsigned i = 0; i < 8; ++i)
+        specWrite8(a + i, u8(v >> (8 * i)));
+}
+
+void
+HostEmu::probePages(GAddr a, unsigned size)
+{
+    if (!mem_.hasPage(a))
+        throw PageMiss{pageBase(a)};
+    GAddr last = a + size - 1;
+    if (pageBase(last) != pageBase(a) && !mem_.hasPage(last))
+        throw PageMiss{pageBase(last)};
+}
+
+bool
+HostEmu::aliasesSpecLoad(GAddr a, unsigned size) const
+{
+    for (const SpecLoad &l : specLoads_) {
+        if (a < l.addr + l.size && l.addr < a + size)
+            return true;
+    }
+    return false;
+}
+
+ExitInfo
+HostEmu::run(u32 host_pc, u64 max_insts)
+{
+    ExitInfo exit;
+    u64 n = 0;
+    u32 pc = host_pc;
+    auto &gpr = ctx_.gpr;
+    auto &fpr = ctx_.fpr;
+
+    auto finish = [&](ExitKind k) -> ExitInfo & {
+        exit.kind = k;
+        exit.instsExecuted = n;
+        totalInsts_ += n;
+        ctx_.pc = pc;
+        return exit;
+    };
+
+    auto setReg = [&](u8 rd, u32 v) {
+        gpr[rd] = v;
+        gpr[0] = 0;
+    };
+
+    try {
+        for (;;) {
+            if (n >= max_insts)
+                return finish(ExitKind::Budget);
+
+            const HInst i = hdecode(cache_.word(pc));
+            u32 next = pc + 1;
+            ++n;
+            ++sinceMark_;
+
+            InstRecord rec;
+            const bool tracing = sink_ != nullptr;
+            if (tracing) {
+                rec.pc = pc * 4;
+                rec.cls = classify(i.op);
+                rec.isFp = i.info().isFp;
+                fillRegs(i, rec);
+            }
+
+            switch (i.op) {
+              case HOp::NOP:
+                break;
+
+              // --- integer ALU, R-format ---
+              case HOp::ADD:
+                setReg(i.rd, gpr[i.rs1] + gpr[i.rs2]);
+                break;
+              case HOp::SUB:
+                setReg(i.rd, gpr[i.rs1] - gpr[i.rs2]);
+                break;
+              case HOp::MUL:
+                setReg(i.rd, u32(s64(s32(gpr[i.rs1])) *
+                                 s64(s32(gpr[i.rs2]))));
+                break;
+              case HOp::MULH:
+                setReg(i.rd, u32(u64(s64(s32(gpr[i.rs1])) *
+                                     s64(s32(gpr[i.rs2]))) >> 32));
+                break;
+              case HOp::DIV:
+              case HOp::REM: {
+                s32 a = s32(gpr[i.rs1]);
+                s32 b = s32(gpr[i.rs2]);
+                if (b == 0 || (a == s32(0x80000000) && b == -1)) {
+                    bool was_spec = speculative_;
+                    rollback();
+                    if (was_spec)
+                        pc = ctx_.pc; // resume point = checkpoint
+                    return finish(ExitKind::DivFault);
+                }
+                setReg(i.rd, i.op == HOp::DIV ? u32(a / b) : u32(a % b));
+                break;
+              }
+              case HOp::AND:
+                setReg(i.rd, gpr[i.rs1] & gpr[i.rs2]);
+                break;
+              case HOp::OR:
+                setReg(i.rd, gpr[i.rs1] | gpr[i.rs2]);
+                break;
+              case HOp::XOR:
+                setReg(i.rd, gpr[i.rs1] ^ gpr[i.rs2]);
+                break;
+              case HOp::SLL:
+                setReg(i.rd, gpr[i.rs1] << (gpr[i.rs2] & 31));
+                break;
+              case HOp::SRL:
+                setReg(i.rd, gpr[i.rs1] >> (gpr[i.rs2] & 31));
+                break;
+              case HOp::SRA:
+                setReg(i.rd, u32(s32(gpr[i.rs1]) >> (gpr[i.rs2] & 31)));
+                break;
+              case HOp::SLT:
+                setReg(i.rd, s32(gpr[i.rs1]) < s32(gpr[i.rs2]) ? 1 : 0);
+                break;
+              case HOp::SLTU:
+                setReg(i.rd, gpr[i.rs1] < gpr[i.rs2] ? 1 : 0);
+                break;
+              case HOp::SEQ:
+                setReg(i.rd, gpr[i.rs1] == gpr[i.rs2] ? 1 : 0);
+                break;
+              case HOp::SNE:
+                setReg(i.rd, gpr[i.rs1] != gpr[i.rs2] ? 1 : 0);
+                break;
+              case HOp::SGE:
+                setReg(i.rd, s32(gpr[i.rs1]) >= s32(gpr[i.rs2]) ? 1 : 0);
+                break;
+              case HOp::SGEU:
+                setReg(i.rd, gpr[i.rs1] >= gpr[i.rs2] ? 1 : 0);
+                break;
+
+              // --- integer ALU, I-format ---
+              case HOp::ADDI:
+                setReg(i.rd, gpr[i.rs1] + u32(i.imm));
+                break;
+              case HOp::ANDI:
+                setReg(i.rd, gpr[i.rs1] & (u32(i.imm) & 0x3fff));
+                break;
+              case HOp::ORI:
+                setReg(i.rd, gpr[i.rs1] | (u32(i.imm) & 0x3fff));
+                break;
+              case HOp::XORI:
+                setReg(i.rd, gpr[i.rs1] ^ (u32(i.imm) & 0x3fff));
+                break;
+              case HOp::SLLI:
+                setReg(i.rd, gpr[i.rs1] << (i.imm & 31));
+                break;
+              case HOp::SRLI:
+                setReg(i.rd, gpr[i.rs1] >> (i.imm & 31));
+                break;
+              case HOp::SRAI:
+                setReg(i.rd, u32(s32(gpr[i.rs1]) >> (i.imm & 31)));
+                break;
+              case HOp::SLTI:
+                setReg(i.rd, s32(gpr[i.rs1]) < i.imm ? 1 : 0);
+                break;
+              case HOp::SEQI:
+                setReg(i.rd,
+                       gpr[i.rs1] == (u32(i.imm) & 0x3fff) ? 1 : 0);
+                break;
+              case HOp::SNEI:
+                setReg(i.rd,
+                       gpr[i.rs1] != (u32(i.imm) & 0x3fff) ? 1 : 0);
+                break;
+              case HOp::LUI:
+                setReg(i.rd, u32(i.imm) << 13);
+                break;
+
+              // --- guest memory ---
+              case HOp::LB: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 1; }
+                setReg(i.rd, u32(s32(s8(specRead(a, 1)))));
+                break;
+              }
+              case HOp::LBU: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 1; }
+                setReg(i.rd, specRead(a, 1));
+                break;
+              }
+              case HOp::LH: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 2; }
+                setReg(i.rd, u32(s32(s16(specRead(a, 2)))));
+                break;
+              }
+              case HOp::LHU: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 2; }
+                setReg(i.rd, specRead(a, 2));
+                break;
+              }
+              case HOp::LW: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 4; }
+                setReg(i.rd, specRead(a, 4));
+                break;
+              }
+              case HOp::LWS: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 4; }
+                setReg(i.rd, specRead(a, 4));
+                if (speculative_)
+                    specLoads_.push_back(SpecLoad{a, 4});
+                break;
+              }
+              case HOp::FLD: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 8; }
+                u64 b = specRead64(a);
+                double d;
+                __builtin_memcpy(&d, &b, 8);
+                fpr[i.rd] = d;
+                break;
+              }
+              case HOp::FLDS: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 8; }
+                u64 b = specRead64(a);
+                double d;
+                __builtin_memcpy(&d, &b, 8);
+                fpr[i.rd] = d;
+                if (speculative_)
+                    specLoads_.push_back(SpecLoad{a, 8});
+                break;
+              }
+              case HOp::SB:
+              case HOp::SH:
+              case HOp::SW:
+              case HOp::SBC:
+              case HOp::SHC:
+              case HOp::SWC: {
+                unsigned size =
+                    (i.op == HOp::SB || i.op == HOp::SBC)   ? 1
+                    : (i.op == HOp::SH || i.op == HOp::SHC) ? 2
+                                                            : 4;
+                const bool checked = i.op == HOp::SBC ||
+                                     i.op == HOp::SHC ||
+                                     i.op == HOp::SWC;
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = u8(size); }
+                if (checked && speculative_ &&
+                    aliasesSpecLoad(a, size)) {
+                    rollback();
+                    pc = ctx_.pc;
+                    return finish(ExitKind::AliasFail);
+                }
+                specWrite(a, gpr[i.rs2], size);
+                break;
+              }
+              case HOp::FST:
+              case HOp::FSTC: {
+                GAddr a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) { rec.memAddr = a; rec.memSize = 8; }
+                if (i.op == HOp::FSTC && speculative_ &&
+                    aliasesSpecLoad(a, 8)) {
+                    rollback();
+                    pc = ctx_.pc;
+                    return finish(ExitKind::AliasFail);
+                }
+                u64 b;
+                double d = fpr[i.rs2];
+                __builtin_memcpy(&b, &d, 8);
+                specWrite64(a, b);
+                break;
+              }
+
+              // --- TOL-local memory ---
+              case HOp::LWL: {
+                u32 a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) {
+                    rec.memAddr = 0xf800'0000u + a;
+                    rec.memSize = 4;
+                }
+                setReg(i.rd, readLocal32(a));
+                break;
+              }
+              case HOp::SWL: {
+                u32 a = gpr[i.rs1] + u32(i.imm);
+                if (tracing) {
+                    rec.memAddr = 0xf800'0000u + a;
+                    rec.memSize = 4;
+                }
+                writeLocal32(a, gpr[i.rs2]);
+                break;
+              }
+              case HOp::FLDL: {
+                u32 a = gpr[i.rs1] + u32(i.imm);
+                darco_assert(a + 8 <= localMem_.size());
+                if (tracing) {
+                    rec.memAddr = 0xf800'0000u + a;
+                    rec.memSize = 8;
+                }
+                double d;
+                __builtin_memcpy(&d, localMem_.data() + a, 8);
+                fpr[i.rd] = d;
+                break;
+              }
+              case HOp::FSTL: {
+                u32 a = gpr[i.rs1] + u32(i.imm);
+                darco_assert(a + 8 <= localMem_.size());
+                if (tracing) {
+                    rec.memAddr = 0xf800'0000u + a;
+                    rec.memSize = 8;
+                }
+                double d = fpr[i.rs2];
+                __builtin_memcpy(localMem_.data() + a, &d, 8);
+                break;
+              }
+              case HOp::FLDC:
+                darco_assert(u32(i.imm) < fpPool_.size(),
+                             "FLDC pool index OOB");
+                if (tracing) {
+                    rec.memAddr = 0xfc00'0000u + u32(i.imm) * 8;
+                    rec.memSize = 8;
+                }
+                fpr[i.rd] = fpPool_[u32(i.imm)];
+                break;
+
+              // --- FP ---
+              case HOp::FADD:
+                fpr[i.rd] = guest::gcanon(fpr[i.rs1] + fpr[i.rs2]);
+                break;
+              case HOp::FSUB:
+                fpr[i.rd] = guest::gcanon(fpr[i.rs1] - fpr[i.rs2]);
+                break;
+              case HOp::FMUL:
+                fpr[i.rd] = guest::gcanon(fpr[i.rs1] * fpr[i.rs2]);
+                break;
+              case HOp::FDIV:
+                fpr[i.rd] = guest::gcanon(fpr[i.rs1] / fpr[i.rs2]);
+                break;
+              case HOp::FSQRT:
+                fpr[i.rd] = guest::gcanon(std::sqrt(fpr[i.rs1]));
+                break;
+              case HOp::FABS:
+                fpr[i.rd] = std::fabs(fpr[i.rs1]);
+                break;
+              case HOp::FNEG:
+                fpr[i.rd] = -fpr[i.rs1];
+                break;
+              case HOp::FMOV:
+                fpr[i.rd] = fpr[i.rs1];
+                break;
+              case HOp::FRND:
+                fpr[i.rd] = guest::gcanon(std::nearbyint(fpr[i.rs1]));
+                break;
+              case HOp::FCVTWD:
+                fpr[i.rd] = double(s32(gpr[i.rs1]));
+                break;
+              case HOp::FCVTZW:
+                setReg(i.rd, u32(guest::gcvtfi(fpr[i.rs1])));
+                break;
+              case HOp::FEQ:
+                setReg(i.rd, fpr[i.rs1] == fpr[i.rs2] ? 1 : 0);
+                break;
+              case HOp::FLT:
+                setReg(i.rd, fpr[i.rs1] < fpr[i.rs2] ? 1 : 0);
+                break;
+              case HOp::FLE:
+                setReg(i.rd, fpr[i.rs1] <= fpr[i.rs2] ? 1 : 0);
+                break;
+
+              // --- control ---
+              case HOp::BEQ:
+              case HOp::BNE:
+              case HOp::BLT:
+              case HOp::BGE:
+              case HOp::BLTU:
+              case HOp::BGEU: {
+                bool t = false;
+                switch (i.op) {
+                  case HOp::BEQ: t = gpr[i.rs1] == gpr[i.rs2]; break;
+                  case HOp::BNE: t = gpr[i.rs1] != gpr[i.rs2]; break;
+                  case HOp::BLT:
+                    t = s32(gpr[i.rs1]) < s32(gpr[i.rs2]);
+                    break;
+                  case HOp::BGE:
+                    t = s32(gpr[i.rs1]) >= s32(gpr[i.rs2]);
+                    break;
+                  case HOp::BLTU: t = gpr[i.rs1] < gpr[i.rs2]; break;
+                  default: t = gpr[i.rs1] >= gpr[i.rs2]; break;
+                }
+                if (tracing)
+                    rec.taken = t;
+                if (t)
+                    next = u32(s32(pc) + 1 + i.imm);
+                break;
+              }
+              case HOp::J:
+                next = u32(i.imm);
+                if (tracing)
+                    rec.taken = true;
+                break;
+
+              // --- co-design primitives ---
+              case HOp::CKPT:
+                darco_assert(!speculative_,
+                             "nested CKPT in translated code");
+                ckpt_ = ctx_;
+                ckpt_.pc = pc;
+                storeBuf_.clear();
+                specLoads_.clear();
+                speculative_ = true;
+                break;
+
+              case HOp::COMMIT:
+                for (const auto &[a, v] : storeBuf_)
+                    mem_.write8(a, v);
+                storeBuf_.clear();
+                specLoads_.clear();
+                speculative_ = false;
+                break;
+
+              case HOp::ASSERTZ:
+              case HOp::ASSERTNZ: {
+                bool fail = i.op == HOp::ASSERTZ ? gpr[i.rs1] != 0
+                                                 : gpr[i.rs1] == 0;
+                if (fail) {
+                    exit.assertId = u32(i.imm);
+                    bool was_spec = speculative_;
+                    rollback();
+                    if (was_spec)
+                        pc = ctx_.pc;
+                    return finish(ExitKind::AssertFail);
+                }
+                break;
+              }
+
+              case HOp::IBTC: {
+                GAddr target = gpr[i.rs1];
+                u32 host_target;
+                // The inlined probe sequence costs more than one
+                // instruction; charge the configured cost.
+                n += ibtcHitCost_ - 1;
+                sinceMark_ += ibtcHitCost_ - 1;
+                if (ibtc_.lookup(target, host_target)) {
+                    next = host_target;
+                    if (tracing)
+                        rec.taken = true;
+                } else {
+                    exit.guestTarget = target;
+                    if (tracing) {
+                        rec.nextPc = next * 4;
+                        sink_->record(rec);
+                    }
+                    pc = next;
+                    return finish(ExitKind::IbtcMiss);
+                }
+                break;
+              }
+
+              case HOp::RETIRE:
+                if (retireSink_) {
+                    retireSink_->onRetire(u32(i.imm), sinceMark_);
+                }
+                sinceMark_ = 0;
+                break;
+
+              case HOp::EXITB:
+                exit.exitId = u32(i.imm);
+                if (tracing) {
+                    rec.nextPc = next * 4;
+                    sink_->record(rec);
+                }
+                pc = next;
+                return finish(ExitKind::Exit);
+
+              default:
+                panic("host emulator: unimplemented opcode ",
+                      int(i.op));
+            }
+
+            if (tracing) {
+                rec.nextPc = next * 4;
+                sink_->record(rec);
+            }
+            pc = next;
+        }
+    } catch (const PageMiss &pm) {
+        bool was_spec = speculative_;
+        rollback();
+        if (was_spec)
+            pc = ctx_.pc;
+        exit.missPage = pm.page;
+        return finish(ExitKind::PageMiss);
+    }
+}
+
+} // namespace darco::host

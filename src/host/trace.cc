@@ -1,0 +1,88 @@
+#include "host/trace.hh"
+
+namespace darco::host
+{
+
+void
+fillRegs(const HInst &i, InstRecord &rec)
+{
+    const HOpInfo &info = i.info();
+    auto ir = [](u8 r) { return r; };
+    auto fr = [](u8 r) { return u8(r | regFpBit); };
+
+    switch (info.fmt) {
+      case HFmt::N:
+        break;
+      case HFmt::R:
+        switch (i.op) {
+          case HOp::IBTC:
+            rec.src1 = ir(i.rs1);
+            break;
+          case HOp::FEQ:
+          case HOp::FLT:
+          case HOp::FLE:
+            rec.dst = ir(i.rd);
+            rec.src1 = fr(i.rs1);
+            rec.src2 = fr(i.rs2);
+            break;
+          case HOp::FCVTWD:
+            rec.dst = fr(i.rd);
+            rec.src1 = ir(i.rs1);
+            break;
+          case HOp::FCVTZW:
+            rec.dst = ir(i.rd);
+            rec.src1 = fr(i.rs1);
+            break;
+          case HOp::FSQRT:
+          case HOp::FABS:
+          case HOp::FNEG:
+          case HOp::FMOV:
+          case HOp::FRND:
+            rec.dst = fr(i.rd);
+            rec.src1 = fr(i.rs1);
+            break;
+          default:
+            if (info.isFp) {
+                rec.dst = fr(i.rd);
+                rec.src1 = fr(i.rs1);
+                rec.src2 = fr(i.rs2);
+            } else {
+                rec.dst = ir(i.rd);
+                rec.src1 = ir(i.rs1);
+                rec.src2 = ir(i.rs2);
+            }
+            break;
+        }
+        break;
+      case HFmt::I:
+        rec.dst = info.isFp ? fr(i.rd) : ir(i.rd);
+        rec.src1 = ir(i.rs1);
+        break;
+      case HFmt::B:
+        if (info.isStore) {
+            rec.src1 = ir(i.rs1);
+            rec.src2 = info.isFp ? fr(i.rs2) : ir(i.rs2);
+        } else if (info.isBranch) {
+            rec.src1 = ir(i.rs1);
+            rec.src2 = ir(i.rs2);
+        } else {
+            // asserts
+            rec.src1 = ir(i.rs1);
+        }
+        break;
+      case HFmt::U:
+        rec.dst = info.isFp ? fr(i.rd) : ir(i.rd);
+        break;
+      case HFmt::J:
+        break;
+    }
+    // r0 is hardwired zero: no dependency through it.
+    if (rec.dst == 0)
+        rec.dst = noReg;
+    if (rec.src1 == 0)
+        rec.src1 = noReg;
+    if (rec.src2 == 0)
+        rec.src2 = noReg;
+}
+
+} // namespace darco::host

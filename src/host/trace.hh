@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic host-instruction trace interface.
+ *
+ * The co-designed component feeds its dynamic instruction stream to
+ * the (optional) timing simulator through this interface, mirroring
+ * the paper's "receives the dynamic instruction stream from the
+ * co-designed component". TOL-overhead instructions are fed through
+ * the same interface by the cost model (with PCs in the TOL code
+ * region) so that TOL/application interaction is visible to the
+ * timing and power models.
+ */
+
+#ifndef DARCO_HOST_TRACE_HH
+#define DARCO_HOST_TRACE_HH
+
+#include "common/types.hh"
+#include "host/hisa.hh"
+
+namespace darco::host
+{
+
+/** Broad execution class of an instruction (drives FU selection). */
+enum class InstClass : u8
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,   //!< conditional
+    Jump,     //!< unconditional / indirect
+    Other,
+};
+
+/**
+ * Register operand encoding for InstRecord: low 6 bits are the
+ * register number; bit 6 marks the FP file; noReg means absent.
+ */
+constexpr u8 regFpBit = 0x40;
+constexpr u8 noReg = 0xff;
+
+/** One dynamic host instruction, as seen by the timing simulator. */
+struct InstRecord
+{
+    u32 pc = 0;         //!< host byte address (word index * 4)
+    InstClass cls = InstClass::IntAlu;
+    u32 memAddr = 0;    //!< effective address for Load/Store
+    u8 memSize = 0;     //!< access width in bytes
+    bool taken = false; //!< branch outcome
+    u32 nextPc = 0;     //!< byte address of the next instruction
+    bool isFp = false;
+    u8 dst = noReg;     //!< destination register (scoreboard)
+    u8 src1 = noReg;
+    u8 src2 = noReg;
+};
+
+/** Fill the dst/src fields of a record from a decoded instruction. */
+void fillRegs(const HInst &inst, InstRecord &rec);
+
+/** Consumer of the dynamic instruction stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const InstRecord &rec) = 0;
+};
+
+/** Map a host opcode to its execution class. */
+InstClass classify(HOp op);
+
+} // namespace darco::host
+
+#endif // DARCO_HOST_TRACE_HH

@@ -1,0 +1,84 @@
+#include "power/power.hh"
+
+#include <sstream>
+
+namespace darco::power
+{
+
+std::string
+PowerReport::toString() const
+{
+    std::ostringstream os;
+    os << "energy " << totalEnergyJ * 1e3 << " mJ, power " << avgPowerW
+       << " W, EPI " << epiNj << " nJ\n";
+    for (const auto &[k, v] : breakdownJ)
+        os << "  " << k << ": " << v * 1e3 << " mJ\n";
+    return os.str();
+}
+
+PowerModel::PowerModel(const Config &cfg)
+    : eFrontend_(cfg.getFloat("power.e_frontend", 0.022)),
+      eIssue_(cfg.getFloat("power.e_issue", 0.014)),
+      eAlu_(cfg.getFloat("power.e_alu", 0.028)),
+      eMul_(cfg.getFloat("power.e_mul", 0.10)),
+      eDiv_(cfg.getFloat("power.e_div", 0.24)),
+      eFp_(cfg.getFloat("power.e_fp", 0.12)),
+      eMemPort_(cfg.getFloat("power.e_mem_port", 0.02)),
+      eL1_(cfg.getFloat("power.e_l1", 0.075)),
+      eL2_(cfg.getFloat("power.e_l2", 0.34)),
+      eDram_(cfg.getFloat("power.e_dram", 7.5)),
+      eTlb_(cfg.getFloat("power.e_tlb", 0.004)),
+      eBpred_(cfg.getFloat("power.e_bpred", 0.0035)),
+      ePrefetch_(cfg.getFloat("power.e_prefetch", 0.075)),
+      leakageW_(cfg.getFloat("power.leakage_w", 0.25)),
+      freqGhz_(cfg.getFloat("power.freq_ghz", 2.0))
+{
+}
+
+PowerReport
+PowerModel::analyze(const StatGroup &s) const
+{
+    constexpr double nJ = 1e-9;
+    auto v = [&](const char *name) { return double(s.value(name)); };
+
+    PowerReport r;
+    auto add = [&](const std::string &name, double joules) {
+        r.breakdownJ.emplace_back(name, joules);
+        r.totalEnergyJ += joules;
+    };
+
+    double insts = v("core.instructions");
+    add("frontend", insts * eFrontend_ * nJ);
+    add("issue+regfile", insts * eIssue_ * nJ);
+    add("int_alu", v("core.alu_ops") * eAlu_ * nJ);
+    add("int_mul", v("core.mul_ops") * eMul_ * nJ);
+    add("int_div", v("core.div_ops") * eDiv_ * nJ);
+    add("fp_vec", v("core.fp_ops") * eFp_ * nJ);
+    add("mem_ports", v("core.mem_ops") * eMemPort_ * nJ);
+
+    double l1 = v("l1i.hits") + v("l1i.misses") + v("l1d.hits") +
+                v("l1d.misses");
+    add("l1_caches", l1 * eL1_ * nJ);
+    double l2 = v("l2.hits") + v("l2.misses");
+    add("l2_cache", l2 * eL2_ * nJ);
+    add("dram", v("l2.misses") * eDram_ * nJ);
+
+    double tlb = v("itlb.l1.hits") + v("itlb.l1.misses") +
+                 v("dtlb.l1.hits") + v("dtlb.l1.misses");
+    add("tlbs", tlb * eTlb_ * nJ);
+    add("bpred+btb",
+        (v("bpred.lookups") + v("btb.hits") + v("btb.misses")) *
+            eBpred_ * nJ);
+    add("prefetcher", v("prefetch.issued") * ePrefetch_ * nJ);
+
+    r.timeSeconds = v("core.cycles") / (freqGhz_ * 1e9);
+    double leakJ = leakageW_ * r.timeSeconds;
+    add("leakage", leakJ);
+
+    r.avgPowerW =
+        r.timeSeconds > 0 ? r.totalEnergyJ / r.timeSeconds : 0.0;
+    r.epiNj = insts > 0 ? r.totalEnergyJ / insts / nJ : 0.0;
+    return r;
+}
+
+} // namespace darco::power

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * powerlite: the event-energy power/energy model standing in for the
+ * paper's McPAT integration (see DESIGN.md substitution table).
+ *
+ * Like the paper's use of McPAT, the model is fed by the activity
+ * counters the timing simulator produces and reports per-structure
+ * dynamic energy plus leakage, total average power, and energy per
+ * instruction. Per-event energies are configurable so technology
+ * assumptions can be swept.
+ */
+
+#ifndef DARCO_POWER_POWER_HH
+#define DARCO_POWER_POWER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace darco::power
+{
+
+/** Energy/power summary for one simulated run. */
+struct PowerReport
+{
+    double totalEnergyJ = 0;
+    double timeSeconds = 0;
+    double avgPowerW = 0;
+    double epiNj = 0; //!< energy per host instruction (nJ)
+    std::vector<std::pair<std::string, double>> breakdownJ;
+
+    std::string toString() const;
+};
+
+/**
+ * Event-energy model.
+ *
+ * Config keys (per-event energies in nJ; defaults in parentheses):
+ *   power.e_frontend (0.022)  per instruction (fetch+decode)
+ *   power.e_issue (0.014)     per instruction (issue+regfile)
+ *   power.e_alu (0.028)
+ *   power.e_mul (0.10)
+ *   power.e_div (0.24)
+ *   power.e_fp (0.12)
+ *   power.e_mem_port (0.02)
+ *   power.e_l1 (0.075)        per L1 access (I or D)
+ *   power.e_l2 (0.34)         per L2 access
+ *   power.e_dram (7.5)        per memory access (L2 miss)
+ *   power.e_tlb (0.004)
+ *   power.e_bpred (0.0035)
+ *   power.e_prefetch (0.075)
+ *   power.leakage_w (0.25)    static power in watts
+ *   power.freq_ghz (2.0)
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const Config &cfg = Config());
+
+    /** Analyze the counters produced by timing::InOrderCore. */
+    PowerReport analyze(const StatGroup &timing_stats) const;
+
+  private:
+    double eFrontend_, eIssue_, eAlu_, eMul_, eDiv_, eFp_, eMemPort_;
+    double eL1_, eL2_, eDram_, eTlb_, eBpred_, ePrefetch_;
+    double leakageW_, freqGhz_;
+};
+
+} // namespace darco::power
+
+#endif // DARCO_POWER_POWER_HH

@@ -1,0 +1,178 @@
+#include "sampling/warmup.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/core.hh"
+#include "tol/tol.hh"
+#include "xemu/ref_component.hh"
+
+namespace darco::sampling
+{
+
+using namespace guest;
+
+namespace
+{
+
+/** Snapshot of mode counters for window deltas. */
+struct ModeSnap
+{
+    u64 im, bbm, sbm, hostApp, overhead;
+
+    static ModeSnap
+    of(tol::Tol &t)
+    {
+        StatGroup &s = t.stats();
+        return ModeSnap{
+            s.value("tol.guest_im"),
+            s.value("tol.guest_bbm"),
+            s.value("tol.guest_sbm"),
+            s.value("tol.host_app_bbm") + s.value("tol.host_app_sbm"),
+            t.costModel().totalAll(),
+        };
+    }
+};
+
+/**
+ * Measure one window on a prepared Tol. Mode fractions are deltas
+ * between snapshots.
+ */
+void
+measureWindow(tol::Tol &t, u64 length, SampleMetrics &m,
+              timing::InOrderCore *core)
+{
+    ModeSnap before = ModeSnap::of(t);
+    u64 cyc0 = 0, ins0 = 0;
+    if (core) {
+        cyc0 = core->cycles();
+        ins0 = core->instructions();
+    }
+
+    t.run(length);
+
+    ModeSnap after = ModeSnap::of(t);
+    double im = double(after.im - before.im);
+    double bbm = double(after.bbm - before.bbm);
+    double sbm = double(after.sbm - before.sbm);
+    double total = std::max(1.0, im + bbm + sbm);
+    m.imFrac = im / total;
+    m.bbmFrac = bbm / total;
+    m.sbmFrac = sbm / total;
+    double host_app = double(after.hostApp - before.hostApp);
+    double ov = double(after.overhead - before.overhead);
+    m.tolOverheadFrac = (host_app + ov) > 0 ? ov / (host_app + ov) : 0;
+    if (core) {
+        u64 dc = core->cycles() - cyc0;
+        u64 di = core->instructions() - ins0;
+        m.ipc = dc ? double(di) / double(dc) : 0;
+    }
+}
+
+} // namespace
+
+SampleMetrics
+runSample(const Program &prog, const Config &cfg,
+          const SampleSpec &spec, u64 warmup_len, u32 scale,
+          bool with_timing)
+{
+    SampleMetrics m;
+    warmup_len = std::min(warmup_len, spec.skip);
+    u64 ff = spec.skip - warmup_len;
+
+    // Functional fast-forward in the reference component (the cheap
+    // part of sampled simulation).
+    xemu::RefComponent ref(cfg.getUint("seed", 1));
+    ref.load(prog);
+    ref.runUntilInstCount(ff);
+
+    // Seed a co-designed instance with the fast-forward state.
+    PagedMemory mem(MissPolicy::AllocateZero);
+    for (GAddr page : ref.memory().residentPages())
+        mem.installPage(page, ref.memory().page(page));
+    StatGroup stats("sample");
+    tol::Tol t(mem, cfg, stats);
+    t.setState(ref.state());
+
+    StatGroup tstats("timing");
+    std::unique_ptr<timing::InOrderCore> core;
+    if (with_timing) {
+        core = std::make_unique<timing::InOrderCore>(cfg, tstats);
+        t.setTraceSink(core.get());
+    }
+
+    // Warm-up with downscaled thresholds (the methodology's key move).
+    t.scaleThresholds(scale);
+    t.run(warmup_len);
+    t.scaleThresholds(1);
+
+    m.translationsAtSampleStart = t.translationCount();
+    measureWindow(t, spec.length, m, core.get());
+    m.detailedInsts = warmup_len + spec.length;
+    return m;
+}
+
+SampleMetrics
+runAuthoritative(const Program &prog, const Config &cfg,
+                 const SampleSpec &spec, bool with_timing)
+{
+    SampleMetrics m;
+    PagedMemory mem(MissPolicy::AllocateZero);
+    StatGroup stats("auth");
+    tol::Tol t(mem, cfg, stats);
+    t.setState(prog.load(mem));
+
+    StatGroup tstats("timing");
+    std::unique_ptr<timing::InOrderCore> core;
+    if (with_timing) {
+        core = std::make_unique<timing::InOrderCore>(cfg, tstats);
+        t.setTraceSink(core.get());
+    }
+
+    t.run(spec.skip);
+    m.translationsAtSampleStart = t.translationCount();
+    measureWindow(t, spec.length, m, core.get());
+    m.detailedInsts = spec.skip + spec.length;
+    return m;
+}
+
+double
+modeError(const SampleMetrics &a, const SampleMetrics &b)
+{
+    return std::fabs(a.imFrac - b.imFrac) +
+           std::fabs(a.bbmFrac - b.bbmFrac) +
+           std::fabs(a.sbmFrac - b.sbmFrac);
+}
+
+HeuristicResult
+pickWarmup(const Program &prog, const Config &cfg,
+           const SampleSpec &spec,
+           const std::vector<WarmupCandidate> &cands)
+{
+    HeuristicResult r;
+    r.authoritative = runAuthoritative(prog, cfg, spec, false);
+
+    bool first = true;
+    for (const WarmupCandidate &c : cands) {
+        SampleMetrics m =
+            runSample(prog, cfg, spec, c.warmupLen, c.scale, false);
+        double err = modeError(m, r.authoritative);
+        r.scores.emplace_back(c, err);
+        // Within-noise ties go to the cheaper configuration: the
+        // whole point of the methodology is minimum simulation cost
+        // at equivalent fidelity.
+        constexpr double noise = 0.005;
+        bool better =
+            first || err < r.bestError - noise ||
+            (err <= r.bestError + noise &&
+             c.warmupLen < r.best.warmupLen);
+        if (better) {
+            r.best = c;
+            r.bestError = err;
+            first = false;
+        }
+    }
+    return r;
+}
+
+} // namespace darco::sampling

@@ -1,0 +1,152 @@
+#include "sim/controller.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace darco::sim
+{
+
+using namespace guest;
+
+Controller::Controller(const Config &cfg)
+    : cfg_(cfg),
+      stats_("darco"),
+      ref_(cfg.getUint("seed", 1)),
+      validateSyscalls_(cfg.getBool("sync.validate_syscalls", true)),
+      validateEnd_(cfg.getBool("sync.validate_end", true)),
+      validateMemory_(cfg.getBool("sync.validate_memory", true))
+{
+    tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
+    tol_->setEnv(this);
+}
+
+void
+Controller::load(const Program &prog)
+{
+    // The reference component launches the application and produces
+    // the initial architectural state; the controller forwards it to
+    // the co-designed component (which starts with an empty memory
+    // image and demand-fetches every page).
+    ref_.load(prog);
+    mem_ = PagedMemory(MissPolicy::Signal);
+    tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
+    tol_->setEnv(this);
+    tol_->setState(ref_.state());
+}
+
+void
+Controller::dataRequest(GAddr page, u64 completed_insts)
+{
+    // The reference component runs forward to the same execution
+    // point, then the requested page crosses to the co-designed side.
+    ref_.runUntilInstCount(completed_insts);
+    mem_.installPage(page, ref_.memory().page(page));
+    stats_.counter("sync.pages_transferred").inc();
+}
+
+bool
+Controller::syscall(u64 completed_insts)
+{
+    ref_.runUntilInstCount(completed_insts);
+    stats_.counter("sync.syscalls").inc();
+
+    if (validateSyscalls_) {
+        std::string diff = validateState();
+        if (!diff.empty()) {
+            throw DivergenceError(
+                "state validation failed at syscall (inst " +
+                std::to_string(completed_insts) + "): " + diff);
+        }
+        stats_.counter("sync.validations").inc();
+    }
+
+    // System code executes only in the reference component; its
+    // effects then cross the boundary.
+    CpuState before = ref_.state();
+    (void)before;
+    GInst gi = fetchInst(ref_.memory(), ref_.state().pc);
+    darco_assert(gi.op == GOp::SYSCALL,
+                 "syscall sync at a non-syscall pc");
+    ref_.step();
+
+    // Register effects: the syscall ABI clobbers RAX only; pc advances.
+    tol_->state().gpr[RAX] = ref_.state().gpr[RAX];
+    tol_->state().pc = ref_.state().pc;
+
+    // Memory effects: pages the OS wrote (e.g. sysRead) that the
+    // co-designed side already holds must be refreshed; absent pages
+    // are fetched later with correct content by the data-request path.
+    for (GAddr page : ref_.lastSyscallDirtiedPages()) {
+        if (mem_.hasPage(page))
+            mem_.installPage(page, ref_.memory().page(page));
+    }
+
+    return !ref_.finished();
+}
+
+std::string
+Controller::validateState()
+{
+    CpuState a = ref_.state();
+    CpuState b = tol_->state();
+    if (a == b)
+        return "";
+    return a.diff(b);
+}
+
+void
+Controller::validateFinal()
+{
+    // Bring the reference component to the co-designed component's
+    // final execution point (it may be exactly one HLT behind).
+    ref_.runUntilInstCount(tol_->completedInsts());
+    if (!ref_.finished())
+        ref_.step(); // consume a trailing HLT
+
+    std::string diff = validateState();
+    if (!diff.empty())
+        throw DivergenceError("final state validation failed: " + diff);
+    if (ref_.instCount() != tol_->completedInsts()) {
+        throw DivergenceError(
+            "retired-instruction mismatch: ref " +
+            std::to_string(ref_.instCount()) + " vs co-designed " +
+            std::to_string(tol_->completedInsts()));
+    }
+
+    if (validateMemory_) {
+        for (GAddr page : mem_.residentPages()) {
+            const u8 *mine = mem_.page(page);
+            const u8 *theirs = ref_.memory().page(page);
+            if (std::memcmp(mine, theirs, pageSizeBytes) != 0) {
+                std::ostringstream os;
+                os << "memory validation failed at page 0x" << std::hex
+                   << page;
+                throw DivergenceError(os.str());
+            }
+        }
+        stats_.counter("sync.pages_validated").inc(mem_.pageCount());
+    }
+}
+
+bool
+Controller::step(u64 guest_insts)
+{
+    if (tol_->finished())
+        return false;
+    tol_->run(guest_insts);
+    if (tol_->finished() && validateEnd_)
+        validateFinal();
+    return !tol_->finished();
+}
+
+void
+Controller::run(u64 max_guest_insts)
+{
+    tol_->run(max_guest_insts);
+    if (tol_->finished() && validateEnd_)
+        validateFinal();
+}
+
+} // namespace darco::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Controller: DARCO's main user interface (paper Section V).
+ *
+ * Owns both components and implements the three-phase execution flow:
+ *
+ *  1. Initialization — load the program into the reference component,
+ *     transfer the initial architectural state to the co-designed
+ *     component;
+ *  2. Execution — the co-designed component (TOL + host emulator)
+ *     makes forward progress while the reference component idles;
+ *  3. Synchronization — on data requests (first touch of a guest
+ *     page), syscalls (executed only by the reference component), and
+ *     end of application. The reference component runs forward to the
+ *     same execution point (completed-instruction count), then pages /
+ *     syscall effects / final state cross the boundary.
+ *
+ * The controller also owns correctness validation: the co-designed
+ * component's emulated state is compared against the reference
+ * component's authoritative state at syscalls and at program end
+ * (configurable), and the divergence debug toolchain (debug.hh) can
+ * pinpoint the first bad region.
+ */
+
+#ifndef DARCO_SIM_CONTROLLER_HH
+#define DARCO_SIM_CONTROLLER_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "guest/program.hh"
+#include "tol/tol.hh"
+#include "xemu/ref_component.hh"
+
+namespace darco::sim
+{
+
+/** Raised when validation finds reference/co-designed divergence. */
+class DivergenceError : public std::runtime_error
+{
+  public:
+    explicit DivergenceError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * The DARCO controller.
+ *
+ * Config keys:
+ *   sync.validate_syscalls (true)   compare register state at syscalls
+ *   sync.validate_end (true)        full compare at end of application
+ *   sync.validate_memory (true)     include resident pages at the end
+ *   + all Tol/HostEmu/CostModel keys (forwarded)
+ */
+class Controller : public tol::Tol::Env
+{
+  public:
+    explicit Controller(const Config &cfg = Config());
+
+    /** Initialization phase. */
+    void load(const guest::Program &prog);
+
+    /** Execution phase; returns when the program finishes. */
+    void run(u64 max_guest_insts = ~0ull);
+
+    /** One bounded execution slice; false once finished. */
+    bool step(u64 guest_insts);
+
+    bool finished() const { return tol_->finished(); }
+    u32 exitCode() const { return ref_.exitCode(); }
+
+    /**
+     * Compare co-designed vs authoritative state now (both sides must
+     * be at the same completed-instruction count).
+     * @return empty string if equal, else a diff description.
+     */
+    std::string validateState();
+
+    /** Full end-of-application validation (registers + memory). */
+    void validateFinal();
+
+    xemu::RefComponent &ref() { return ref_; }
+    tol::Tol &tol() { return *tol_; }
+    guest::PagedMemory &emulatedMemory() { return mem_; }
+    StatGroup &stats() { return stats_; }
+    const Config &config() const { return cfg_; }
+
+    // --- Tol::Env (Synchronization phase) --------------------------------
+    void dataRequest(GAddr page, u64 completed_insts) override;
+    bool syscall(u64 completed_insts) override;
+
+  private:
+    Config cfg_;
+    StatGroup stats_;
+    xemu::RefComponent ref_;
+    guest::PagedMemory mem_{guest::MissPolicy::Signal};
+    std::unique_ptr<tol::Tol> tol_;
+    bool validateSyscalls_;
+    bool validateEnd_;
+    bool validateMemory_;
+};
+
+} // namespace darco::sim
+
+#endif // DARCO_SIM_CONTROLLER_HH

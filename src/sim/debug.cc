@@ -1,0 +1,70 @@
+#include "sim/debug.hh"
+
+#include <sstream>
+
+#include "guest/semantics.hh"
+#include "xemu/ref_component.hh"
+
+namespace darco::sim
+{
+
+using namespace guest;
+
+std::optional<DivergencePoint>
+findFirstDivergence(const Program &prog, const Config &cfg,
+                    u64 max_insts,
+                    const std::function<void(tol::Tol &, u64)> &sabotage)
+{
+    xemu::RefComponent ref(cfg.getUint("seed", 1));
+    ref.load(prog);
+
+    // Standalone co-designed rig (zero-fill memory): the debugger
+    // compares architectural state only, so the data-request protocol
+    // is unnecessary here and lockstep is much simpler.
+    PagedMemory mem(MissPolicy::AllocateZero);
+    StatGroup stats("debug");
+    tol::Tol tol(mem, cfg, stats);
+    tol.setState(prog.load(mem));
+
+    GAddr region_pc = tol.state().pc;
+    u64 prev = 0;
+
+    while (!tol.finished() && tol.completedInsts() < max_insts) {
+        tol.run(1); // one region / one BB per slice
+        if (sabotage)
+            sabotage(tol, tol.completedInsts());
+        ref.runUntilInstCount(tol.completedInsts());
+
+        CpuState a = ref.state();
+        CpuState b = tol.state();
+        if (!(a == b)) {
+            DivergencePoint d;
+            d.regionEntryPc = region_pc;
+            d.instFrom = prev;
+            d.instTo = tol.completedInsts();
+            d.stateDiff = a.diff(b);
+            std::ostringstream os;
+            GAddr pc = region_pc;
+            for (int k = 0; k < 64; ++k) {
+                GInst gi;
+                try {
+                    gi = fetchInst(ref.memory(), pc);
+                } catch (const GuestFault &) {
+                    break;
+                }
+                os << "  0x" << std::hex << pc << std::dec << ": "
+                   << disasm(gi, pc) << "\n";
+                if (gi.isCti())
+                    break;
+                pc += gi.length;
+            }
+            d.disassembly = os.str();
+            return d;
+        }
+        region_pc = b.pc;
+        prev = tol.completedInsts();
+    }
+    return std::nullopt;
+}
+
+} // namespace darco::sim

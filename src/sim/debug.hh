@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Divergence debug toolchain (paper Sections IV/V-D).
+ *
+ * When validation detects a mismatch between the co-designed and
+ * authoritative states, this tool re-executes both components in
+ * lockstep at region granularity and pinpoints the first region whose
+ * retirement produced divergent state — reporting its guest entry pc,
+ * the covered instruction range, the state diff, and a disassembly of
+ * the guilty guest code ("pinpoints the exact basic block where the
+ * problem originated").
+ *
+ * Deterministic re-execution makes this reliable: a divergence seen
+ * once reproduces identically.
+ */
+
+#ifndef DARCO_SIM_DEBUG_HH
+#define DARCO_SIM_DEBUG_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/config.hh"
+#include "guest/program.hh"
+#include "tol/tol.hh"
+
+namespace darco::sim
+{
+
+/** Report for the first divergent region. */
+struct DivergencePoint
+{
+    GAddr regionEntryPc = 0;   //!< guest pc the bad region started at
+    u64 instFrom = 0;          //!< completed insts at region entry
+    u64 instTo = 0;            //!< completed insts after retirement
+    std::string stateDiff;     //!< authoritative vs emulated
+    std::string disassembly;   //!< guest code of the region's first BB
+};
+
+/**
+ * Lockstep-replay a program and locate the first divergent region.
+ *
+ * @param sabotage optional fault-injection hook called after every
+ *        co-designed execution slice with (tol, completed_insts) —
+ *        used by tests and the debug example to emulate a translator
+ *        bug.
+ * @return nullopt if the run completes with no divergence.
+ */
+std::optional<DivergencePoint> findFirstDivergence(
+    const guest::Program &prog, const Config &cfg, u64 max_insts,
+    const std::function<void(tol::Tol &, u64)> &sabotage = {});
+
+} // namespace darco::sim
+
+#endif // DARCO_SIM_DEBUG_HH

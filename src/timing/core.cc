@@ -1,0 +1,226 @@
+#include "timing/core.hh"
+
+#include <algorithm>
+
+namespace darco::timing
+{
+
+using host::InstClass;
+using host::InstRecord;
+using host::noReg;
+
+InOrderCore::InOrderCore(const Config &cfg, StatGroup &stats)
+    : stats_(stats)
+{
+    issueWidth_ = u32(cfg.getUint("core.issue_width", 2));
+    fetchWidth_ = u32(cfg.getUint("core.fetch_width", 4));
+    iqSize_ = u32(cfg.getUint("core.iq_size", 16));
+    frontendDepth_ = u32(cfg.getUint("core.frontend_depth", 4));
+    latAlu_ = cfg.getUint("core.lat_alu", 1);
+    latMul_ = cfg.getUint("core.lat_mul", 3);
+    latDiv_ = cfg.getUint("core.lat_div", 12);
+    latFp_ = cfg.getUint("core.lat_fp", 4);
+    latFpDiv_ = cfg.getUint("core.lat_fpdiv", 12);
+    latBranch_ = cfg.getUint("core.lat_branch", 1);
+
+    u32 line = u32(cfg.getUint("cache.line", 64));
+    l2_ = std::make_unique<Cache>(
+        "l2", u32(cfg.getUint("l2.size", 262144)),
+        u32(cfg.getUint("l2.assoc", 8)), line,
+        cfg.getUint("l2.lat", 12), cfg.getUint("mem.lat", 120), nullptr,
+        stats);
+    l1i_ = std::make_unique<Cache>(
+        "l1i", u32(cfg.getUint("l1i.size", 32768)),
+        u32(cfg.getUint("l1i.assoc", 4)), line,
+        cfg.getUint("l1i.lat", 1), 0, l2_.get(), stats);
+    l1d_ = std::make_unique<Cache>(
+        "l1d", u32(cfg.getUint("l1d.size", 32768)),
+        u32(cfg.getUint("l1d.assoc", 4)), line,
+        cfg.getUint("l1d.lat", 2), 0, l2_.get(), stats);
+    itlb_ = std::make_unique<Tlb>(
+        "itlb", u32(cfg.getUint("tlb.l1_entries", 32)),
+        u32(cfg.getUint("tlb.l2_entries", 256)),
+        cfg.getUint("tlb.l2_lat", 4), cfg.getUint("tlb.walk_lat", 40),
+        stats);
+    dtlb_ = std::make_unique<Tlb>(
+        "dtlb", u32(cfg.getUint("tlb.l1_entries", 32)),
+        u32(cfg.getUint("tlb.l2_entries", 256)),
+        cfg.getUint("tlb.l2_lat", 4), cfg.getUint("tlb.walk_lat", 40),
+        stats);
+    gshare_ = std::make_unique<Gshare>(
+        u32(cfg.getUint("bpred.entries", 4096)),
+        u32(cfg.getUint("bpred.history", 8)), stats);
+    btb_ = std::make_unique<Btb>(u32(cfg.getUint("btb.entries", 1024)),
+                                 stats);
+    prefetcher_ = std::make_unique<StridePrefetcher>(
+        u32(cfg.getUint("prefetch.entries", 64)),
+        u32(cfg.getUint("prefetch.degree", 2)),
+        cfg.getBool("prefetch.enable", true) ? l1d_.get() : nullptr,
+        stats);
+
+    aluPool_.assign(cfg.getUint("core.num_alu", 2), 0);
+    complexPool_.assign(cfg.getUint("core.num_complex", 1), 0);
+    fpPool_.assign(cfg.getUint("core.num_fp", 1), 0);
+    memPool_.assign(cfg.getUint("core.num_mem_ports", 1), 0);
+    iqRing_.assign(iqSize_, 0);
+
+    cCycles_ = &stats.counter("core.cycles");
+    cInsts_ = &stats.counter("core.instructions");
+    cAluOps_ = &stats.counter("core.alu_ops");
+    cMulOps_ = &stats.counter("core.mul_ops");
+    cDivOps_ = &stats.counter("core.div_ops");
+    cFpOps_ = &stats.counter("core.fp_ops");
+    cMemOps_ = &stats.counter("core.mem_ops");
+    cBranches_ = &stats.counter("core.branches");
+    cFetchStallCycles_ = &stats.counter("core.fetch_stall_cycles");
+}
+
+Cycle
+InOrderCore::reserveFu(std::vector<Cycle> &pool, Cycle when, Cycle busy)
+{
+    // Earliest-available unit; in-order issue waits for it.
+    std::size_t best = 0;
+    for (std::size_t u = 1; u < pool.size(); ++u) {
+        if (pool[u] < pool[best])
+            best = u;
+    }
+    Cycle start = std::max(when, pool[best]);
+    pool[best] = start + busy;
+    return start;
+}
+
+void
+InOrderCore::record(const InstRecord &rec)
+{
+    ++instructions_;
+    cInsts_->inc();
+
+    // ---- front end -----------------------------------------------------
+    u64 line = rec.pc / l1i_->lineBytes();
+    if (line != lastFetchLine_) {
+        lastFetchLine_ = line;
+        Cycle lat = itlb_->access(rec.pc) + l1i_->access(rec.pc, false);
+        Cycle ready = fetchCycle_ + lat;
+        if (lat > 1)
+            cFetchStallCycles_->inc(lat - 1);
+        lineReady_ = std::max(lineReady_, ready);
+    }
+    if (fetchedThisCycle_ >= fetchWidth_) {
+        fetchCycle_ += 1;
+        fetchedThisCycle_ = 0;
+    }
+    fetchCycle_ = std::max(fetchCycle_, lineReady_);
+    ++fetchedThisCycle_;
+
+    // Enter the instruction queue (decode pipeline), bounded by IQ
+    // occupancy: the slot of the instruction iq_size back must have
+    // issued before we can enter.
+    Cycle enter = fetchCycle_ + frontendDepth_;
+    enter = std::max(enter, iqRing_[iqHead_]);
+
+    // ---- back end: in-order issue --------------------------------------
+    Cycle ready = enter;
+    if (rec.src1 != noReg)
+        ready = std::max(ready, regReady_[rec.src1]);
+    if (rec.src2 != noReg)
+        ready = std::max(ready, regReady_[rec.src2]);
+    // In-order constraint.
+    ready = std::max(ready, issueCycle_);
+
+    Cycle lat = latAlu_;
+    Cycle issue = ready;
+    switch (rec.cls) {
+      case InstClass::IntMul:
+        issue = reserveFu(complexPool_, ready, 1);
+        lat = latMul_;
+        cMulOps_->inc();
+        break;
+      case InstClass::IntDiv:
+        issue = reserveFu(complexPool_, ready, latDiv_); // unpipelined
+        lat = latDiv_;
+        cDivOps_->inc();
+        break;
+      case InstClass::FpAlu:
+      case InstClass::FpMul:
+        issue = reserveFu(fpPool_, ready, 1);
+        lat = latFp_;
+        cFpOps_->inc();
+        break;
+      case InstClass::FpDiv:
+        issue = reserveFu(fpPool_, ready, latFpDiv_);
+        lat = latFpDiv_;
+        cFpOps_->inc();
+        break;
+      case InstClass::Load:
+      case InstClass::Store: {
+        issue = reserveFu(memPool_, ready, 1);
+        Cycle mlat = dtlb_->access(rec.memAddr) +
+                     l1d_->access(rec.memAddr,
+                                  rec.cls == InstClass::Store);
+        prefetcher_->observe(rec.pc, rec.memAddr);
+        lat = mlat;
+        cMemOps_->inc();
+        break;
+      }
+      case InstClass::Branch:
+      case InstClass::Jump: {
+        issue = reserveFu(aluPool_, ready, 1);
+        lat = latBranch_;
+        cBranches_->inc();
+        bool mispredict = false;
+        if (rec.cls == InstClass::Branch) {
+            mispredict = gshare_->update(rec.pc, rec.taken);
+        }
+        if (rec.taken) {
+            u32 predicted;
+            bool btb_hit = btb_->lookup(rec.pc, predicted);
+            if (!btb_hit || predicted != rec.nextPc)
+                mispredict = true;
+            btb_->update(rec.pc, rec.nextPc);
+        }
+        if (mispredict) {
+            // Redirect: the front end restarts after resolution.
+            Cycle resolve = issue + lat;
+            fetchCycle_ = std::max(fetchCycle_, resolve + 1);
+            fetchedThisCycle_ = 0;
+            lineReady_ = fetchCycle_;
+            lastFetchLine_ = ~0ull;
+        }
+        break;
+      }
+      default:
+        issue = reserveFu(aluPool_, ready, 1);
+        lat = latAlu_;
+        cAluOps_->inc();
+        break;
+    }
+
+    // Issue-width accounting.
+    if (issue == issueCycle_) {
+        if (++issuedThisCycle_ > issueWidth_) {
+            issue += 1;
+            issuedThisCycle_ = 1;
+        }
+    } else {
+        issuedThisCycle_ = 1;
+    }
+    issueCycle_ = issue;
+
+    if (rec.dst != noReg)
+        regReady_[rec.dst] = issue + lat;
+    lastRetire_ = std::max(lastRetire_, issue + lat);
+
+    // IQ slot recycles at issue.
+    iqRing_[iqHead_] = issue;
+    iqHead_ = (iqHead_ + 1) % iqSize_;
+
+    cCycles_->set(cycles());
+}
+
+Cycle
+InOrderCore::cycles() const
+{
+    return lastRetire_;
+}
+
+} // namespace darco::timing

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Host code generation: allocated IR regions -> HISA words.
+ *
+ * Region layout:
+ *
+ *   CKPT
+ *   [BBM: execution-counter increment + promotion-threshold check]
+ *   body (scheduled items; CondExits become branches to stubs)
+ *   final exit stub
+ *   side exit stubs...
+ *
+ * Every exit stub materializes the region's live-out guest state into
+ * the fixed guest-mapped host registers (a parallel-copy problem: the
+ * destinations are registers that other copies may still read),
+ * optionally bumps a BBM edge-profiling counter, COMMITs the
+ * speculative region, and leaves through a chainable EXITB or an IBTC
+ * probe.
+ */
+
+#ifndef DARCO_TOL_CODEGEN_HH
+#define DARCO_TOL_CODEGEN_HH
+
+#include <functional>
+#include <vector>
+
+#include "host/hisa.hh"
+#include "tol/ir.hh"
+#include "tol/regalloc.hh"
+
+namespace darco::tol
+{
+
+/** Code generation parameters for one region. */
+struct CodegenOptions
+{
+    u32 exitIdBase = 0;    //!< global EXITB id of exits[0]
+    // BBM profiling instrumentation:
+    bool profile = false;
+    u32 execCounterAddr = 0; //!< local-mem addr of the exec counter
+    u32 promoteExitId = 0;   //!< EXITB id fired at the SBM threshold
+    u32 sbThreshold = 0;
+    /** Per-exit edge-counter local-mem address (-1 = none). */
+    std::vector<s32> exitCounterAddr;
+};
+
+/** Generated region code. */
+struct CodegenResult
+{
+    std::vector<u32> words;
+    /** Per exit: word offset of its EXITB within the region
+     *  (~0u when the exit leaves through IBTC or has no site). */
+    std::vector<u32> exitSite;
+    u32 specLoads = 0;
+};
+
+/**
+ * Generate host code for an allocated region.
+ * @param pool_index interns an FP constant, returning its FLDC index.
+ */
+CodegenResult generateCode(const Region &r, const Allocation &alloc,
+                           const CodegenOptions &opts,
+                           const std::function<u32(double)> &pool_index);
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_CODEGEN_HH

@@ -1,0 +1,155 @@
+#include "tol/cost_model.hh"
+
+namespace darco::tol
+{
+
+namespace
+{
+
+/** Base of the synthetic TOL code region fed to the timing model. */
+constexpr u32 tolCodeBase = 0xf000'0000u;
+/** TOL's own data region (tables, IR buffers). */
+constexpr u32 tolDataBase = 0xf400'0000u;
+
+} // namespace
+
+const char *
+overheadName(Overhead c)
+{
+    switch (c) {
+      case Overhead::Interp: return "interpreter";
+      case Overhead::BBTranslator: return "bb_translator";
+      case Overhead::SBTranslator: return "sb_translator";
+      case Overhead::Prologue: return "prologue";
+      case Overhead::Chaining: return "chaining";
+      case Overhead::Lookup: return "code_cache_lookup";
+      case Overhead::Other: return "others";
+      default: return "?";
+    }
+}
+
+CostModel::CostModel(const Config &cfg, StatGroup &stats)
+    : stats_(stats),
+      cInterpInst_(cfg.getUint("cost.interp_inst", 20)),
+      cInterpDispatch_(cfg.getUint("cost.interp_dispatch", 9)),
+      cBbFixed_(cfg.getUint("cost.bb_fixed", 180)),
+      cBbGuestInst_(cfg.getUint("cost.bb_guest_inst", 70)),
+      cSbFixed_(cfg.getUint("cost.sb_fixed", 700)),
+      cSbWorkUnit_(cfg.getUint("cost.sb_work_unit", 9)),
+      cPrologue_(cfg.getUint("cost.prologue", 14)),
+      cChain_(cfg.getUint("cost.chain", 30)),
+      cLookup_(cfg.getUint("cost.lookup", 15)),
+      cDispatch_(cfg.getUint("cost.dispatch", 9)),
+      cInit_(cfg.getUint("cost.init", 40000)),
+      cWordEmit_(cfg.getUint("cost.word_emit", 4))
+{
+}
+
+void
+CostModel::charge(Overhead cat, u64 n)
+{
+    totals_[unsigned(cat)] += n;
+    stats_.counter(std::string("tol.ov_") + overheadName(cat)).inc(n);
+    if (sink_)
+        synthesize(n);
+}
+
+void
+CostModel::synthesize(u64 n)
+{
+    // Deterministic representative mix: ~25% loads, 10% stores,
+    // 12% branches, the rest integer ALU. PCs walk a 64 KiB TOL code
+    // footprint; data accesses walk a 256 KiB table region.
+    for (u64 k = 0; k < n; ++k) {
+        host::InstRecord rec;
+        rec.pc = tolCodeBase + (synthPc_ & 0xffff);
+        u32 sel = synthPc_ % 100;
+        synthPc_ += 4;
+        rec.nextPc = tolCodeBase + (synthPc_ & 0xffff);
+        if (sel < 25) {
+            rec.cls = host::InstClass::Load;
+            rec.memAddr = tolDataBase + ((synthPc_ * 37) & 0x3ffff);
+            rec.memSize = 4;
+        } else if (sel < 35) {
+            rec.cls = host::InstClass::Store;
+            rec.memAddr = tolDataBase + ((synthPc_ * 53) & 0x3ffff);
+            rec.memSize = 4;
+        } else if (sel < 47) {
+            rec.cls = host::InstClass::Branch;
+            rec.taken = (sel & 1) != 0;
+        } else {
+            rec.cls = host::InstClass::IntAlu;
+        }
+        sink_->record(rec);
+    }
+}
+
+void
+CostModel::chargeInterp(u64 guest_insts)
+{
+    charge(Overhead::Interp, cInterpInst_ * guest_insts);
+}
+
+void
+CostModel::chargeInterpDispatch()
+{
+    charge(Overhead::Interp, cInterpDispatch_);
+}
+
+void
+CostModel::chargeBBTranslation(u64 guest_insts, u64 host_words)
+{
+    charge(Overhead::BBTranslator,
+           cBbFixed_ + cBbGuestInst_ * guest_insts +
+               cWordEmit_ * host_words);
+}
+
+void
+CostModel::chargeSBTranslation(u64 guest_insts, u64 pass_work,
+                               u64 host_words)
+{
+    charge(Overhead::SBTranslator,
+           cSbFixed_ + cBbGuestInst_ * guest_insts +
+               cSbWorkUnit_ * pass_work + cWordEmit_ * host_words);
+}
+
+void
+CostModel::chargePrologue()
+{
+    charge(Overhead::Prologue, cPrologue_);
+}
+
+void
+CostModel::chargeChainAttempt()
+{
+    charge(Overhead::Chaining, cChain_);
+}
+
+void
+CostModel::chargeLookup()
+{
+    charge(Overhead::Lookup, cLookup_);
+}
+
+void
+CostModel::chargeDispatch()
+{
+    charge(Overhead::Other, cDispatch_);
+}
+
+void
+CostModel::chargeInit()
+{
+    charge(Overhead::Other, cInit_);
+}
+
+u64
+CostModel::totalAll() const
+{
+    u64 t = 0;
+    for (u64 v : totals_)
+        t += v;
+    return t;
+}
+
+} // namespace darco::tol

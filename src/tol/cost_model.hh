@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TOL-overhead cost model.
+ *
+ * The paper measures TOL overhead *in host instructions* grouped into
+ * seven categories (Fig. 7): Interpreter, BB Translator, SB
+ * Translator, Prologue, Chaining, Code-Cache Lookup, Others. Our TOL
+ * logic is C++, so its host-instruction footprint is charged by this
+ * model, proportional to the real work the components perform (guest
+ * instructions interpreted, IR items processed per pass, host words
+ * emitted, ...). Constants are configurable for calibration sweeps
+ * (see the DESIGN.md substitution table).
+ *
+ * When a trace sink is attached, charged instructions are synthesized
+ * into the dynamic stream with PCs in the TOL code region, so the
+ * timing/power models see TOL/application interference (paper
+ * Section III, "Interaction between TOL and application").
+ */
+
+#ifndef DARCO_TOL_COST_MODEL_HH
+#define DARCO_TOL_COST_MODEL_HH
+
+#include <array>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "host/trace.hh"
+
+namespace darco::tol
+{
+
+/** The paper's seven overhead categories (Fig. 7). */
+enum class Overhead : u8
+{
+    Interp,
+    BBTranslator,
+    SBTranslator,
+    Prologue,
+    Chaining,
+    Lookup,
+    Other,
+    NumCats,
+};
+
+const char *overheadName(Overhead c);
+
+/**
+ * Charge accumulator + synthetic stream generator.
+ *
+ * Config keys (all host-instruction counts):
+ *  cost.interp_inst (default 20)     per guest instruction interpreted
+ *  cost.interp_dispatch (9)         per IM entry
+ *  cost.bb_fixed (180)               per BB translation
+ *  cost.bb_guest_inst (70)           per guest instruction translated
+ *  cost.sb_fixed (700)               per SB construction
+ *  cost.sb_work_unit (9)            per IR item processed per pass
+ *  cost.prologue (14)                per TOL->code-cache transition
+ *  cost.chain (30)                   per chaining attempt
+ *  cost.lookup (15)                  per code-cache lookup
+ *  cost.dispatch (9)                 per dispatch-loop iteration
+ *  cost.init (40000)                 one-time TOL initialization
+ */
+class CostModel
+{
+  public:
+    CostModel(const Config &cfg, StatGroup &stats);
+
+    void charge(Overhead cat, u64 host_insts);
+
+    // Convenience entry points used by the TOL runtime.
+    void chargeInterp(u64 guest_insts);
+    void chargeInterpDispatch();
+    void chargeBBTranslation(u64 guest_insts, u64 host_words);
+    void chargeSBTranslation(u64 guest_insts, u64 pass_work,
+                             u64 host_words);
+    void chargePrologue();
+    void chargeChainAttempt();
+    void chargeLookup();
+    void chargeDispatch();
+    void chargeInit();
+
+    u64 total(Overhead cat) const { return totals_[unsigned(cat)]; }
+    u64 totalAll() const;
+
+    /** Synthesize charged instructions into the timing stream. */
+    void setTraceSink(host::TraceSink *sink) { sink_ = sink; }
+
+  private:
+    void synthesize(u64 n);
+
+    StatGroup &stats_;
+    std::array<u64, unsigned(Overhead::NumCats)> totals_{};
+    host::TraceSink *sink_ = nullptr;
+    u32 synthPc_ = 0;
+
+    u64 cInterpInst_, cInterpDispatch_;
+    u64 cBbFixed_, cBbGuestInst_;
+    u64 cSbFixed_, cSbWorkUnit_;
+    u64 cPrologue_, cChain_, cLookup_, cDispatch_, cInit_;
+    u64 cWordEmit_;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_COST_MODEL_HH

@@ -1,0 +1,244 @@
+#include "tol/ddg.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "tol/passes.hh"
+
+namespace darco::tol
+{
+
+u8
+irLatency(IROp op)
+{
+    switch (op) {
+      case IROp::Mul:
+      case IROp::MulH:
+        return 3;
+      case IROp::Div:
+      case IROp::Rem:
+        return 12;
+      case IROp::Ld8u:
+      case IROp::Ld8s:
+      case IROp::Ld16u:
+      case IROp::Ld16s:
+      case IROp::Ld32:
+      case IROp::FLd:
+        return 3;
+      case IROp::FAdd:
+      case IROp::FSub:
+      case IROp::FCvtWD:
+      case IROp::FCvtZW:
+      case IROp::FRnd:
+        return 3;
+      case IROp::FMul:
+        return 4;
+      case IROp::FDiv:
+      case IROp::FSqrt:
+        return 12;
+      default:
+        return 1;
+    }
+}
+
+DDG
+buildDDG(const Region &r)
+{
+    const std::size_t n = r.items.size();
+    DDG g;
+    g.succs.resize(n);
+    g.predCount.assign(n, 0);
+    g.breakablePreds.assign(n, 0);
+    g.priority.assign(n, 0);
+
+    auto addEdge = [&](std::size_t from, std::size_t to, u8 lat,
+                       bool breakable) {
+        g.succs[from].push_back(DDGEdge{u32(to), lat, breakable});
+        if (breakable)
+            ++g.breakablePreds[to];
+        else
+            ++g.predCount[to];
+        ++g.edgeCount;
+    };
+
+    // Value definition sites.
+    std::vector<s32> defSite(r.numValues, -1);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (r.items[k].kind == IRItem::Kind::Inst &&
+            r.items[k].inst.dst >= 0) {
+            defSite[r.items[k].inst.dst] = s32(k);
+        }
+    }
+
+    auto valueDep = [&](std::size_t user, s32 v) {
+        if (v < 0)
+            return;
+        s32 d = defSite[v];
+        if (d >= 0)
+            addEdge(std::size_t(d), user, irLatency(r.items[d].inst.op),
+                    false);
+    };
+
+    std::vector<std::size_t> memOps;
+    std::vector<std::size_t> condExits;
+    std::vector<std::size_t> asserts;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const IRItem &it = r.items[k];
+        if (it.kind == IRItem::Kind::CondExit) {
+            valueDep(k, it.cond);
+            // Live-out values must be computed before the exit.
+            for (auto [loc, v] : r.exits[it.exitIdx].liveOuts)
+                valueDep(k, v);
+            valueDep(k, r.exits[it.exitIdx].targetVal);
+            // Order with earlier memory ops: stores cannot sink below,
+            // and the exit cannot hoist above a store that precedes it
+            // (the committed state must include it).
+            for (std::size_t m : memOps) {
+                if (irInfo(r.items[m].inst.op).isStore)
+                    addEdge(m, k, 1, false);
+            }
+            // Preserve order among side exits.
+            for (std::size_t c : condExits)
+                addEdge(c, k, 1, false);
+            // Asserts must not sink below a later side exit; record
+            // and wire when the exit appears.
+            for (std::size_t a : asserts)
+                addEdge(a, k, 1, false);
+            condExits.push_back(k);
+            continue;
+        }
+
+        const IRInst &i = it.inst;
+        valueDep(k, i.src1);
+        if (!i.src2Imm)
+            valueDep(k, i.src2);
+
+        if (i.op == IROp::Assert) {
+            asserts.push_back(k);
+            continue;
+        }
+
+        const IROpInfo &oi = irInfo(i.op);
+        if (oi.isLoad || oi.isStore) {
+            for (std::size_t m : memOps) {
+                const IRInst &prev = r.items[m].inst;
+                const IROpInfo &pi = irInfo(prev.op);
+                if (!pi.isStore && !oi.isStore)
+                    continue; // load-load: no ordering
+                Alias al = aliasCheck(i, prev);
+                if (al == Alias::Never)
+                    continue;
+                if (pi.isStore && oi.isLoad) {
+                    // store -> load: breakable when only may-alias.
+                    addEdge(m, k, 1, al == Alias::May);
+                } else {
+                    // store->store or load->store: fixed order.
+                    addEdge(m, k, 1, false);
+                }
+            }
+            // Stores may not hoist above an earlier side exit.
+            if (oi.isStore) {
+                for (std::size_t c : condExits)
+                    addEdge(c, k, 1, false);
+            }
+            memOps.push_back(k);
+        }
+    }
+
+    // Critical-path priorities (reverse topological over item order —
+    // edges always point forward in the original order). Breakable
+    // edges are excluded: they are exactly the edges speculation can
+    // cut, and including them would make every store outrank the
+    // loads it blocks.
+    for (std::size_t k = n; k-- > 0;) {
+        u32 best = 0;
+        for (const DDGEdge &e : g.succs[k]) {
+            if (!e.breakable)
+                best = std::max(best, g.priority[e.to] + e.latency);
+        }
+        g.priority[k] = best;
+    }
+    return g;
+}
+
+u32
+scheduleRegion(Region &r, const SchedOptions &opts)
+{
+    if (!opts.enable || r.items.size() < 2)
+        return 0;
+
+    DDG g = buildDDG(r);
+    const std::size_t n = r.items.size();
+
+    std::vector<u32> pred = g.predCount;
+    std::vector<u32> bpred = g.breakablePreds;
+    std::vector<bool> scheduled(n, false);
+    std::vector<IRItem> out;
+    out.reserve(n);
+    u32 speculated = 0;
+
+    auto canSpeculate = [&](std::size_t k) {
+        if (!opts.speculateMem)
+            return false;
+        const IRItem &it = r.items[k];
+        if (it.kind != IRItem::Kind::Inst)
+            return false;
+        // Only word/double loads have speculative host encodings.
+        return it.inst.op == IROp::Ld32 || it.inst.op == IROp::FLd;
+    };
+
+    for (std::size_t step = 0; step < n; ++step) {
+        // Pick the highest-priority ready item; an item whose only
+        // remaining predecessors are breakable store->load edges is
+        // spec-ready.
+        s32 best = -1;
+        bool bestSpec = false;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (scheduled[k] || pred[k] != 0)
+                continue;
+            bool needsBreak = bpred[k] != 0;
+            if (needsBreak && !canSpeculate(k))
+                continue;
+            if (best < 0 || g.priority[k] > g.priority[best] ||
+                (g.priority[k] == g.priority[best] &&
+                 k < std::size_t(best))) {
+                best = s32(k);
+                bestSpec = needsBreak;
+            }
+        }
+        darco_assert(best >= 0, "scheduler deadlock");
+        std::size_t k = std::size_t(best);
+        scheduled[k] = true;
+        IRItem item = r.items[k];
+        if (bestSpec) {
+            item.inst.speculative = true;
+            ++speculated;
+            // Every store this load was hoisted across must run the
+            // alias check (the paper's sequence-number discipline,
+            // resolved statically here).
+            for (std::size_t s2 = 0; s2 < n; ++s2) {
+                if (scheduled[s2])
+                    continue;
+                for (const DDGEdge &e : g.succs[s2]) {
+                    if (e.to == k && e.breakable)
+                        r.items[s2].inst.speculative = true;
+                }
+            }
+        }
+        out.push_back(item);
+        for (const DDGEdge &e : g.succs[k]) {
+            if (scheduled[e.to])
+                continue; // already hoisted past this edge
+            if (e.breakable)
+                --bpred[e.to];
+            else
+                --pred[e.to];
+        }
+    }
+
+    r.items = std::move(out);
+    return speculated;
+}
+
+} // namespace darco::tol

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TOL front end: guest instructions -> IR regions.
+ *
+ * This is the per-guest-ISA part of TOL (paper Section V-D "Support
+ * for multiple ISA"): everything downstream of the IR — optimizer,
+ * scheduler, allocator, code generator — is guest-agnostic.
+ *
+ * Flag handling implements the paper's "writes to the flag registers
+ * only if the written value is really going to be consumed": flag
+ * side effects are tracked symbolically as a *thunk* (the operands of
+ * the last flag-setting operation); conditions fuse into single host
+ * compares (cmp+jcc -> slt+bne) and full flag materialization happens
+ * only at region exits.
+ */
+
+#ifndef DARCO_TOL_FRONTEND_HH
+#define DARCO_TOL_FRONTEND_HH
+
+#include <optional>
+#include <vector>
+
+#include "guest/gisa.hh"
+#include "tol/ir.hh"
+
+namespace darco::tol
+{
+
+/** What to do with a conditional branch (or JMP) inside a path. */
+enum class BranchDisp : u8
+{
+    Final,          //!< region-terminating branch: exit both ways
+    AssertTaken,    //!< speculate taken: convert to assert, continue
+    AssertNotTaken, //!< speculate not-taken
+    ExitTaken,      //!< multi-exit SB: side exit if taken
+    ExitNotTaken,   //!< multi-exit SB: side exit if not taken
+    ElideTaken,     //!< retire with no code (JMP glue, unrolled body)
+};
+
+/** One guest instruction on a translation path. */
+struct PathElem
+{
+    guest::GInst inst;
+    GAddr pc = 0;
+    BranchDisp disp = BranchDisp::Final;
+};
+
+/** Leading counted-loop trip check (loop unrolling support). */
+struct TripCheck
+{
+    u8 reg;     //!< loop counter register
+    u32 factor; //!< unroll factor: exit to IM when reg < factor
+};
+
+/** Frontend tuning knobs (ablations). */
+struct FrontendOptions
+{
+    bool fuseFlags = true; //!< thunk fusion (off = naive flag reads)
+};
+
+/**
+ * Translate a straight-line guest path into an IR region.
+ *
+ * The path must be non-empty. If the last element is a CTI with
+ * disp=Final the region ends through it; otherwise `end` must give
+ * the fall-off exit (REP boundary, syscall, hlt).
+ */
+class Frontend
+{
+  public:
+    explicit Frontend(const FrontendOptions &opts = FrontendOptions());
+
+    struct EndSpec
+    {
+        ExitKind kind = ExitKind::Interp;
+        GAddr target = 0;
+    };
+
+    Region build(GAddr entry_pc, RegionMode mode,
+                 const std::vector<PathElem> &path,
+                 std::optional<TripCheck> trip = std::nullopt,
+                 std::optional<EndSpec> end = std::nullopt);
+
+  private:
+    struct Impl;
+    FrontendOptions opts_;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_FRONTEND_HH

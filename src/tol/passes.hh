@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The TOL optimization passes (paper Section V-B3).
+ *
+ * BBM runs the "basic optimizations": constant folding/propagation and
+ * dead-code elimination. SBM additionally runs copy propagation, CSE,
+ * and the DDG-phase memory optimizations (redundant-load elimination,
+ * store forwarding, dead-store elimination) before scheduling.
+ *
+ * All passes return the number of changes made; the cost model charges
+ * TOL overhead proportional to items processed (see cost_model.hh).
+ */
+
+#ifndef DARCO_TOL_PASSES_HH
+#define DARCO_TOL_PASSES_HH
+
+#include "tol/ir.hh"
+
+namespace darco::tol
+{
+
+/** Constant folding + constant propagation (one forward pass). */
+u32 foldConstants(Region &r);
+
+/** Copy propagation: uses of Mov/FMov results use the source. */
+u32 copyPropagate(Region &r);
+
+/** Common-subexpression elimination over pure ops. */
+u32 eliminateCommonSubexprs(Region &r);
+
+/**
+ * Dead-code elimination (backward pass). Keeps stores, asserts,
+ * division (guest-visible faults), exits and everything they need.
+ */
+u32 eliminateDeadCode(Region &r);
+
+/**
+ * DDG-phase memory optimization: store->load forwarding, redundant
+ * load elimination, dead-store elimination, driven by the same
+ * base+displacement disambiguation the scheduler uses.
+ */
+u32 optimizeMemory(Region &r);
+
+/** Aliasing verdict between two memory operations. */
+enum class Alias : u8
+{
+    Never,
+    Always, //!< identical address and size
+    May,
+};
+
+/** Disambiguate two memory instructions (same-base interval test). */
+Alias aliasCheck(const IRInst &a, const IRInst &b);
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_PASSES_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Linear Scan Register Allocation (paper Section V-B3).
+ *
+ * Values are allocated to host temporaries (r15..r31, f8..f29) over
+ * the scheduled item order. LiveIn values are homed in their fixed
+ * guest-mapped host registers (r1..r12 / f0..f7), which generated code
+ * never clobbers before the exit stubs. When the temp pool runs out,
+ * the live value with the furthest next use spills to a TOL-local
+ * memory slot; r13/r14 (f30/f31) are codegen scratch for reloads.
+ */
+
+#ifndef DARCO_TOL_REGALLOC_HH
+#define DARCO_TOL_REGALLOC_HH
+
+#include <vector>
+
+#include "tol/ir.hh"
+
+namespace darco::tol
+{
+
+/** Where a value lives. */
+struct ValueLoc
+{
+    enum class Kind : u8 { None, Reg, Spill } kind = Kind::None;
+    u8 reg = 0;   //!< host register number (int or fp file)
+    u32 slot = 0; //!< spill slot index (8 bytes each)
+    bool fp = false;
+};
+
+/** Allocation result. */
+struct Allocation
+{
+    std::vector<ValueLoc> val;
+    u32 spillSlots = 0;
+    u32 spillCount = 0; //!< values that ended up spilled
+};
+
+/** Run linear scan over the region's current item order. */
+Allocation allocateRegisters(const Region &r);
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_REGALLOC_HH

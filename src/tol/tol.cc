@@ -1,0 +1,912 @@
+#include "tol/tol.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "guest/semantics.hh"
+#include "tol/codegen.hh"
+#include "tol/ddg.hh"
+#include "tol/passes.hh"
+#include "tol/regalloc.hh"
+
+namespace darco::tol
+{
+
+using namespace guest;
+using host::ExitInfo;
+using host::HInst;
+using host::HOp;
+// NB: host::ExitKind (emulator exits) is kept fully qualified to avoid
+// colliding with tol::ExitKind (IR exit kinds).
+using HExit = host::ExitKind;
+
+namespace
+{
+/** Local-memory base of the profiling counter area (below: spills). */
+constexpr u32 profBase = 0x4000;
+} // namespace
+
+Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
+    : mem_(mem),
+      cfg_(cfg),
+      stats_(stats),
+      cache_(u32(cfg.getUint("cc.capacity_words", 1u << 22))),
+      emu_(cache_, mem, cfg),
+      cost_(cfg, stats),
+      frontend_(FrontendOptions{cfg.getBool("tol.fuse_flags", true)}),
+      localOs_(cfg.getUint("seed", 1)),
+      profNext_(profBase)
+{
+    emu_.setRetireSink(this);
+
+    bbThreshold_ = u32(cfg.getUint("tol.bb_threshold", 10));
+    sbThreshold_ = u32(cfg.getUint("tol.sb_threshold", 50));
+    baseBbThreshold_ = bbThreshold_;
+    baseSbThreshold_ = sbThreshold_;
+    biasThreshold_ = cfg.getFloat("tol.bias_threshold", 0.85);
+    cumThreshold_ = cfg.getFloat("tol.cum_threshold", 0.40);
+    minEdgeTotal_ = u32(cfg.getUint("tol.min_edge_total", 16));
+    maxSbInsts_ = u32(cfg.getUint("tol.max_sb_insts", 200));
+    maxSbBbs_ = u32(cfg.getUint("tol.max_sb_bbs", 16));
+    maxBbInsts_ = u32(cfg.getUint("tol.max_bb_insts", 128));
+    maxAssertFails_ = u32(cfg.getUint("tol.max_assert_fails", 6));
+    maxAliasFails_ = u32(cfg.getUint("tol.max_alias_fails", 6));
+    unroll_ = cfg.getBool("tol.unroll", true);
+    unrollFactor_ = u32(cfg.getUint("tol.unroll_factor", 4));
+    useAsserts_ = cfg.getBool("tol.asserts", true);
+    bbmEnabled_ = cfg.getBool("tol.enable_bbm", true);
+    sbmEnabled_ = cfg.getBool("tol.enable_sbm", true);
+    chaining_ = cfg.getBool("tol.chaining", true);
+    specMem_ = cfg.getBool("tol.spec_mem", true);
+    sched_ = cfg.getBool("tol.sched", true);
+    opt_ = cfg.getBool("tol.opt", true);
+    hostChunk_ = cfg.getUint("tol.host_chunk", 1u << 20);
+
+    cGuestIm_ = &stats_.counter("tol.guest_im");
+    cGuestBbm_ = &stats_.counter("tol.guest_bbm");
+    cGuestSbm_ = &stats_.counter("tol.guest_sbm");
+    cBbIm_ = &stats_.counter("tol.bb_im");
+    cBbBbm_ = &stats_.counter("tol.bb_bbm");
+    cBbSbm_ = &stats_.counter("tol.bb_sbm");
+    cHostBbm_ = &stats_.counter("tol.host_app_bbm");
+    cHostSbm_ = &stats_.counter("tol.host_app_sbm");
+}
+
+void
+Tol::setTraceSink(host::TraceSink *sink)
+{
+    emu_.setTraceSink(sink);
+    cost_.setTraceSink(sink);
+}
+
+void
+Tol::scaleThresholds(u32 factor)
+{
+    darco_assert(factor >= 1, "bad threshold scale");
+    bbThreshold_ = std::max(1u, baseBbThreshold_ / factor);
+    sbThreshold_ = std::max(2u, baseSbThreshold_ / factor);
+}
+
+const Translation *
+Tol::translationFor(GAddr pc) const
+{
+    auto it = translations_.find(pc);
+    return it == translations_.end() ? nullptr : &trans_[it->second];
+}
+
+u32
+Tol::poolIndex(double v)
+{
+    u64 bits;
+    std::memcpy(&bits, &v, 8);
+    auto it = fpPoolMap_.find(bits);
+    if (it != fpPoolMap_.end())
+        return it->second;
+    u32 idx = u32(emu_.fpPool().size());
+    emu_.fpPool().push_back(v);
+    fpPoolMap_.emplace(bits, idx);
+    return idx;
+}
+
+Tol::ProfAddrs
+Tol::profAddrs(GAddr bb_entry)
+{
+    auto it = profMap_.find(bb_entry);
+    if (it != profMap_.end())
+        return it->second;
+    ProfAddrs a{profNext_, profNext_ + 4, profNext_ + 8};
+    profNext_ += 12;
+    profMap_.emplace(bb_entry, a);
+    return a;
+}
+
+u32
+Tol::edgeTaken(GAddr bb)
+{
+    return emu_.readLocal32(profAddrs(bb).taken);
+}
+
+u32
+Tol::edgeFall(GAddr bb)
+{
+    return emu_.readLocal32(profAddrs(bb).fall);
+}
+
+// ---------------------------------------------------------------------
+// Decode & BB discovery
+// ---------------------------------------------------------------------
+
+GInst
+Tol::fetchGuest(GAddr pc)
+{
+    auto it = decodeCache_.find(pc);
+    if (it != decodeCache_.end())
+        return it->second;
+    for (;;) {
+        try {
+            GInst gi = fetchInst(mem_, pc);
+            decodeCache_.emplace(pc, gi);
+            return gi;
+        } catch (const PageMiss &pm) {
+            servicePageMiss(pm.page);
+        }
+    }
+}
+
+BBInfo &
+Tol::getBB(GAddr entry)
+{
+    auto it = bbCache_.find(entry);
+    if (it != bbCache_.end())
+        return it->second;
+
+    BBInfo bb;
+    bb.entry = entry;
+    GAddr pc = entry;
+    for (u32 n = 0; n < maxBbInsts_; ++n) {
+        GInst gi = fetchGuest(pc);
+        if (gi.rep) {
+            // Complex string instruction: handled by IM (the paper's
+            // "corner cases moved up to the software layer").
+            bb.endsWithCti = false;
+            bb.endPc = pc;
+            break;
+        }
+        bb.elems.push_back(PathElem{gi, pc, BranchDisp::Final});
+        if (gi.isCti()) {
+            bb.endsWithCti = true;
+            break;
+        }
+        pc += gi.length;
+    }
+    if (!bb.endsWithCti && bb.endPc == 0)
+        bb.endPc = pc; // size-capped straight-line run
+
+    if (bb.elems.empty()) {
+        bb.translatable = false; // starts with a REP op
+    } else if (bb.elems.size() == 1 &&
+               (bb.elems[0].inst.op == GOp::SYSCALL ||
+                bb.elems[0].inst.op == GOp::HLT)) {
+        bb.translatable = false; // no forward progress possible
+    }
+    return bbCache_.emplace(entry, std::move(bb)).first->second;
+}
+
+// ---------------------------------------------------------------------
+// Retirement accounting
+// ---------------------------------------------------------------------
+
+void
+Tol::onRetire(u32 exit_id, u64 host_insts)
+{
+    darco_assert(exit_id < globalExits_.size(), "bad RETIRE id");
+    const GlobalExit &ge = globalExits_[exit_id];
+    if (ge.promote) {
+        cHostBbm_->inc(host_insts);
+        return;
+    }
+    const Translation &t = trans_[ge.trans];
+    const ExitDesc &d = t.exits[ge.exitIdx];
+    completedInsts_ += d.instsRetired;
+    completedBBs_ += d.bbsRetired;
+    if (t.mode == RegionMode::BB) {
+        cGuestBbm_->inc(d.instsRetired);
+        cBbBbm_->inc(d.bbsRetired);
+        cHostBbm_->inc(host_insts);
+    } else {
+        cGuestSbm_->inc(d.instsRetired);
+        cBbSbm_->inc(d.bbsRetired);
+        cHostSbm_->inc(host_insts);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page miss / syscall services
+// ---------------------------------------------------------------------
+
+void
+Tol::servicePageMiss(GAddr page)
+{
+    stats_.counter("tol.page_requests").inc();
+    darco_assert(env_, "page miss without a controller environment: "
+                       "co-designed memory must use AllocateZero in "
+                       "standalone mode");
+    env_->dataRequest(page, completedInsts_);
+    darco_assert(mem_.hasPage(page),
+                 "controller failed to install requested page");
+}
+
+void
+Tol::handleSyscall()
+{
+    stats_.counter("tol.syscalls").inc();
+    bool cont;
+    if (env_) {
+        cont = env_->syscall(completedInsts_);
+    } else {
+        // Standalone mode: run the deterministic OS model locally.
+        GInst gi = fetchGuest(state_.pc);
+        auto eff = localOs_.execute(state_, mem_, gi.length);
+        cont = !eff.exited;
+        if (eff.exited)
+            stats_.counter("tol.exit_code").set(eff.exitCode);
+    }
+    ++completedInsts_;
+    ++completedBBs_;
+    cGuestIm_->inc();
+    cBbIm_->inc();
+    if (!cont)
+        finished_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Interpreter mode
+// ---------------------------------------------------------------------
+
+void
+Tol::interpretStep()
+{
+    cost_.chargeInterpDispatch();
+    GAddr entry = state_.pc;
+    BBInfo &bb = getBB(entry);
+
+    if (bbmEnabled_ && bb.translatable &&
+        translations_.find(entry) == translations_.end()) {
+        u32 c = ++imCounters_[entry];
+        if (c >= bbThreshold_) {
+            translateBB(bb);
+            return; // next dispatch enters the fresh translation
+        }
+    }
+
+    // Interpret one dynamic basic block.
+    for (;;) {
+        GInst gi = fetchGuest(state_.pc);
+        ExecOut out;
+        for (;;) {
+            try {
+                out = execInst(gi, state_, mem_);
+            } catch (const PageMiss &pm) {
+                servicePageMiss(pm.page);
+                continue;
+            }
+            if (out.status == ExecStatus::Again) {
+                cost_.charge(Overhead::Interp, 4 * out.repIters);
+                continue;
+            }
+            break;
+        }
+        if (out.repIters)
+            cost_.charge(Overhead::Interp, 4 * out.repIters);
+
+        switch (out.status) {
+          case ExecStatus::Ok:
+          case ExecStatus::CtiTaken:
+          case ExecStatus::CtiNotTaken:
+            ++completedInsts_;
+            cGuestIm_->inc();
+            cost_.chargeInterp(1);
+            if (gi.isCti()) {
+                ++completedBBs_;
+                cBbIm_->inc();
+                return;
+            }
+            // Hand over early if translated code exists for the next
+            // instruction (e.g. the tail after a REP boundary).
+            if (translations_.find(state_.pc) != translations_.end())
+                return;
+            break;
+
+          case ExecStatus::Syscall:
+            handleSyscall();
+            return;
+
+          case ExecStatus::Halt:
+            finished_ = true;
+            return;
+
+          case ExecStatus::Fault:
+            throw GuestFault{state_.pc, out.faultMsg};
+
+          default:
+            panic("unexpected exec status in IM");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Translation installation & invalidation
+// ---------------------------------------------------------------------
+
+u32
+Tol::install(Region &region, RegionMode mode, bool profile,
+             GAddr prof_bb)
+{
+    u64 pass_work = 0;
+    if (opt_) {
+        if (mode == RegionMode::BB) {
+            pass_work += foldConstants(region) + region.items.size();
+            pass_work += eliminateDeadCode(region) + region.items.size();
+        } else {
+            pass_work += foldConstants(region) + region.items.size();
+            pass_work += copyPropagate(region) + region.items.size();
+            pass_work +=
+                eliminateCommonSubexprs(region) + region.items.size();
+            pass_work += eliminateDeadCode(region) + region.items.size();
+            pass_work += optimizeMemory(region) + region.items.size();
+            pass_work += eliminateDeadCode(region) + region.items.size();
+        }
+    }
+    u32 spec_loads = 0;
+    if (mode == RegionMode::SB && sched_) {
+        SchedOptions so;
+        so.speculateMem = specMem_ && !sbFlags_[region.entryPc].noSpec;
+        spec_loads = scheduleRegion(region, so);
+        pass_work += region.items.size() * 2; // DDG + scan
+        stats_.counter("tol.spec_loads").inc(spec_loads);
+    }
+
+    std::string err = verifyRegion(region);
+    darco_assert(err.empty(), "optimized region invalid: ", err);
+
+    Allocation alloc = allocateRegisters(region);
+    stats_.counter("tol.spills").inc(alloc.spillCount);
+
+    // Two attempts: a full code cache forces a flush (which renumbers
+    // the global exit-id space), then we regenerate.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        CodegenOptions co;
+        co.exitIdBase = u32(globalExits_.size());
+        co.profile = profile;
+        if (profile) {
+            ProfAddrs pa = profAddrs(prof_bb);
+            co.execCounterAddr = pa.exec;
+            co.promoteExitId = co.exitIdBase + u32(region.exits.size());
+            co.sbThreshold = sbThreshold_;
+            co.exitCounterAddr.assign(region.exits.size(), -1);
+            // Edge counters on the final conditional branch's exits.
+            if (region.exits.size() >= 2 &&
+                region.exits[region.finalExit].kind ==
+                    ExitKind::Direct) {
+                u32 taken_idx = u32(region.exits.size()) - 2;
+                if (taken_idx != region.finalExit &&
+                    region.exits[taken_idx].kind == ExitKind::Direct) {
+                    co.exitCounterAddr[taken_idx] = s32(pa.taken);
+                    co.exitCounterAddr[region.finalExit] = s32(pa.fall);
+                }
+            }
+        }
+
+        CodegenResult cg = generateCode(
+            region, alloc, co, [this](double v) { return poolIndex(v); });
+
+        if (!cache_.hasSpace(u32(cg.words.size()))) {
+            darco_assert(attempt == 0, "region exceeds code cache");
+            flushAll();
+            continue;
+        }
+
+        u32 base = cache_.append(cg.words);
+        u32 tid = u32(trans_.size());
+        Translation t;
+        t.entry = region.entryPc;
+        t.mode = mode;
+        t.hostPc = base;
+        t.words = u32(cg.words.size());
+        t.exitIdBase = co.exitIdBase;
+        for (std::size_t e = 0; e < region.exits.size(); ++e) {
+            const IRExit &x = region.exits[e];
+            ExitDesc d;
+            d.kind = x.kind;
+            d.target = x.target;
+            d.instsRetired = x.instsRetired;
+            d.bbsRetired = x.bbsRetired;
+            if (cg.exitSite[e] != ~0u)
+                d.siteWord = base + cg.exitSite[e];
+            t.exits.push_back(d);
+            globalExits_.push_back(GlobalExit{tid, u32(e), false, 0});
+        }
+        if (profile) {
+            globalExits_.push_back(
+                GlobalExit{tid, 0, true, region.entryPc});
+        }
+
+        trans_.push_back(std::move(t));
+        translations_[region.entryPc] = tid;
+        hostPcMap_[base] = tid;
+
+        u64 guest_insts =
+            region.exits[region.finalExit].instsRetired;
+        if (mode == RegionMode::BB) {
+            cost_.chargeBBTranslation(guest_insts, cg.words.size());
+            stats_.counter("tol.translations_bb").inc();
+        } else {
+            cost_.chargeSBTranslation(guest_insts, pass_work,
+                                      cg.words.size());
+            stats_.counter("tol.translations_sb").inc();
+        }
+        return tid;
+    }
+    panic("unreachable");
+}
+
+void
+Tol::invalidate(u32 tid)
+{
+    Translation &t = trans_[tid];
+    if (!t.valid)
+        return;
+    t.valid = false;
+    auto it = translations_.find(t.entry);
+    if (it != translations_.end() && it->second == tid)
+        translations_.erase(it);
+    hostPcMap_.erase(t.hostPc);
+
+    // Unchain everyone who jumps into this region.
+    for (const Translation::InChain &c : t.incoming) {
+        HInst restore;
+        restore.op = HOp::EXITB;
+        restore.imm = s32(c.exitId);
+        cache_.setWord(c.site, hencode(restore));
+        trans_[c.fromTrans].exits[c.fromExit].chained = false;
+    }
+    t.incoming.clear();
+
+    emu_.ibtc().invalidate(t.entry);
+    stats_.counter("tol.invalidations").inc();
+}
+
+void
+Tol::flushAll()
+{
+    cache_.flush();
+    translations_.clear();
+    hostPcMap_.clear();
+    trans_.clear();
+    globalExits_.clear();
+    emu_.ibtc().clear();
+    inRegionResume_ = false;
+    for (auto &[_, f] : sbFlags_)
+        f.residualBb = ~0u; // translation ids are gone
+    stats_.counter("tol.cc_flushes").inc();
+}
+
+void
+Tol::maybeChain(u32 from_tid, u32 exit_idx)
+{
+    if (!chaining_)
+        return;
+    Translation &from = trans_[from_tid];
+    ExitDesc &d = from.exits[exit_idx];
+    if (d.chained || d.siteWord == ~0u || d.kind != tol::ExitKind::Direct)
+        return;
+    cost_.chargeChainAttempt();
+    auto it = translations_.find(d.target);
+    if (it == translations_.end())
+        return;
+    Translation &to = trans_[it->second];
+    HInst j;
+    j.op = HOp::J;
+    j.imm = s32(to.hostPc);
+    cache_.setWord(d.siteWord, hencode(j));
+    d.chained = true;
+    to.incoming.push_back(Translation::InChain{
+        d.siteWord, from.exitIdBase + exit_idx, from_tid, exit_idx});
+    stats_.counter("tol.chains").inc();
+}
+
+// ---------------------------------------------------------------------
+// BB translation (BBM)
+// ---------------------------------------------------------------------
+
+void
+Tol::translateBB(BBInfo &bb)
+{
+    std::optional<Frontend::EndSpec> end;
+    if (!bb.endsWithCti)
+        end = Frontend::EndSpec{tol::ExitKind::Interp, bb.endPc};
+    Region region = frontend_.build(bb.entry, RegionMode::BB, bb.elems,
+                                    std::nullopt, end);
+    install(region, RegionMode::BB, sbmEnabled_, bb.entry);
+}
+
+// ---------------------------------------------------------------------
+// Superblock construction (SBM)
+// ---------------------------------------------------------------------
+
+std::vector<PathElem>
+Tol::collectSBPath(GAddr start, bool use_asserts,
+                   std::optional<TripCheck> &trip,
+                   std::optional<Frontend::EndSpec> &end)
+{
+    std::vector<PathElem> path;
+    trip.reset();
+    end.reset();
+
+    // Single-BB counted-loop unrolling: "dec r; jccne back-to-entry".
+    BBInfo &first = getBB(start);
+    if (unroll_ && first.endsWithCti && first.elems.size() >= 3) {
+        const PathElem &last = first.elems.back();
+        const PathElem &prev = first.elems[first.elems.size() - 2];
+        bool counted = (last.inst.op == GOp::JCC_REL8 ||
+                        last.inst.op == GOp::JCC_REL32) &&
+                       last.inst.cond == GCond::NE &&
+                       last.inst.target(last.pc) == start &&
+                       prev.inst.op == GOp::DEC;
+        if (counted) {
+            u32 tk = edgeTaken(start), fl = edgeFall(start);
+            double bias =
+                tk + fl ? double(tk) / double(tk + fl) : 0.0;
+            if (tk + fl >= minEdgeTotal_ && bias >= biasThreshold_) {
+                trip = TripCheck{prev.inst.rd, unrollFactor_};
+                for (u32 u = 0; u < unrollFactor_; ++u) {
+                    for (std::size_t k = 0; k + 1 < first.elems.size();
+                         ++k) {
+                        path.push_back(first.elems[k]);
+                    }
+                    PathElem back = first.elems.back();
+                    back.disp = u + 1 < unrollFactor_
+                                    ? BranchDisp::ElideTaken
+                                    : BranchDisp::Final;
+                    path.push_back(back);
+                }
+                stats_.counter("tol.unrolled_loops").inc();
+                return path;
+            }
+        }
+    }
+
+    GAddr cur = start;
+    u32 bbs = 0;
+    u32 insts = 0;
+    double cum = 1.0;
+
+    for (;;) {
+        auto bit = bbCache_.find(cur);
+        darco_assert(bit != bbCache_.end(),
+                     "SB path walked into an unknown BB");
+        BBInfo &bb = bit->second;
+
+        if (!bb.endsWithCti) {
+            // REP or size-capped boundary: body then continue in IM.
+            for (const PathElem &e : bb.elems)
+                path.push_back(e);
+            end = Frontend::EndSpec{tol::ExitKind::Interp, bb.endPc};
+            return path;
+        }
+
+        for (std::size_t k = 0; k + 1 < bb.elems.size(); ++k)
+            path.push_back(bb.elems[k]);
+        PathElem last = bb.elems.back();
+        ++bbs;
+        insts += u32(bb.elems.size());
+
+        const GInst &li = last.inst;
+        bool stop = bbs >= maxSbBbs_ || insts >= maxSbInsts_;
+
+        if (!stop &&
+            (li.op == GOp::JMP_REL8 || li.op == GOp::JMP_REL32)) {
+            GAddr target = li.target(last.pc);
+            if (bbCache_.count(target)) {
+                last.disp = BranchDisp::ElideTaken;
+                path.push_back(last);
+                cur = target;
+                continue;
+            }
+        } else if (!stop && (li.op == GOp::JCC_REL8 ||
+                             li.op == GOp::JCC_REL32)) {
+            u32 tk = edgeTaken(cur), fl = edgeFall(cur);
+            u32 total = tk + fl;
+            if (total >= minEdgeTotal_) {
+                bool taken_dir = tk >= fl;
+                double bias = double(std::max(tk, fl)) / double(total);
+                GAddr next = taken_dir ? li.target(last.pc)
+                                       : last.pc + li.length;
+                if (bias >= biasThreshold_ &&
+                    cum * bias >= cumThreshold_ &&
+                    bbCache_.count(next)) {
+                    cum *= bias;
+                    if (use_asserts) {
+                        last.disp = taken_dir
+                                        ? BranchDisp::AssertTaken
+                                        : BranchDisp::AssertNotTaken;
+                    } else {
+                        last.disp = taken_dir
+                                        ? BranchDisp::ExitNotTaken
+                                        : BranchDisp::ExitTaken;
+                    }
+                    path.push_back(last);
+                    cur = next;
+                    continue;
+                }
+            }
+        }
+
+        // Terminate the superblock with this CTI.
+        last.disp = BranchDisp::Final;
+        path.push_back(last);
+        return path;
+    }
+}
+
+void
+Tol::buildSuperblock(GAddr entry)
+{
+    if (!sbmEnabled_)
+        return;
+    SBFlags flags = sbFlags_[entry];
+    std::optional<TripCheck> trip;
+    std::optional<Frontend::EndSpec> end;
+    std::vector<PathElem> path = collectSBPath(
+        entry, useAsserts_ && !flags.noAsserts, trip, end);
+    if (path.empty())
+        return;
+
+    Region region =
+        frontend_.build(entry, RegionMode::SB, path, trip, end);
+
+    // Replace the BB translation for this entry (paper: "the previous
+    // entry in the code cache ... is invalidated"). For unrolled
+    // loops the BB translation is kept alive but unmapped: it becomes
+    // the paper's "original loop" that follows the unrolled version,
+    // executing the residual iterations when the runtime trip check
+    // fails (instead of falling back to IM).
+    u32 bb_tid = ~0u;
+    auto it = translations_.find(entry);
+    if (it != translations_.end()) {
+        // Only a genuine BB translation can serve as the residual
+        // "original loop"; a previous superblock (recreation path)
+        // must be invalidated as usual.
+        if (trip && trans_[it->second].mode == RegionMode::BB) {
+            bb_tid = it->second;
+            translations_.erase(it);
+            sbFlags_[entry].residualBb = bb_tid;
+        } else {
+            invalidate(it->second);
+        }
+    }
+    // Recreations reuse the BB retained by the first promotion.
+    if (trip && bb_tid == ~0u) {
+        u32 kept = sbFlags_[entry].residualBb;
+        if (kept != ~0u && kept < trans_.size() && trans_[kept].valid)
+            bb_tid = kept;
+    }
+
+    u32 sb_tid = install(region, RegionMode::SB, false, entry);
+
+    if (trip && bb_tid != ~0u) {
+        // Pre-chain the trip-check exit (exit #0) into the retained
+        // BB translation.
+        Translation &sb = trans_[sb_tid];
+        darco_assert(!sb.exits.empty() &&
+                         sb.exits[0].kind == tol::ExitKind::Interp &&
+                         sb.exits[0].target == entry,
+                     "unrolled SB exit layout unexpected");
+        ExitDesc &d = sb.exits[0];
+        if (d.siteWord != ~0u) {
+            Translation &bb = trans_[bb_tid];
+            HInst j;
+            j.op = HOp::J;
+            j.imm = s32(bb.hostPc);
+            cache_.setWord(d.siteWord, hencode(j));
+            d.chained = true;
+            bb.incoming.push_back(Translation::InChain{
+                d.siteWord, sb.exitIdBase + 0, sb_tid, 0});
+            stats_.counter("tol.residual_chains").inc();
+        }
+    }
+    stats_.histogram("tol.sb_path_len", {2, 4, 8, 16, 32, 64, 128})
+        .sample(path.size());
+}
+
+// ---------------------------------------------------------------------
+// Translated-code execution
+// ---------------------------------------------------------------------
+
+void
+Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
+{
+    if (!resuming) {
+        emu_.loadGuestState(state_);
+        cost_.chargePrologue();
+        emu_.resetMark();
+    }
+    inRegionResume_ = false;
+    u32 pc = host_pc;
+    (void)tid;
+
+    for (;;) {
+        ExitInfo exit = emu_.run(pc, hostChunk_);
+        switch (exit.kind) {
+          case HExit::Budget:
+            if (completedInsts_ >= runTarget_) {
+                inRegionResume_ = true;
+                resumeHostPc_ = emu_.ctx().pc;
+                return;
+            }
+            pc = emu_.ctx().pc;
+            continue;
+
+          case HExit::Exit: {
+            darco_assert(exit.exitId < globalExits_.size(),
+                         "EXITB id out of range");
+            const GlobalExit ge = globalExits_[exit.exitId];
+            if (ge.promote) {
+                emu_.storeGuestState(state_);
+                state_.pc = ge.promoteTarget;
+                buildSuperblock(ge.promoteTarget);
+                return;
+            }
+            const ExitDesc &d = trans_[ge.trans].exits[ge.exitIdx];
+            emu_.storeGuestState(state_);
+            state_.pc = d.target;
+            switch (d.kind) {
+              case tol::ExitKind::Direct:
+                maybeChain(ge.trans, ge.exitIdx);
+                return;
+              case tol::ExitKind::Syscall:
+                handleSyscall();
+                return;
+              case tol::ExitKind::Halt:
+                finished_ = true;
+                return;
+              case tol::ExitKind::Interp:
+                // Normal dispatch: the continuation (e.g. the tail of
+                // a size-capped straight-line run) gets its own
+                // translation; only untranslatable code (REP string
+                // ops) actually lands in IM. Exception: an unchained
+                // trip-check exit targets its own entry — re-entering
+                // the region would spin, so IM must absorb one BB.
+                if (d.target == trans_[ge.trans].entry)
+                    forceInterp_ = true;
+                return;
+              default:
+                panic("unexpected exit kind from EXITB");
+            }
+          }
+
+          case HExit::IbtcMiss: {
+            emu_.storeGuestState(state_);
+            state_.pc = exit.guestTarget;
+            cost_.chargeLookup();
+            auto it = translations_.find(state_.pc);
+            if (it != translations_.end()) {
+                emu_.ibtc().insert(state_.pc,
+                                   trans_[it->second].hostPc);
+                stats_.counter("tol.ibtc_fills").inc();
+            }
+            return;
+          }
+
+          case HExit::AssertFail:
+          case HExit::AliasFail: {
+            u32 rtid = regionAt(emu_.ctx().pc);
+            Translation &t = trans_[rtid];
+            emu_.storeGuestState(state_);
+            state_.pc = t.entry;
+            // Wasted speculative work still ran in this mode.
+            (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
+                ->inc(emu_.instsSinceMark());
+            emu_.resetMark();
+
+            bool is_assert = exit.kind == HExit::AssertFail;
+            stats_
+                .counter(is_assert ? "tol.assert_fails"
+                                   : "tol.alias_fails")
+                .inc();
+            u32 fails = is_assert ? ++t.assertFails : ++t.aliasFails;
+            u32 limit = is_assert ? maxAssertFails_ : maxAliasFails_;
+            if (fails > limit && t.mode == RegionMode::SB) {
+                if (is_assert) {
+                    sbFlags_[t.entry].noAsserts = true;
+                    stats_.counter("tol.sb_recreated_noassert").inc();
+                } else {
+                    sbFlags_[t.entry].noSpec = true;
+                    stats_.counter("tol.sb_recreated_nospec").inc();
+                }
+                GAddr entry = t.entry;
+                invalidate(rtid);
+                buildSuperblock(entry);
+            }
+            // IM is the safety net for forward progress (paper V-B1).
+            forceInterp_ = true;
+            return;
+          }
+
+          case HExit::DivFault: {
+            u32 rtid = regionAt(emu_.ctx().pc);
+            emu_.storeGuestState(state_);
+            state_.pc = trans_[rtid].entry;
+            (trans_[rtid].mode == RegionMode::BB ? cHostBbm_
+                                                 : cHostSbm_)
+                ->inc(emu_.instsSinceMark());
+            emu_.resetMark();
+            // Re-execute in IM for a precise architectural fault.
+            forceInterp_ = true;
+            return;
+          }
+
+          case HExit::PageMiss: {
+            u32 rtid = regionAt(emu_.ctx().pc);
+            emu_.storeGuestState(state_);
+            state_.pc = trans_[rtid].entry;
+            (trans_[rtid].mode == RegionMode::BB ? cHostBbm_
+                                                 : cHostSbm_)
+                ->inc(emu_.instsSinceMark());
+            emu_.resetMark();
+            servicePageMiss(exit.missPage);
+            return; // dispatch retries the translation
+          }
+        }
+    }
+}
+
+u32
+Tol::regionAt(u32 host_pc) const
+{
+    auto it = hostPcMap_.find(host_pc);
+    darco_assert(it != hostPcMap_.end(),
+                 "rollback landed outside any region base");
+    return it->second;
+}
+
+// ---------------------------------------------------------------------
+// Main dispatch loop (Fig. 3)
+// ---------------------------------------------------------------------
+
+Tol::RunResult
+Tol::run(u64 max_guest_insts)
+{
+    if (!initCharged_) {
+        cost_.chargeInit();
+        initCharged_ = true;
+    }
+    runTarget_ = max_guest_insts == ~0ull
+                     ? ~0ull
+                     : completedInsts_ + max_guest_insts;
+
+    while (!finished_) {
+        if (completedInsts_ >= runTarget_)
+            return RunResult::Budget;
+        cost_.chargeDispatch();
+
+        if (inRegionResume_) {
+            executeTranslation(0, resumeHostPc_, true);
+            continue;
+        }
+        if (!forceInterp_) {
+            cost_.chargeLookup();
+            auto it = translations_.find(state_.pc);
+            if (it != translations_.end()) {
+                executeTranslation(it->second,
+                                   trans_[it->second].hostPc, false);
+                continue;
+            }
+        }
+        forceInterp_ = false;
+        interpretStep();
+    }
+    return RunResult::Finished;
+}
+
+} // namespace darco::tol

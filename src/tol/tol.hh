@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The Translation Optimization Layer runtime.
+ *
+ * Implements the paper's three-mode execution flow (Fig. 3):
+ *
+ *  - IM: interpret guest instructions, profile BB repetition with
+ *    software counters, promote hot BBs to BBM;
+ *  - BBM: basic-block translations with profiling instrumentation
+ *    (execution + edge counters) and a promotion-threshold check;
+ *  - SBM: superblocks built along biased branch directions, with
+ *    branches converted to asserts, single-BB counted loops unrolled
+ *    behind a runtime trip check, and the full optimization pipeline
+ *    (SSA-form IR, forward passes, DCE, DDG memory optimization,
+ *    list scheduling with memory speculation, linear-scan allocation).
+ *
+ * The runtime also owns chaining (EXITB -> J patching), the IBTC fill
+ * policy, speculation-failure handling (assert/alias failure counting
+ * and superblock recreation), code-cache flush policy, and the
+ * seven-category overhead cost model.
+ */
+
+#ifndef DARCO_TOL_TOL_HH
+#define DARCO_TOL_TOL_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "guest/memory.hh"
+#include "guest/state.hh"
+#include "host/code_cache.hh"
+#include "host/hemu.hh"
+#include "tol/cost_model.hh"
+#include "tol/frontend.hh"
+#include "xemu/os.hh"
+
+namespace darco::tol
+{
+
+/** A decoded basic block (TOL-internal granularity). */
+struct BBInfo
+{
+    GAddr entry = 0;
+    std::vector<PathElem> elems;
+    bool endsWithCti = false;
+    GAddr endPc = 0;      //!< IM continuation point when !endsWithCti
+    bool translatable = true;
+};
+
+/** One region exit as the runtime tracks it. */
+struct ExitDesc
+{
+    ExitKind kind = ExitKind::Direct;
+    GAddr target = 0;
+    u32 instsRetired = 0;
+    u32 bbsRetired = 0;
+    u32 siteWord = ~0u; //!< global code-cache word of the EXITB
+    bool chained = false;
+};
+
+/** An installed translation. */
+struct Translation
+{
+    GAddr entry = 0;
+    RegionMode mode = RegionMode::BB;
+    u32 hostPc = 0;
+    u32 words = 0;
+    u32 exitIdBase = 0;
+    std::vector<ExitDesc> exits;
+    bool valid = true;
+    u32 assertFails = 0;
+    u32 aliasFails = 0;
+
+    /** Chain sites in other regions that jump into this one. */
+    struct InChain
+    {
+        u32 site;
+        u32 exitId;
+        u32 fromTrans;
+        u32 fromExit;
+    };
+    std::vector<InChain> incoming;
+};
+
+/**
+ * The TOL.
+ *
+ * Config keys (defaults in parentheses):
+ *   tol.bb_threshold (10)      IM->BBM repetition threshold
+ *   tol.sb_threshold (50)      BBM->SBM execution threshold
+ *   tol.bias_threshold (0.85)  branch bias to extend a superblock
+ *   tol.cum_threshold (0.40)   min cumulative path probability
+ *   tol.min_edge_total (16)    edge samples needed to trust a bias
+ *   tol.max_sb_insts (200)     superblock size caps
+ *   tol.max_sb_bbs (16)
+ *   tol.max_bb_insts (128)
+ *   tol.max_assert_fails (6)   recreate SB without asserts beyond this
+ *   tol.max_alias_fails (6)    recreate SB without speculation
+ *   tol.unroll (true)          unroll single-BB counted loops
+ *   tol.unroll_factor (4)
+ *   tol.enable_bbm (true)      ablation switches
+ *   tol.enable_sbm (true)
+ *   tol.chaining (true)
+ *   tol.spec_mem (true)
+ *   tol.sched (true)
+ *   tol.opt (true)
+ *   tol.fuse_flags (true)
+ *   cc.capacity_words (1<<22)
+ */
+class Tol : public host::RetireSink
+{
+  public:
+    /** Controller-side services (the co-designed component's view). */
+    class Env
+    {
+      public:
+        virtual ~Env() = default;
+        /** Fetch a guest page as of `completed_insts` into memory. */
+        virtual void dataRequest(GAddr page, u64 completed_insts) = 0;
+        /**
+         * Execute the syscall at the current guest pc (in the
+         * reference component) and apply its effects to the
+         * co-designed state. @return false when the program exited.
+         */
+        virtual bool syscall(u64 completed_insts) = 0;
+    };
+
+    enum class RunResult
+    {
+        Finished,
+        Budget,
+    };
+
+    Tol(guest::PagedMemory &mem, const Config &cfg, StatGroup &stats);
+
+    void setEnv(Env *env) { env_ = env; }
+
+    /** Initialize guest architectural state (Initialization phase). */
+    void setState(const guest::CpuState &st) { state_ = st; }
+    guest::CpuState &state() { return state_; }
+    const guest::CpuState &state() const { return state_; }
+
+    /** Execute up to max_guest_insts more guest instructions. */
+    RunResult run(u64 max_guest_insts = ~0ull);
+
+    bool finished() const { return finished_; }
+
+    u64 completedInsts() const { return completedInsts_; }
+    u64 completedBBs() const { return completedBBs_; }
+
+    host::HostEmu &hostEmu() { return emu_; }
+    host::CodeCache &codeCache() { return cache_; }
+    CostModel &costModel() { return cost_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Attach the timing stream (application + synthesized TOL). */
+    void setTraceSink(host::TraceSink *sink);
+
+    /**
+     * Downscale promotion thresholds by `factor` (the warm-up
+     * methodology of Section VI-E). factor=1 restores the originals.
+     */
+    void scaleThresholds(u32 factor);
+
+    // RetireSink
+    void onRetire(u32 exit_id, u64 host_insts) override;
+
+    // Introspection for tests and benches.
+    std::size_t translationCount() const { return translations_.size(); }
+    const Translation *translationFor(GAddr pc) const;
+
+  private:
+    // --- profiling ------------------------------------------------------
+    struct ProfAddrs
+    {
+        u32 exec, taken, fall;
+    };
+    ProfAddrs profAddrs(GAddr bb_entry);
+    u32 edgeTaken(GAddr bb_entry);
+    u32 edgeFall(GAddr bb_entry);
+
+    // --- decode / BB cache ------------------------------------------------
+    guest::GInst fetchGuest(GAddr pc);
+    BBInfo &getBB(GAddr entry);
+
+    // --- execution ---------------------------------------------------------
+    void interpretStep();
+    void executeTranslation(u32 tid, u32 host_pc, bool resuming);
+    void handleSyscall();
+    void servicePageMiss(GAddr page);
+
+    // --- translation -----------------------------------------------------
+    void translateBB(BBInfo &bb);
+    void buildSuperblock(GAddr entry);
+    std::vector<PathElem> collectSBPath(GAddr start, bool use_asserts,
+                                        std::optional<TripCheck> &trip,
+                                        std::optional<Frontend::EndSpec>
+                                            &end);
+    u32 install(Region &region, RegionMode mode, bool profile,
+                GAddr prof_bb);
+    void invalidate(u32 tid);
+    void maybeChain(u32 from_tid, u32 exit_idx);
+    void flushAll();
+    u32 regionAt(u32 host_pc) const;
+    u32 poolIndex(double v);
+
+    // --- members -----------------------------------------------------------
+    guest::PagedMemory &mem_;
+    Config cfg_;
+    StatGroup &stats_;
+    host::CodeCache cache_;
+    host::HostEmu emu_;
+    CostModel cost_;
+    Frontend frontend_;
+    Env *env_ = nullptr;
+    xemu::GuestOS localOs_; //!< standalone mode (no controller)
+
+    guest::CpuState state_;
+    bool finished_ = false;
+    bool forceInterp_ = false;
+    bool initCharged_ = false;
+
+    // Resume state for guest-budget pauses inside a region.
+    bool inRegionResume_ = false;
+    u32 resumeHostPc_ = 0;
+
+    u64 completedInsts_ = 0;
+    u64 completedBBs_ = 0;
+    u64 runTarget_ = ~0ull;
+
+    std::unordered_map<GAddr, guest::GInst> decodeCache_;
+    std::unordered_map<GAddr, BBInfo> bbCache_;
+    std::unordered_map<GAddr, u32> imCounters_;
+
+    std::vector<Translation> trans_;
+    std::unordered_map<GAddr, u32> translations_; //!< entry -> tid
+    std::unordered_map<u32, u32> hostPcMap_;      //!< region base -> tid
+
+    struct GlobalExit
+    {
+        u32 trans = 0;
+        u32 exitIdx = 0;
+        bool promote = false;
+        GAddr promoteTarget = 0;
+    };
+    std::vector<GlobalExit> globalExits_;
+
+    struct SBFlags
+    {
+        bool noAsserts = false;
+        bool noSpec = false;
+        u32 residualBb = ~0u; //!< retained BB for unrolled residuals
+    };
+    std::unordered_map<GAddr, SBFlags> sbFlags_;
+
+    std::unordered_map<GAddr, ProfAddrs> profMap_;
+    u32 profNext_;
+
+    std::unordered_map<u64, u32> fpPoolMap_;
+
+    // Cached stat counters (hot paths).
+    Counter *cGuestIm_, *cGuestBbm_, *cGuestSbm_;
+    Counter *cBbIm_, *cBbBbm_, *cBbSbm_;
+    Counter *cHostBbm_, *cHostSbm_;
+
+    // Config snapshot.
+    u32 bbThreshold_, sbThreshold_;
+    u32 baseBbThreshold_, baseSbThreshold_;
+    double biasThreshold_, cumThreshold_;
+    u32 minEdgeTotal_, maxSbInsts_, maxSbBbs_, maxBbInsts_;
+    u32 maxAssertFails_, maxAliasFails_;
+    bool unroll_;
+    u32 unrollFactor_;
+    bool useAsserts_;
+    bool bbmEnabled_, sbmEnabled_, chaining_, specMem_, sched_, opt_;
+    u64 hostChunk_;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_TOL_HH

@@ -1,0 +1,397 @@
+#include "workloads/synth.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "guest/asm.hh"
+#include "xemu/os.hh"
+
+namespace darco::workloads
+{
+
+using namespace guest;
+
+namespace
+{
+
+/** Round up to a power of two. */
+u32
+pow2ceil(u32 v)
+{
+    u32 p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Register discipline:
+ *   RSP stack, RBP data base, RBX outer-loop counter,
+ *   RSI phase counter (bias driver / indirect selector),
+ *   RAX, RCX, RDX, RDI free for block bodies
+ *   (counted-loop blocks reserve RCX; the cold check clobbers RDI).
+ */
+struct Gen
+{
+    const WorkloadParams &p;
+    Rng rng;
+    Assembler a;
+    u32 wordMask;       //!< byte mask for int working-set offsets
+    std::size_t fpArea; //!< data offset of the FP slot area
+    u32 fpSlots = 64;
+    std::size_t strArea;
+
+    struct IndirectSite
+    {
+        std::size_t tableOff; //!< per-site 16-byte jump table
+        Assembler::Label cases[4];
+    };
+    std::vector<IndirectSite> indirectSites;
+
+    explicit Gen(const WorkloadParams &params)
+        : p(params), rng(params.seed * 0x9e3779b97f4a7c15ull + 1)
+    {
+        u32 words = pow2ceil(std::max(64u, p.dataWords));
+        wordMask = (words - 1) << 2;
+        // Data layout: int working set | fp slots | string buffers;
+        // per-site jump tables are appended during generation.
+        a.dataZero(words * 4);
+        fpArea = words * 4;
+        for (u32 i = 0; i < fpSlots; ++i)
+            a.dataF64(0.5 + 0.03125 * double(i % 37));
+        strArea = words * 4 + fpSlots * 8;
+        a.dataZero(2 * p.strLen + 64);
+    }
+
+    GReg
+    bodyReg(bool allow_rcx, bool allow_rdi = true)
+    {
+        for (;;) {
+            switch (rng.range(0, 3)) {
+              case 0: return RAX;
+              case 1:
+                if (allow_rcx)
+                    return RCX;
+                break;
+              case 2: return RDX;
+              default:
+                if (allow_rdi)
+                    return RDI;
+                break;
+            }
+        }
+    }
+
+    /** Memory operand into the int working set via a masked index. */
+    Mem
+    dataRef(GReg idx)
+    {
+        // Mask the register in place first (keeps addresses in-set).
+        a.andri(idx, s32(wordMask & ~3u));
+        return memIdx(RBP, idx, 0, 0);
+    }
+
+    /** Emit one random integer body instruction (may be several). */
+    void
+    emitIntOp(bool allow_rcx)
+    {
+        GReg d = bodyReg(allow_rcx);
+        GReg s = bodyReg(allow_rcx);
+        if (rng.chance(p.memFrac)) {
+            GReg idx = bodyReg(allow_rcx, true);
+            switch (rng.range(0, 7)) {
+              case 0:
+                a.movrm(d, dataRef(idx));
+                break;
+              case 1:
+                a.movmr(dataRef(idx), d);
+                break;
+              case 2:
+                a.addrm(d, dataRef(idx));
+                break;
+              case 3:
+                a.cmprm(d, dataRef(idx));
+                break;
+              case 4:
+                a.addmr(dataRef(idx), d);
+                break;
+              case 5:
+                a.movzx8(d, dataRef(idx));
+                break;
+              case 6:
+                a.movsx16(d, dataRef(idx));
+                break;
+              default:
+                a.mov8mr(dataRef(idx), d);
+                break;
+            }
+            return;
+        }
+        switch (rng.range(0, 17)) {
+          case 15:
+          case 16: {
+            // Extra conditional-data weight: x86-style flag consumers
+            // are expensive on a RISC host (select expansion).
+            a.cmpri(d, s32(rng.range(0, 64)));
+            if (rng.chance(0.5))
+                a.cmovcc(GCond(rng.range(0, 11)), d, s);
+            else
+                a.setcc(GCond(rng.range(0, 11)), d);
+            break;
+          }
+          case 0: a.addrr(d, s); break;
+          case 1: a.subrr(d, s); break;
+          case 2: a.xorrr(d, s); break;
+          case 3: a.andrr(d, s); break;
+          case 4: a.orrr(d, s); break;
+          case 5: a.imulrr(d, s); break;
+          case 6: a.addri(d, s32(rng.range(0, 4000)) - 2000); break;
+          case 7: a.shlri(d, s8(rng.range(1, 7))); break;
+          case 8: a.sarri(d, s8(rng.range(1, 7))); break;
+          case 9: a.lea(d, memIdx(RBP, s, u8(rng.range(0, 3)), 16)); break;
+          case 10: {
+            a.cmpri(d, s32(rng.range(0, 100)));
+            GCond c = GCond(rng.range(0, 11));
+            a.cmovcc(c, d, s);
+            break;
+          }
+          case 11: {
+            a.testrr(d, s);
+            a.setcc(GCond(rng.range(0, 11)), d);
+            break;
+          }
+          case 12: a.inc(d); break;
+          case 13: a.notr(d); break;
+          case 14: {
+            // Guarded division: divisor odd and dividend positive.
+            a.andri(d, 0x7fffffff);
+            a.orri(s, 1);
+            if (rng.chance(0.5))
+                a.idivrr(d, s);
+            else
+                a.iremrr(d, s);
+            break;
+          }
+          default: {
+            a.push(d);
+            a.movri(d, s32(rng.next() & 0xffff));
+            a.pop(d);
+            break;
+          }
+        }
+    }
+
+    /** Emit one FP body step (load, compute, occasionally store). */
+    void
+    emitFpOp(bool allow_rcx)
+    {
+        u8 fd = u8(rng.range(0, 7));
+        u8 fs = u8(rng.range(0, 7));
+        switch (rng.range(0, 9)) {
+          case 0:
+            a.fld(fd, mem(RBP, s32(fpArea + 8 * rng.range(0, fpSlots - 1))));
+            break;
+          case 1:
+            a.fst(mem(RBP, s32(fpArea + 8 * rng.range(0, fpSlots - 1))),
+                  fs);
+            break;
+          case 2: a.fadd(fd, fs); break;
+          case 3: a.fsub(fd, fs); break;
+          case 4: a.fmul(fd, fs); break;
+          case 5:
+            if (rng.chance(p.trigFrac))
+                a.fsin(fd, fs);
+            else
+                a.fdiv(fd, fs);
+            break;
+          case 6:
+            if (rng.chance(p.trigFrac))
+                a.fcos(fd, fs);
+            else {
+                a.fabs_(fd, fs);
+                a.fsqrt(fd, fd);
+            }
+            break;
+          case 7: {
+            GReg g = bodyReg(allow_rcx);
+            a.cvtif(fd, g);
+            break;
+          }
+          case 8: {
+            a.fcmp(fd, fs);
+            GReg g = bodyReg(allow_rcx);
+            a.setcc(GCond::B, g);
+            break;
+          }
+          default: a.fneg(fd, fs); break;
+        }
+    }
+
+    void
+    emitBody(u32 len, bool fp_block, bool allow_rcx)
+    {
+        for (u32 i = 0; i < len; ++i) {
+            if (fp_block && rng.chance(0.75))
+                emitFpOp(allow_rcx);
+            else
+                emitIntOp(allow_rcx);
+        }
+    }
+};
+
+} // namespace
+
+Program
+synthesize(const WorkloadParams &p)
+{
+    Gen g(p);
+    Assembler &a = g.a;
+    Rng &rng = g.rng;
+
+    std::vector<Assembler::Label> funcs;
+    for (u32 f = 0; f < p.numFuncs; ++f)
+        funcs.push_back(a.newLabel());
+
+    struct ColdStub
+    {
+        Assembler::Label label;
+        Assembler::Label back;
+    };
+    std::vector<ColdStub> coldStubs;
+
+    // --- prologue -------------------------------------------------------
+    a.movri(RBP, s32(layout::dataBase));
+    a.movri(RBX, s32(p.outerIters));
+    a.movri(RSI, 0);
+    a.movri(RDX, 0x1234);
+    // Initialize the integer working set with an LCG pattern.
+    {
+        auto init = a.newLabel();
+        a.movri(RDI, s32(layout::dataBase));
+        a.movri(RCX, s32((g.wordMask >> 2) + 1));
+        a.movri(RAX, s32(p.seed & 0x7fffffff));
+        a.bind(init);
+        a.movmr(mem(RDI), RAX);
+        a.imulri(RAX, 1103515245);
+        a.addri(RAX, 12345);
+        a.addri(RDI, 4);
+        a.dec(RCX);
+        a.jcc(GCond::NE, init);
+    }
+
+    auto chain = a.newLabel();
+    a.bind(chain);
+
+    // --- main chain -----------------------------------------------------
+    u32 sys_block = p.syscalls ? rng.range(0, p.numBlocks - 1) : ~0u;
+    for (u32 b = 0; b < p.numBlocks; ++b) {
+        bool fp_block = rng.chance(p.fpFrac);
+        u32 len = u32(rng.range(p.bbLenMin, p.bbLenMax));
+
+        double roll = rng.uniform();
+        if (roll < p.loopFrac) {
+            // Single-BB counted loop: body avoids RCX.
+            u32 trip = u32(rng.range(p.loopTripMin, p.loopTripMax));
+            a.movri(RCX, s32(trip));
+            auto l = a.newLabel();
+            a.bind(l);
+            g.emitBody(std::max(2u, len - 2), fp_block, false);
+            a.dec(RCX);
+            a.jcc(GCond::NE, l);
+        } else if (roll < p.loopFrac + p.strFrac) {
+            // REP string block (phase counter saved around it).
+            a.push(RSI);
+            a.movri(RSI, s32(Program::dataAddr(g.strArea)));
+            a.movri(RDI, s32(Program::dataAddr(g.strArea + p.strLen)));
+            a.movri(RCX, s32(p.strLen));
+            if (rng.chance(0.5)) {
+                a.movsb(true);
+            } else {
+                a.movri(RAX, s32(rng.range(0, 255)));
+                a.stosb(true);
+            }
+            a.pop(RSI);
+        } else if (roll < p.loopFrac + p.strFrac + p.callFrac &&
+                   !funcs.empty()) {
+            g.emitBody(len, fp_block, true);
+            a.call(funcs[rng.range(0, funcs.size() - 1)]);
+        } else if (roll <
+                   p.loopFrac + p.strFrac + p.callFrac + p.indirectFrac) {
+            // Jump-table dispatch on the phase counter; each site owns
+            // a 16-byte table patched with its case addresses below.
+            Gen::IndirectSite site;
+            site.tableOff = a.dataZero(16);
+            auto join = a.newLabel();
+            a.movrr(RDI, RSI);
+            a.andri(RDI, 3);
+            a.movri(RDX, s32(Program::dataAddr(site.tableOff)));
+            a.movrm(RDX, memIdx(RDX, RDI, 2, 0));
+            a.jmpr(RDX);
+            for (int c = 0; c < 4; ++c) {
+                site.cases[c] = a.newLabel();
+                a.bind(site.cases[c]);
+                g.emitBody(2, false, true);
+                if (c != 3)
+                    a.jmp(join);
+            }
+            a.bind(join);
+            g.indirectSites.push_back(site);
+        } else {
+            g.emitBody(len, fp_block, true);
+            if (rng.chance(p.coldFrac)) {
+                // Biased diamond: cold path taken every coldMask+1.
+                ColdStub stub{a.newLabel(), a.newLabel()};
+                a.inc(RSI);
+                a.movrr(RDI, RSI);
+                a.andri(RDI, s32(p.coldMask));
+                a.cmpri(RDI, 0);
+                a.jcc(GCond::EQ, stub.label);
+                a.bind(stub.back);
+                coldStubs.push_back(stub);
+            }
+        }
+
+        if (b == sys_block) {
+            a.movri(RAX, s32(xemu::sysTime));
+            a.syscall();
+            a.addrr(RDX, RAX);
+        }
+    }
+
+    // --- outer loop & exit ---------------------------------------------
+    a.dec(RBX);
+    a.jcc(GCond::NE, chain);
+
+    a.movrr(RCX, RDX);
+    a.xorrr(RCX, RAX);
+    a.andri(RCX, 0xff);
+    a.movri(RAX, s32(xemu::sysExit));
+    a.syscall();
+
+    // --- cold stubs -------------------------------------------------------
+    for (const ColdStub &c : coldStubs) {
+        a.bind(c.label);
+        g.emitBody(u32(rng.range(1, 3)), false, true);
+        a.jmp(c.back);
+    }
+
+    // --- leaf functions ----------------------------------------------------
+    for (u32 f = 0; f < p.numFuncs; ++f) {
+        a.bind(funcs[f]);
+        g.emitBody(u32(rng.range(2, 6)), rng.chance(p.fpFrac), true);
+        a.ret();
+    }
+
+    // Patch each indirect site's jump table with its case addresses.
+    Program prog = a.finish(p.name);
+    for (const Gen::IndirectSite &site : g.indirectSites) {
+        u32 pcs[4];
+        for (int c = 0; c < 4; ++c)
+            pcs[c] = u32(Program::codeAddr(a.labelOffset(site.cases[c])));
+        std::memcpy(prog.data.data() + site.tableOff, pcs, 16);
+    }
+    return prog;
+}
+
+} // namespace darco::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Parameterized synthetic guest-workload generator.
+ *
+ * Stands in for SPEC CPU2006 and Physicsbench (see DESIGN.md): every
+ * structural property the paper's evaluation depends on is an
+ * explicit knob, so each named benchmark is a parameter set
+ * calibrated to its published characteristics:
+ *
+ *  - basic-block size distribution (SPECINT small, SPECFP large),
+ *  - branch bias (drives superblock formation and assert failures),
+ *  - dynamic-to-static instruction ratio (drives TOL-overhead
+ *    amortization; the paper's stated explanation for Physicsbench),
+ *  - FP and trig fractions (trig expands in software: emulation cost),
+ *  - memory-op fraction and working-set size,
+ *  - call / indirect-branch / string-op frequencies,
+ *  - single-BB counted loops (unrolling candidates).
+ *
+ * Generated programs are fully deterministic for a given parameter
+ * set and always terminate.
+ */
+
+#ifndef DARCO_WORKLOADS_SYNTH_HH
+#define DARCO_WORKLOADS_SYNTH_HH
+
+#include <string>
+
+#include "guest/program.hh"
+
+namespace darco::workloads
+{
+
+/** Generator knobs. */
+struct WorkloadParams
+{
+    std::string name = "synth";
+    u64 seed = 1;
+
+    u32 numBlocks = 48;     //!< main-chain basic blocks (static size)
+    u32 bbLenMin = 3;       //!< body instructions per block
+    u32 bbLenMax = 8;
+    u32 outerIters = 400;   //!< chain repetitions (dyn/static ratio)
+
+    double coldFrac = 0.10; //!< blocks with a rarely-taken diamond
+    u32 coldMask = 15;      //!< cold path taken every (mask+1) trips
+
+    double fpFrac = 0.0;    //!< FP blocks fraction
+    double trigFrac = 0.0;  //!< trig ops within FP blocks
+    double memFrac = 0.30;  //!< memory ops within integer bodies
+    double loopFrac = 0.08; //!< single-BB counted-loop blocks
+    u32 loopTripMin = 8;
+    u32 loopTripMax = 40;
+    double callFrac = 0.06; //!< blocks ending in a call
+    u32 numFuncs = 3;
+    double indirectFrac = 0.02; //!< jump-table dispatch blocks
+    double strFrac = 0.0;       //!< REP string blocks
+    u32 strLen = 64;
+
+    u32 dataWords = 2048;   //!< working-set size (u32 words)
+    bool syscalls = true;   //!< periodic sysWrite in the chain
+};
+
+/** Generate a deterministic, terminating guest program. */
+guest::Program synthesize(const WorkloadParams &p);
+
+} // namespace darco::workloads
+
+#endif // DARCO_WORKLOADS_SYNTH_HH

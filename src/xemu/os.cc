@@ -1,0 +1,89 @@
+#include "xemu/os.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace darco::xemu
+{
+
+using namespace guest;
+
+SyscallEffect
+GuestOS::execute(CpuState &st, PagedMemory &mem, u8 inst_len)
+{
+    SyscallEffect eff;
+    const u32 nr = st.gpr[RAX];
+    const u32 a1 = st.gpr[RCX];
+    const u32 a2 = st.gpr[RDX];
+    u32 ret = 0;
+
+    auto markDirty = [&](GAddr lo, u32 len) {
+        for (GAddr p = pageBase(lo); p < lo + len; p += pageSizeBytes)
+            eff.dirtiedPages.push_back(p);
+    };
+
+    switch (nr) {
+      case sysExit:
+        eff.exited = true;
+        eff.exitCode = a1;
+        break;
+
+      case sysWrite: {
+        std::string buf(a2, '\0');
+        if (a2 > 0)
+            mem.readBlock(a1, buf.data(), a2);
+        output_ += buf;
+        ret = a2;
+        break;
+      }
+
+      case sysRead: {
+        u32 n = u32(std::min<std::size_t>(a2, input_.size() - inputPos_));
+        if (n > 0) {
+            mem.writeBlock(a1, input_.data() + inputPos_, n);
+            inputPos_ += n;
+            markDirty(a1, n);
+        }
+        ret = n;
+        break;
+      }
+
+      case sysBrk:
+        if (a1 != 0) {
+            if (a1 < layout::heapBase || a1 >= layout::stackTop - (1 << 20))
+                ret = brk_; // refused; return current brk
+            else
+                brk_ = a1;
+        }
+        ret = brk_;
+        break;
+
+      case sysTime:
+        virtualTime_ += 10;
+        ret = u32(virtualTime_);
+        break;
+
+      case sysRand:
+        ret = u32(rng_.next());
+        break;
+
+      case sysWriteInt: {
+        output_ += std::to_string(s32(a1));
+        output_ += '\n';
+        ret = a1;
+        break;
+      }
+
+      default:
+        // Unknown syscalls return -1 (like ENOSYS), deterministically.
+        ret = u32(-1);
+        break;
+    }
+
+    st.gpr[RAX] = ret;
+    st.pc += inst_len;
+    return eff;
+}
+
+} // namespace darco::xemu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Guest OS model.
+ *
+ * The paper's x86 component runs an unmodified operating system; only
+ * user-level state ever crosses the component boundary. We model the
+ * OS as a deterministic syscall emulation layer owned by the reference
+ * component: the co-designed component never executes system code
+ * (paper Section V-A), it synchronizes around it.
+ */
+
+#ifndef DARCO_XEMU_OS_HH
+#define DARCO_XEMU_OS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "guest/memory.hh"
+#include "guest/program.hh"
+#include "guest/state.hh"
+
+namespace darco::xemu
+{
+
+/** Syscall numbers (passed in RAX). */
+enum Sysno : u32
+{
+    sysExit = 0,     //!< rcx = exit code
+    sysWrite = 1,    //!< rcx = buf, rdx = len; returns len
+    sysRead = 2,     //!< rcx = buf, rdx = len; returns bytes read
+    sysBrk = 3,      //!< rcx = new brk (0 queries); returns brk
+    sysTime = 4,     //!< returns deterministic virtual time
+    sysRand = 5,     //!< returns deterministic pseudo-random u32
+    sysWriteInt = 6, //!< rcx = value; writes decimal + '\n'
+};
+
+/** Effects of one executed syscall (for the sync protocol). */
+struct SyscallEffect
+{
+    bool exited = false;
+    u32 exitCode = 0;
+    /** Guest pages the syscall wrote (must be re-synced). */
+    std::vector<GAddr> dirtiedPages;
+};
+
+/**
+ * Deterministic OS model.
+ *
+ * All observable behaviour (time, random, input) is derived from the
+ * seed so that reference and repeated runs agree exactly.
+ */
+class GuestOS
+{
+  public:
+    explicit GuestOS(u64 seed = 1)
+        : rng_(seed ^ 0x05a1ce5cull)
+    {}
+
+    /**
+     * Execute the syscall selected by st (RAX = number). Writes the
+     * return value to RAX and advances st.pc past the instruction.
+     *
+     * @param inst_len length of the SYSCALL instruction.
+     */
+    SyscallEffect execute(guest::CpuState &st, guest::PagedMemory &mem,
+                          u8 inst_len);
+
+    /** Provide bytes for sysRead. */
+    void setInput(std::string data) { input_ = std::move(data); }
+
+    const std::string &output() const { return output_; }
+
+    u32 brk() const { return brk_; }
+
+  private:
+    std::string output_;
+    std::string input_;
+    std::size_t inputPos_ = 0;
+    u32 brk_ = guest::layout::heapBase;
+    u64 virtualTime_ = 1000;
+    Rng rng_;
+};
+
+} // namespace darco::xemu
+
+#endif // DARCO_XEMU_OS_HH

@@ -1,0 +1,95 @@
+#include "xemu/ref_component.hh"
+
+#include "common/logging.hh"
+
+namespace darco::xemu
+{
+
+using namespace guest;
+
+void
+RefComponent::load(const Program &prog)
+{
+    mem_ = PagedMemory(MissPolicy::AllocateZero);
+    state_ = prog.load(mem_);
+    decodeCache_.clear();
+    instCount_ = 0;
+    bbCount_ = 0;
+    finished_ = false;
+    exitCode_ = 0;
+}
+
+const GInst &
+RefComponent::fetch(GAddr pc)
+{
+    auto it = decodeCache_.find(pc);
+    if (it != decodeCache_.end())
+        return it->second;
+    GInst inst = fetchInst(mem_, pc);
+    return decodeCache_.emplace(pc, inst).first->second;
+}
+
+bool
+RefComponent::step()
+{
+    if (finished_)
+        return false;
+
+    const GInst &inst = fetch(state_.pc);
+
+    ExecOut out = execInst(inst, state_, mem_);
+    while (out.status == ExecStatus::Again)
+        out = execInst(inst, state_, mem_);
+
+    switch (out.status) {
+      case ExecStatus::Ok:
+      case ExecStatus::CtiNotTaken:
+        ++instCount_;
+        if (inst.isCti())
+            ++bbCount_;
+        return true;
+
+      case ExecStatus::CtiTaken:
+        ++instCount_;
+        ++bbCount_;
+        return true;
+
+      case ExecStatus::Syscall: {
+        SyscallEffect eff = os_.execute(state_, mem_, inst.length);
+        lastDirtied_ = eff.dirtiedPages;
+        ++instCount_;
+        ++bbCount_;
+        if (eff.exited) {
+            finished_ = true;
+            exitCode_ = eff.exitCode;
+        }
+        return !finished_;
+      }
+
+      case ExecStatus::Halt:
+        finished_ = true;
+        return false;
+
+      case ExecStatus::Fault:
+        throw GuestFault{state_.pc, out.faultMsg};
+
+      default:
+        panic("unexpected exec status");
+    }
+}
+
+void
+RefComponent::runUntilInstCount(u64 n)
+{
+    while (instCount_ < n && !finished_)
+        step();
+}
+
+void
+RefComponent::runToCompletion(u64 max_insts)
+{
+    while (!finished_ && instCount_ < max_insts)
+        step();
+}
+
+} // namespace darco::xemu

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Controller / sync-protocol tests: three-phase execution flow, the
+ * data-request protocol (demand paging from the reference component),
+ * syscall synchronization with validation, end-of-application
+ * comparison, and the divergence debug toolchain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/asm.hh"
+#include "sim/controller.hh"
+#include "sim/debug.hh"
+#include "workloads/suite.hh"
+
+using namespace darco;
+using namespace darco::guest;
+using namespace darco::sim;
+using darco::workloads::synthesize;
+using darco::workloads::WorkloadParams;
+using darco::xemu::sysExit;
+using darco::xemu::sysRead;
+using darco::xemu::sysWrite;
+
+namespace
+{
+
+Config
+testCfg(std::vector<std::string> extra = {})
+{
+    Config cfg(extra);
+    if (!cfg.has("tol.bb_threshold"))
+        cfg.set("tol.bb_threshold", s64(4));
+    if (!cfg.has("tol.sb_threshold"))
+        cfg.set("tol.sb_threshold", s64(12));
+    if (!cfg.has("tol.min_edge_total"))
+        cfg.set("tol.min_edge_total", s64(8));
+    return cfg;
+}
+
+WorkloadParams
+smallWorkload(u64 seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.name = "ctl" + std::to_string(seed);
+    p.numBlocks = 30;
+    p.outerIters = 120;
+    p.fpFrac = 0.25;
+    p.trigFrac = 0.1;
+    p.strFrac = 0.04;
+    p.callFrac = 0.08;
+    p.indirectFrac = 0.03;
+    return p;
+}
+
+} // namespace
+
+TEST(Controller, FullSystemRunValidates)
+{
+    Controller ctl(testCfg());
+    ctl.load(synthesize(smallWorkload(11)));
+    ASSERT_NO_THROW(ctl.run());
+    EXPECT_TRUE(ctl.finished());
+    // Both components agree on final architectural state.
+    EXPECT_EQ(ctl.validateState(), "");
+    // Sync traffic actually happened.
+    EXPECT_GT(ctl.stats().value("sync.pages_transferred"), 0u);
+    EXPECT_GT(ctl.stats().value("sync.syscalls"), 0u);
+    EXPECT_GT(ctl.stats().value("sync.validations"), 0u);
+}
+
+TEST(Controller, DemandPagingIsLazy)
+{
+    // The co-designed component must hold only the pages it touched;
+    // the reference side owns the full image.
+    Controller ctl(testCfg());
+    ctl.load(synthesize(smallWorkload(12)));
+    ctl.run();
+    std::size_t codesigned_pages = ctl.emulatedMemory().pageCount();
+    std::size_t ref_pages = ctl.ref().memory().pageCount();
+    EXPECT_GT(codesigned_pages, 0u);
+    EXPECT_LE(codesigned_pages, ref_pages);
+    EXPECT_EQ(ctl.stats().value("sync.pages_transferred"),
+              codesigned_pages);
+}
+
+TEST(Controller, SyscallEffectsCrossTheBoundary)
+{
+    // sysRead writes guest memory on the reference side; the
+    // co-designed side must observe the bytes.
+    Assembler a;
+    std::size_t buf = a.dataZero(32);
+    auto loop = a.newLabel();
+    // Warm the buffer page into the co-designed image first.
+    a.movri(RBX, s32(Program::dataAddr(buf)));
+    a.movrm(RAX, mem(RBX));
+    // Hot loop so translation kicks in.
+    a.movri(RCX, 50);
+    a.bind(loop);
+    a.addri(RAX, 1);
+    a.dec(RCX);
+    a.jcc(GCond::NE, loop);
+    // Read 5 bytes into the buffer.
+    a.movri(RAX, sysRead);
+    a.movri(RCX, s32(Program::dataAddr(buf)));
+    a.movri(RDX, 5);
+    a.syscall();
+    // Exit with the first byte.
+    a.movzx8(RCX, mem(RBX));
+    a.movri(RAX, sysExit);
+    a.syscall();
+
+    Controller ctl(testCfg());
+    ctl.load(a.finish("readsync"));
+    ctl.ref().os().setInput("HELLO");
+    ctl.run();
+    EXPECT_EQ(ctl.exitCode(), u32('H'));
+}
+
+TEST(Controller, SteppedExecutionMatchesMonolithic)
+{
+    guest::Program p = synthesize(smallWorkload(13));
+    Controller mono(testCfg());
+    mono.load(p);
+    mono.run();
+
+    Controller stepped(testCfg());
+    stepped.load(p);
+    int slices = 0;
+    while (stepped.step(1500))
+        ++slices;
+    EXPECT_GT(slices, 2);
+    EXPECT_EQ(stepped.exitCode(), mono.exitCode());
+    EXPECT_EQ(stepped.tol().completedInsts(), mono.tol().completedInsts());
+}
+
+TEST(Controller, OutputMatchesReferenceOnlyRun)
+{
+    guest::Program p = synthesize(smallWorkload(14));
+    xemu::RefComponent solo(1);
+    solo.load(p);
+    solo.runToCompletion(50'000'000);
+
+    Controller ctl(testCfg());
+    ctl.load(p);
+    ctl.run();
+    EXPECT_EQ(ctl.exitCode(), solo.exitCode());
+    EXPECT_EQ(ctl.ref().os().output(), solo.os().output());
+}
+
+TEST(Controller, ValidationCatchesInjectedCorruption)
+{
+    // Sabotage the co-designed state mid-run; the syscall validation
+    // must throw DivergenceError.
+    Assembler a;
+    auto loop = a.newLabel();
+    a.movri(RSI, 200);
+    a.movri(RDX, 0);
+    a.bind(loop);
+    a.addri(RDX, 3);
+    a.dec(RSI);
+    a.jcc(GCond::NE, loop);
+    a.movri(RAX, s32(xemu::sysTime));
+    a.syscall();
+    a.movri(RAX, sysExit);
+    a.movri(RCX, 0);
+    a.syscall();
+
+    Controller ctl(testCfg());
+    ctl.load(a.finish("sabotage"));
+    // Run half the loop, then corrupt a register the loop doesn't
+    // touch (the corruption survives to the syscall sync point).
+    ctl.tol().run(300);
+    ctl.tol().state().gpr[RBP] ^= 0xdead;
+    EXPECT_THROW(ctl.run(), DivergenceError);
+}
+
+TEST(Controller, FinalMemoryValidationCatchesCorruption)
+{
+    Assembler a;
+    auto loop = a.newLabel();
+    a.movri(RBX, s32(layout::dataBase));
+    a.movri(RSI, 100);
+    a.bind(loop);
+    a.addmr(mem(RBX), RSI);
+    a.dec(RSI);
+    a.jcc(GCond::NE, loop);
+    a.hlt();
+    std::vector<std::string> cfg = {"sync.validate_syscalls=false"};
+
+    Controller ctl(testCfg(cfg));
+    guest::Program p = a.finish("memsab");
+    p.data.resize(64, 0);
+    ctl.load(p);
+    ctl.tol().run(150);
+    // Corrupt co-designed guest memory behind the system's back.
+    ctl.emulatedMemory().write32(layout::dataBase, 0xbad);
+    EXPECT_THROW(ctl.run(), DivergenceError);
+}
+
+TEST(DebugToolchain, CleanRunReportsNoDivergence)
+{
+    auto d = findFirstDivergence(synthesize(smallWorkload(15)),
+                                 testCfg(), 10'000'000);
+    EXPECT_FALSE(d.has_value());
+}
+
+TEST(DebugToolchain, PinpointsInjectedBug)
+{
+    guest::Program p = synthesize(smallWorkload(16));
+    bool fired = false;
+    u64 inject_at = 5000;
+    auto d = findFirstDivergence(
+        p, testCfg(), 10'000'000,
+        [&](tol::Tol &t, u64 completed) {
+            if (!fired && completed >= inject_at) {
+                fired = true;
+                t.state().gpr[RDX] ^= 0x5a5a;
+            }
+        });
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(fired);
+    // The report localizes the bug to the slice where it was injected.
+    EXPECT_GE(d->instTo, inject_at);
+    EXPECT_LE(d->instFrom, inject_at + 2000);
+    EXPECT_NE(d->stateDiff.find("r2"), std::string::npos)
+        << d->stateDiff;
+    EXPECT_FALSE(d->disassembly.empty());
+}
+
+TEST(Controller, DisabledValidationSkipsChecks)
+{
+    Controller ctl(testCfg({"sync.validate_syscalls=false",
+                            "sync.validate_end=false"}));
+    ctl.load(synthesize(smallWorkload(17)));
+    ctl.run();
+    EXPECT_EQ(ctl.stats().value("sync.validations"), 0u);
+}

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Assembler tests: label fixups, branch forms, data section, and
+ * decode-back verification of emitted code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "guest/asm.hh"
+#include "guest/semantics.hh"
+
+using namespace darco;
+using namespace darco::guest;
+
+namespace
+{
+
+/** Decode all instructions of a program's code section. */
+std::vector<GInst>
+decodeAll(const Program &p)
+{
+    std::vector<GInst> out;
+    std::size_t off = 0;
+    while (off < p.code.size()) {
+        GInst i;
+        EXPECT_TRUE(decode(p.code.data() + off, p.code.size() - off, i))
+            << "at offset " << off;
+        out.push_back(i);
+        off += i.length;
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Assembler, StraightLineEncoding)
+{
+    Assembler a;
+    a.movri(RAX, 5);
+    a.addri(RAX, 7);
+    a.hlt();
+    Program p = a.finish("t");
+    auto insts = decodeAll(p);
+    ASSERT_EQ(insts.size(), 3u);
+    EXPECT_EQ(insts[0].op, GOp::MOV_RI);
+    EXPECT_EQ(insts[0].imm, 5);
+    EXPECT_EQ(insts[1].op, GOp::ADD_RI);
+    EXPECT_EQ(insts[2].op, GOp::HLT);
+}
+
+TEST(Assembler, BackwardBranchFixup)
+{
+    Assembler a;
+    a.movri(RCX, 3);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    std::size_t loop_off = a.here();
+    a.dec(RCX);
+    a.jcc(GCond::NE, loop);
+    a.hlt();
+    Program p = a.finish("t");
+    auto insts = decodeAll(p);
+    ASSERT_EQ(insts.size(), 4u);
+    const GInst &j = insts[2];
+    EXPECT_EQ(j.op, GOp::JCC_REL32);
+    // Target must resolve back to the loop head.
+    GAddr jpc = Program::codeAddr(6 + 2); // movri(6) + dec(2)
+    EXPECT_EQ(j.target(jpc), Program::codeAddr(loop_off));
+}
+
+TEST(Assembler, ForwardBranchFixup)
+{
+    Assembler a;
+    auto skip = a.newLabel();
+    a.cmpri(RAX, 0);
+    a.jcc8(GCond::EQ, skip);
+    a.movri(RBX, 1);
+    a.bind(skip);
+    std::size_t end_off = a.here();
+    a.hlt();
+    Program p = a.finish("t");
+    auto insts = decodeAll(p);
+    const GInst &j = insts[1];
+    EXPECT_EQ(j.op, GOp::JCC_REL8);
+    GAddr jpc = Program::codeAddr(6);
+    EXPECT_EQ(j.target(jpc), Program::codeAddr(end_off));
+}
+
+TEST(Assembler, CallAndRet)
+{
+    Assembler a;
+    auto fn = a.newLabel();
+    a.call(fn);
+    a.hlt();
+    a.bind(fn);
+    std::size_t fn_off = a.here();
+    a.ret();
+    Program p = a.finish("t");
+    auto insts = decodeAll(p);
+    EXPECT_EQ(insts[0].op, GOp::CALL_REL32);
+    EXPECT_EQ(insts[0].target(Program::codeAddr(0)),
+              Program::codeAddr(fn_off));
+}
+
+TEST(Assembler, DataSection)
+{
+    Assembler a;
+    std::size_t o1 = a.dataU32(0x11223344);
+    std::size_t o2 = a.dataF64(2.5);
+    std::size_t o3 = a.dataZero(16);
+    a.hlt();
+    Program p = a.finish("t");
+    EXPECT_EQ(o1, 0u);
+    EXPECT_EQ(o2, 4u);
+    EXPECT_EQ(o3, 12u);
+    EXPECT_EQ(p.data.size(), 28u);
+
+    PagedMemory m;
+    p.load(m);
+    EXPECT_EQ(m.read32(Program::dataAddr(o1)), 0x11223344u);
+    u64 bits64 = m.read64(Program::dataAddr(o2));
+    double d;
+    memcpy(&d, &bits64, 8);
+    EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(Assembler, UnboundLabelPanics)
+{
+    Assembler a;
+    auto l = a.newLabel();
+    a.jmp(l);
+    a.hlt();
+    EXPECT_THROW(a.finish("t"), PanicError);
+}
+
+TEST(Assembler, Rel8OutOfRangePanics)
+{
+    Assembler a;
+    auto far = a.newLabel();
+    a.jmp8(far);
+    for (int i = 0; i < 200; ++i)
+        a.nop();
+    a.bind(far);
+    a.hlt();
+    EXPECT_THROW(a.finish("t"), PanicError);
+}
+
+TEST(Assembler, LoadStoreForms)
+{
+    Assembler a;
+    a.movrm(RAX, mem(RBX));
+    a.movrm(RAX, mem(RBX, 8));
+    a.movrm(RAX, mem(RBX, 1000));
+    a.movrm(RAX, memIdx(RBX, RCX, 2, 4));
+    a.movrm(RAX, memAbs32(0x400000));
+    a.movmr(mem(RBP, -4), RDX);
+    a.hlt();
+    Program p = a.finish("t");
+    auto insts = decodeAll(p);
+    ASSERT_EQ(insts.size(), 7u);
+    EXPECT_EQ(insts[0].memMode, memBase);
+    EXPECT_EQ(insts[1].memMode, memBaseD8);
+    EXPECT_EQ(insts[2].memMode, memBaseD32);
+    EXPECT_EQ(insts[3].memMode, memSib);
+    EXPECT_EQ(insts[4].memMode, memAbs);
+    EXPECT_EQ(insts[5].memMode, memBaseD8);
+    EXPECT_EQ(insts[5].disp, -4);
+}
+
+TEST(Assembler, ProgramLoadSetsInitialState)
+{
+    Assembler a;
+    a.hlt();
+    Program p = a.finish("t");
+    PagedMemory m;
+    CpuState st = p.load(m);
+    EXPECT_EQ(st.pc, layout::codeBase);
+    EXPECT_EQ(st.gpr[RSP], layout::stackTop);
+    EXPECT_EQ(m.read8(layout::codeBase), u8(GOp::HLT));
+}

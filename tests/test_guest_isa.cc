@@ -1,0 +1,326 @@
+/**
+ * @file
+ * GISA encoder/decoder tests: format coverage, roundtrip properties,
+ * and disassembler sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "guest/gisa.hh"
+
+using namespace darco;
+using namespace darco::guest;
+
+namespace
+{
+
+/** Encode then decode and require field equality. */
+void
+roundtrip(GInst in)
+{
+    u8 buf[16];
+    std::size_t n = encode(in, buf);
+    ASSERT_GT(n, 0u);
+    ASSERT_LE(n, 8u);
+    GInst out;
+    ASSERT_TRUE(decode(buf, n, out)) << disasm(in, 0);
+    EXPECT_EQ(out.op, in.op);
+    EXPECT_EQ(out.cond, in.cond);
+    EXPECT_EQ(out.rd, in.rd);
+    EXPECT_EQ(out.rs, in.rs);
+    EXPECT_EQ(out.rep, in.rep);
+    EXPECT_EQ(out.memMode, in.memMode);
+    EXPECT_EQ(out.memBase, in.memBase);
+    EXPECT_EQ(out.memIndex, in.memIndex);
+    EXPECT_EQ(out.memScale, in.memScale);
+    EXPECT_EQ(out.disp, in.disp);
+    EXPECT_EQ(out.imm, in.imm);
+    EXPECT_EQ(out.length, n);
+}
+
+GInst
+randomInst(Rng &rng)
+{
+    GInst i;
+    for (;;) {
+        i = GInst();
+        i.op = static_cast<GOp>(rng.range(0, u64(GOp::NumOps) - 1));
+        const GOpInfo &info = gopInfo(i.op);
+        switch (info.fmt) {
+          case GFmt::None:
+            break;
+          case GFmt::Str:
+            i.rep = rng.chance(0.5);
+            break;
+          case GFmt::R:
+            i.rd = u8(rng.range(0, 7));
+            break;
+          case GFmt::RR:
+          case GFmt::FP:
+          case GFmt::FInt:
+            i.rd = u8(rng.range(0, 7));
+            i.rs = u8(rng.range(0, 7));
+            break;
+          case GFmt::RI:
+            i.rd = u8(rng.range(0, 7));
+            i.imm = s32(rng.next());
+            break;
+          case GFmt::RI8:
+            i.rd = u8(rng.range(0, 7));
+            i.imm = s8(rng.next());
+            break;
+          case GFmt::RM:
+          case GFmt::MR:
+            i.rd = u8(rng.range(0, 7));
+            i.memMode = u8(rng.range(memBase, memAbs));
+            if (i.memMode != memAbs)
+                i.memBase = u8(rng.range(0, 7));
+            if (i.memMode == memSib) {
+                i.memIndex = u8(rng.range(0, 7));
+                i.memScale = u8(rng.range(0, 3));
+            }
+            if (i.memMode == memBaseD8)
+                i.disp = s8(rng.next());
+            else if (i.memMode != memBase)
+                i.disp = s32(rng.next());
+            break;
+          case GFmt::Rel8:
+            i.imm = s8(rng.next());
+            break;
+          case GFmt::Rel32:
+            i.imm = s32(rng.next());
+            break;
+          case GFmt::Jcc8:
+            i.cond = GCond(rng.range(0, u64(GCond::NumConds) - 1));
+            i.imm = s8(rng.next());
+            break;
+          case GFmt::Jcc32:
+            i.cond = GCond(rng.range(0, u64(GCond::NumConds) - 1));
+            i.imm = s32(rng.next());
+            break;
+          case GFmt::SetCC:
+            i.cond = GCond(rng.range(0, u64(GCond::NumConds) - 1));
+            i.rd = u8(rng.range(0, 7));
+            break;
+          case GFmt::CmovCC:
+            i.cond = GCond(rng.range(0, u64(GCond::NumConds) - 1));
+            i.rd = u8(rng.range(0, 7));
+            i.rs = u8(rng.range(0, 7));
+            break;
+        }
+        return i;
+    }
+}
+
+} // namespace
+
+TEST(GisaCodec, RoundtripEveryOpcode)
+{
+    // One deterministic instance of every opcode.
+    for (unsigned o = 0; o < unsigned(GOp::NumOps); ++o) {
+        GInst i;
+        i.op = GOp(o);
+        const GOpInfo &info = gopInfo(i.op);
+        switch (info.fmt) {
+          case GFmt::RM:
+          case GFmt::MR:
+            i.rd = 3;
+            i.memMode = memBaseD8;
+            i.memBase = 5;
+            i.disp = -16;
+            break;
+          case GFmt::RI:
+            i.rd = 2;
+            i.imm = 0x12345678;
+            break;
+          case GFmt::RI8:
+            i.rd = 2;
+            i.imm = -5;
+            break;
+          case GFmt::R:
+          case GFmt::SetCC:
+            i.rd = 1;
+            break;
+          case GFmt::RR:
+          case GFmt::FP:
+          case GFmt::FInt:
+          case GFmt::CmovCC:
+            i.rd = 1;
+            i.rs = 2;
+            break;
+          case GFmt::Rel8:
+          case GFmt::Jcc8:
+            i.imm = 10;
+            break;
+          case GFmt::Rel32:
+          case GFmt::Jcc32:
+            i.imm = 0x1000;
+            break;
+          case GFmt::None:
+          case GFmt::Str:
+            break;
+        }
+        roundtrip(i);
+    }
+}
+
+TEST(GisaCodec, RoundtripRandomProperty)
+{
+    Rng rng(0xc0dec);
+    for (int n = 0; n < 20000; ++n)
+        roundtrip(randomInst(rng));
+}
+
+TEST(GisaCodec, AllMemModes)
+{
+    for (u8 mode = memBase; mode <= memAbs; ++mode) {
+        GInst i;
+        i.op = GOp::MOV_RM;
+        i.rd = 1;
+        i.memMode = mode;
+        if (mode != memAbs)
+            i.memBase = 6;
+        if (mode == memSib) {
+            i.memIndex = 2;
+            i.memScale = 3;
+        }
+        i.disp = mode == memBaseD8 ? -100 : 0x01020304;
+        if (mode == memBase)
+            i.disp = 0;
+        roundtrip(i);
+    }
+}
+
+TEST(GisaCodec, RejectsInvalidOpcode)
+{
+    u8 buf[4] = {0xf0, 0, 0, 0}; // beyond NumOps, not the REP prefix
+    GInst out;
+    EXPECT_FALSE(decode(buf, 4, out));
+}
+
+TEST(GisaCodec, RejectsTruncated)
+{
+    GInst i;
+    i.op = GOp::MOV_RI;
+    i.rd = 0;
+    i.imm = 0x11223344;
+    u8 buf[16];
+    std::size_t n = encode(i, buf);
+    GInst out;
+    for (std::size_t k = 0; k < n; ++k)
+        EXPECT_FALSE(decode(buf, k, out)) << "prefix length " << k;
+    EXPECT_TRUE(decode(buf, n, out));
+}
+
+TEST(GisaCodec, RejectsRepOnNonString)
+{
+    u8 buf[4] = {repPrefix, u8(GOp::NOP), 0, 0};
+    GInst out;
+    EXPECT_FALSE(decode(buf, 4, out));
+}
+
+TEST(GisaCodec, RejectsBadCondition)
+{
+    u8 buf[8] = {u8(GOp::JCC_REL32), 0x3f, 0, 0, 0, 0};
+    GInst out;
+    EXPECT_FALSE(decode(buf, 6, out));
+}
+
+TEST(GisaCodec, VariableLengths)
+{
+    // The CISC property: encodings of genuinely different lengths.
+    GInst nop;
+    nop.op = GOp::NOP;
+    u8 buf[16];
+    EXPECT_EQ(encode(nop, buf), 1u);
+
+    GInst ri;
+    ri.op = GOp::MOV_RI;
+    ri.imm = 1 << 20;
+    EXPECT_EQ(encode(ri, buf), 6u);
+
+    GInst sib;
+    sib.op = GOp::MOV_RM;
+    sib.memMode = memSib;
+    sib.memBase = 1;
+    sib.memIndex = 2;
+    sib.memScale = 2;
+    sib.disp = 0x100;
+    EXPECT_EQ(encode(sib, buf), 7u);
+
+    GInst rep;
+    rep.op = GOp::MOVSB;
+    rep.rep = true;
+    EXPECT_EQ(encode(rep, buf), 2u);
+}
+
+TEST(GisaCond, EvalAgainstTruthTable)
+{
+    struct Case
+    {
+        u8 flags;
+        GCond cond;
+        bool expect;
+    } cases[] = {
+        {flagZ, GCond::EQ, true},    {0, GCond::EQ, false},
+        {0, GCond::NE, true},        {flagZ, GCond::NE, false},
+        {flagS, GCond::LT, true},    {flagS | flagO, GCond::LT, false},
+        {flagO, GCond::LT, true},    {0, GCond::GE, true},
+        {flagS | flagO, GCond::GE, true}, {flagZ, GCond::LE, true},
+        {flagS, GCond::LE, true},    {0, GCond::LE, false},
+        {0, GCond::GT, true},        {flagZ, GCond::GT, false},
+        {flagC, GCond::B, true},     {0, GCond::B, false},
+        {0, GCond::AE, true},        {flagC, GCond::BE, true},
+        {flagZ, GCond::BE, true},    {0, GCond::BE, false},
+        {0, GCond::A, true},         {flagC, GCond::A, false},
+        {flagZ, GCond::A, false},    {flagS, GCond::S, true},
+        {0, GCond::NS, true},
+    };
+    for (const auto &c : cases) {
+        EXPECT_EQ(evalCond(c.cond, c.flags), c.expect)
+            << gcondName(c.cond) << " flags=" << int(c.flags);
+    }
+}
+
+TEST(GisaDisasm, BasicForms)
+{
+    GInst i;
+    i.op = GOp::ADD_RR;
+    i.rd = 0;
+    i.rs = 1;
+    u8 buf[16];
+    encode(i, buf);
+    EXPECT_EQ(disasm(i, 0x1000), "add rax, rcx");
+
+    GInst j;
+    j.op = GOp::JCC_REL32;
+    j.cond = GCond::NE;
+    j.imm = 0x10;
+    encode(j, buf);
+    // target = pc + len + imm = 0x1000 + 6 + 0x10
+    EXPECT_EQ(disasm(j, 0x1000), "jccne 0x1016");
+
+    GInst m;
+    m.op = GOp::MOV_RM;
+    m.rd = 2;
+    m.memMode = memSib;
+    m.memBase = 3;
+    m.memIndex = 1;
+    m.memScale = 2;
+    m.disp = 8;
+    encode(m, buf);
+    EXPECT_EQ(disasm(m, 0), "mov rdx, [rbx+rcx*4+8]");
+}
+
+TEST(GisaInfo, CtiFlagsConsistent)
+{
+    EXPECT_TRUE(gopInfo(GOp::JMP_REL32).isCti);
+    EXPECT_TRUE(gopInfo(GOp::RET).isCti);
+    EXPECT_TRUE(gopInfo(GOp::SYSCALL).isCti);
+    EXPECT_TRUE(gopInfo(GOp::HLT).isCti);
+    EXPECT_TRUE(gopInfo(GOp::CALLR).isCti);
+    EXPECT_FALSE(gopInfo(GOp::ADD_RR).isCti);
+    EXPECT_FALSE(gopInfo(GOp::SETCC).isCti);
+    EXPECT_FALSE(gopInfo(GOp::MOVSB).isCti);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * PagedMemory tests: widths, page-crossing accesses, miss policies,
+ * page install/transfer (the data-request substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "guest/memory.hh"
+
+using namespace darco;
+using namespace darco::guest;
+
+TEST(PagedMemory, ReadWriteWidths)
+{
+    PagedMemory m;
+    m.write8(0x1000, 0xab);
+    m.write16(0x1002, 0xbeef);
+    m.write32(0x1004, 0xdeadbeef);
+    m.write64(0x1008, 0x0123456789abcdefull);
+    EXPECT_EQ(m.read8(0x1000), 0xab);
+    EXPECT_EQ(m.read16(0x1002), 0xbeef);
+    EXPECT_EQ(m.read32(0x1004), 0xdeadbeefu);
+    EXPECT_EQ(m.read64(0x1008), 0x0123456789abcdefull);
+}
+
+TEST(PagedMemory, LittleEndianByteOrder)
+{
+    PagedMemory m;
+    m.write32(0x2000, 0x11223344);
+    EXPECT_EQ(m.read8(0x2000), 0x44);
+    EXPECT_EQ(m.read8(0x2001), 0x33);
+    EXPECT_EQ(m.read8(0x2002), 0x22);
+    EXPECT_EQ(m.read8(0x2003), 0x11);
+}
+
+TEST(PagedMemory, ZeroFilledOnAllocate)
+{
+    PagedMemory m;
+    EXPECT_EQ(m.read32(0x5000), 0u);
+    EXPECT_EQ(m.read64(0x7ff8), 0u);
+}
+
+TEST(PagedMemory, PageCrossingAccesses)
+{
+    PagedMemory m;
+    // Write a u32 straddling the 0x1000 page boundary.
+    m.write32(pageSizeBytes - 2, 0xcafebabe);
+    EXPECT_EQ(m.read32(pageSizeBytes - 2), 0xcafebabeu);
+    m.write64(2 * pageSizeBytes - 3, 0x1122334455667788ull);
+    EXPECT_EQ(m.read64(2 * pageSizeBytes - 3), 0x1122334455667788ull);
+    EXPECT_EQ(m.read16(pageSizeBytes - 1),
+              u16((0xcafebabe >> 8) & 0xffff) & 0xffff);
+}
+
+TEST(PagedMemory, BlockCopyAcrossPages)
+{
+    PagedMemory m;
+    std::vector<u8> src(3 * pageSizeBytes);
+    Rng rng(42);
+    for (auto &b : src)
+        b = u8(rng.next());
+    GAddr base = pageSizeBytes / 2; // deliberately unaligned
+    m.writeBlock(base, src.data(), src.size());
+    std::vector<u8> dst(src.size());
+    m.readBlock(base, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(PagedMemory, SignalPolicyThrowsOnMiss)
+{
+    PagedMemory m(MissPolicy::Signal);
+    try {
+        m.read32(0x12345);
+        FAIL() << "expected PageMiss";
+    } catch (const PageMiss &pm) {
+        EXPECT_EQ(pm.page, pageBase(0x12345));
+    }
+    // Writes also signal.
+    EXPECT_THROW(m.write8(0xabcd, 1), PageMiss);
+}
+
+TEST(PagedMemory, SignalPolicySucceedsAfterInstall)
+{
+    PagedMemory authoritative;
+    authoritative.write32(0x8004, 0x55aa55aa);
+
+    PagedMemory emulated(MissPolicy::Signal);
+    EXPECT_THROW(emulated.read32(0x8004), PageMiss);
+    emulated.installPage(pageBase(0x8004), authoritative.page(0x8000));
+    EXPECT_EQ(emulated.read32(0x8004), 0x55aa55aau);
+    // Writes now land locally.
+    emulated.write32(0x8004, 7);
+    EXPECT_EQ(emulated.read32(0x8004), 7u);
+    // The authoritative copy is untouched.
+    EXPECT_EQ(authoritative.read32(0x8004), 0x55aa55aau);
+}
+
+TEST(PagedMemory, ResidentPagesSorted)
+{
+    PagedMemory m;
+    m.write8(0x5000, 1);
+    m.write8(0x1000, 1);
+    m.write8(0x3000, 1);
+    auto pages = m.residentPages();
+    ASSERT_EQ(pages.size(), 3u);
+    EXPECT_EQ(pages[0], 0x1000u);
+    EXPECT_EQ(pages[1], 0x3000u);
+    EXPECT_EQ(pages[2], 0x5000u);
+    EXPECT_TRUE(m.hasPage(0x3abc));
+    EXPECT_FALSE(m.hasPage(0x7000));
+}
+
+TEST(PagedMemory, PartialPageCrossingMissIsRestartable)
+{
+    // A write32 crossing into an absent page must be safely
+    // retryable after the page is installed (executor contract).
+    PagedMemory m(MissPolicy::Signal);
+    std::vector<u8> zeros(pageSizeBytes, 0);
+    m.installPage(0x1000, zeros.data());
+    GAddr a = 0x2000 - 2; // crosses 0x1000 -> 0x2000
+    EXPECT_THROW(m.write32(a, 0xa1b2c3d4), PageMiss);
+    m.installPage(0x2000, zeros.data());
+    m.write32(a, 0xa1b2c3d4);
+    EXPECT_EQ(m.read32(a), 0xa1b2c3d4u);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * HISA codec tests: roundtrip over all formats, immediate limits,
+ * constant materialization, disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "host/hisa.hh"
+
+using namespace darco;
+using namespace darco::host;
+
+namespace
+{
+
+void
+roundtrip(HInst in)
+{
+    u32 w = hencode(in);
+    HInst out = hdecode(w);
+    EXPECT_EQ(out.op, in.op) << hdisasm(in, 0);
+    EXPECT_EQ(out.rd, in.rd) << hdisasm(in, 0);
+    EXPECT_EQ(out.rs1, in.rs1) << hdisasm(in, 0);
+    EXPECT_EQ(out.rs2, in.rs2) << hdisasm(in, 0);
+    EXPECT_EQ(out.imm, in.imm) << hdisasm(in, 0);
+}
+
+} // namespace
+
+TEST(HisaCodec, RoundtripEveryOpcode)
+{
+    for (unsigned o = 0; o < unsigned(HOp::NumOps); ++o) {
+        HInst i;
+        i.op = HOp(o);
+        switch (i.info().fmt) {
+          case HFmt::N:
+            break;
+          case HFmt::R:
+            i.rd = 5;
+            i.rs1 = 17;
+            i.rs2 = 31;
+            break;
+          case HFmt::I:
+            i.rd = 3;
+            i.rs1 = 9;
+            i.imm = -100;
+            break;
+          case HFmt::B:
+            i.rs1 = 8;
+            i.rs2 = 21;
+            i.imm = -7;
+            break;
+          case HFmt::U:
+            i.rd = 30;
+            i.imm = (1 << 19) - 1;
+            break;
+          case HFmt::J:
+            i.imm = (1 << 24) - 1;
+            break;
+        }
+        roundtrip(i);
+    }
+}
+
+TEST(HisaCodec, RoundtripRandomProperty)
+{
+    Rng rng(0x415a);
+    for (int t = 0; t < 20000; ++t) {
+        HInst i;
+        i.op = HOp(rng.range(0, u64(HOp::NumOps) - 1));
+        switch (i.info().fmt) {
+          case HFmt::N:
+            break;
+          case HFmt::R:
+            i.rd = u8(rng.range(0, 31));
+            i.rs1 = u8(rng.range(0, 31));
+            i.rs2 = u8(rng.range(0, 31));
+            break;
+          case HFmt::I:
+            i.rd = u8(rng.range(0, 31));
+            i.rs1 = u8(rng.range(0, 31));
+            i.imm = s32(rng.range(0, (1 << 14) - 1)) - (1 << 13);
+            break;
+          case HFmt::B:
+            i.rs1 = u8(rng.range(0, 31));
+            i.rs2 = u8(rng.range(0, 31));
+            i.imm = s32(rng.range(0, (1 << 14) - 1)) - (1 << 13);
+            break;
+          case HFmt::U:
+            i.rd = u8(rng.range(0, 31));
+            i.imm = s32(rng.range(0, (1 << 19) - 1));
+            break;
+          case HFmt::J:
+            i.imm = s32(rng.range(0, (1 << 24) - 1));
+            break;
+        }
+        roundtrip(i);
+    }
+}
+
+TEST(HisaCodec, ImmediateRangeChecked)
+{
+    HInst i;
+    i.op = HOp::ADDI;
+    i.rd = 1;
+    i.rs1 = 2;
+    i.imm = 1 << 14; // too big for imm14
+    EXPECT_THROW(hencode(i), PanicError);
+    i.imm = -(1 << 13) - 1;
+    EXPECT_THROW(hencode(i), PanicError);
+    i.imm = -(1 << 13);
+    EXPECT_NO_THROW(hencode(i));
+}
+
+TEST(HisaCodec, BadOpcodePanics)
+{
+    EXPECT_THROW(hdecode(0xff00'0000u), PanicError);
+}
+
+TEST(HisaAsm, LoadImmSmallUsesOneInst)
+{
+    HAsm a;
+    EXPECT_EQ(a.loadImm(5, 100), 1u);
+    EXPECT_EQ(a.loadImm(5, u32(-100)), 1u);
+    EXPECT_EQ(a.size(), 2u);
+    HInst i = hdecode(a.words()[0]);
+    EXPECT_EQ(i.op, HOp::ADDI);
+    EXPECT_EQ(i.imm, 100);
+}
+
+TEST(HisaAsm, LoadImmLargeUsesLuiOri)
+{
+    HAsm a;
+    u32 v = 0xdeadbeef;
+    EXPECT_EQ(a.loadImm(7, v), 2u);
+    HInst lui = hdecode(a.words()[0]);
+    HInst ori = hdecode(a.words()[1]);
+    EXPECT_EQ(lui.op, HOp::LUI);
+    EXPECT_EQ(ori.op, HOp::ORI);
+    u32 reconstructed = (u32(lui.imm) << 13) | (u32(ori.imm) & 0x1fff);
+    EXPECT_EQ(reconstructed, v);
+}
+
+TEST(HisaAsm, LoadImmAlignedSkipsOri)
+{
+    HAsm a;
+    u32 v = 0xabc << 13;
+    EXPECT_EQ(a.loadImm(3, v), 1u);
+    HInst lui = hdecode(a.words()[0]);
+    EXPECT_EQ(u32(lui.imm) << 13, v);
+}
+
+TEST(HisaAsm, LoadImmExhaustiveSweep)
+{
+    // Property: LUI/ORI reconstruction works for a dense value sweep.
+    Rng rng(77);
+    for (int t = 0; t < 5000; ++t) {
+        u32 v = u32(rng.next());
+        HAsm a;
+        unsigned n = a.loadImm(9, v);
+        u32 acc = 0;
+        for (unsigned k = 0; k < n; ++k) {
+            HInst i = hdecode(a.words()[k]);
+            if (i.op == HOp::ADDI)
+                acc = u32(i.imm);
+            else if (i.op == HOp::LUI)
+                acc = u32(i.imm) << 13;
+            else if (i.op == HOp::ORI)
+                acc |= u32(i.imm) & 0x1fff;
+        }
+        ASSERT_EQ(acc, v) << "value 0x" << std::hex << v;
+    }
+}
+
+TEST(HisaDisasm, Forms)
+{
+    HInst add;
+    add.op = HOp::ADD;
+    add.rd = 1;
+    add.rs1 = 2;
+    add.rs2 = 3;
+    EXPECT_EQ(hdisasm(add, 0), "add r1, r2, r3");
+
+    HInst lw;
+    lw.op = HOp::LW;
+    lw.rd = 4;
+    lw.rs1 = 5;
+    lw.imm = -8;
+    EXPECT_EQ(hdisasm(lw, 0), "lw r4, -8(r5)");
+
+    HInst sw;
+    sw.op = HOp::SW;
+    sw.rs1 = 6;
+    sw.rs2 = 7;
+    sw.imm = 12;
+    EXPECT_EQ(hdisasm(sw, 0), "sw r7, 12(r6)");
+
+    HInst beq;
+    beq.op = HOp::BEQ;
+    beq.rs1 = 1;
+    beq.rs2 = 0;
+    beq.imm = 5;
+    EXPECT_EQ(hdisasm(beq, 100), "beq r1, r0, 106");
+
+    HInst fa;
+    fa.op = HOp::FADD;
+    fa.rd = 1;
+    fa.rs1 = 2;
+    fa.rs2 = 3;
+    EXPECT_EQ(hdisasm(fa, 0), "fadd f1, f2, f3");
+
+    HInst az;
+    az.op = HOp::ASSERTNZ;
+    az.rs1 = 20;
+    az.imm = 3;
+    EXPECT_EQ(hdisasm(az, 0), "assertnz r20, #3");
+}

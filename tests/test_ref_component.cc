@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Reference-component tests: whole programs through the authoritative
+ * interpreter + OS model, instruction/BB counting, run-until-count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "guest/asm.hh"
+#include "xemu/ref_component.hh"
+
+using namespace darco;
+using namespace darco::guest;
+using namespace darco::xemu;
+
+namespace
+{
+
+/** Countdown-loop program: sums 1..n into RAX, exits via sysExit. */
+Program
+sumProgram(s32 n)
+{
+    Assembler a;
+    a.movri(RAX, 0);
+    a.movri(RCX, n);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.addrr(RAX, RCX);
+    a.dec(RCX);
+    a.jcc(GCond::NE, loop);
+    a.movrr(RCX, RAX); // exit code = sum
+    a.movri(RAX, sysExit);
+    a.syscall();
+    return a.finish("sum");
+}
+
+} // namespace
+
+TEST(RefComponent, SumLoop)
+{
+    RefComponent ref;
+    ref.load(sumProgram(10));
+    ref.runToCompletion();
+    EXPECT_TRUE(ref.finished());
+    EXPECT_EQ(ref.exitCode(), 55u);
+    // 2 setup + 10*(add,dec,jcc) + 2 + syscall = 35
+    EXPECT_EQ(ref.instCount(), 35u);
+    // BBs: 10 loop iterations (jcc) + final syscall
+    EXPECT_EQ(ref.bbCount(), 11u);
+}
+
+TEST(RefComponent, FactorialViaCallRet)
+{
+    // Iterative factorial in a function, called twice.
+    Assembler a;
+    auto fn = a.newLabel();
+    auto after1 = a.newLabel();
+
+    a.movri(RBX, 5);
+    a.call(fn);
+    a.movrr(RSI, RAX); // 120
+    a.movri(RBX, 6);
+    a.call(fn);
+    a.movrr(RDI, RAX); // 720
+    a.bind(after1);
+    a.movri(RAX, sysExit);
+    a.movrr(RCX, RDI);
+    a.syscall();
+
+    a.bind(fn); // fact(RBX) -> RAX
+    a.movri(RAX, 1);
+    auto loop = a.newLabel();
+    auto out = a.newLabel();
+    a.bind(loop);
+    a.cmpri(RBX, 1);
+    a.jcc(GCond::LE, out);
+    a.imulrr(RAX, RBX);
+    a.dec(RBX);
+    a.jmp(loop);
+    a.bind(out);
+    a.ret();
+
+    RefComponent ref;
+    ref.load(a.finish("fact"));
+    ref.runToCompletion();
+    EXPECT_TRUE(ref.finished());
+    EXPECT_EQ(ref.exitCode(), 720u);
+}
+
+TEST(RefComponent, WriteSyscallProducesOutput)
+{
+    Assembler a;
+    std::size_t msg = a.dataBytes("hello darco\n", 12);
+    a.movri(RAX, sysWrite);
+    a.movri(RCX, s32(Program::dataAddr(msg)));
+    a.movri(RDX, 12);
+    a.syscall();
+    a.movrr(RBX, RAX); // returned length
+    a.movri(RAX, sysExit);
+    a.movrr(RCX, RBX);
+    a.syscall();
+
+    RefComponent ref;
+    ref.load(a.finish("hello"));
+    ref.runToCompletion();
+    EXPECT_EQ(ref.os().output(), "hello darco\n");
+    EXPECT_EQ(ref.exitCode(), 12u);
+}
+
+TEST(RefComponent, ReadSyscallConsumesInput)
+{
+    Assembler a;
+    std::size_t buf = a.dataZero(16);
+    a.movri(RAX, sysRead);
+    a.movri(RCX, s32(Program::dataAddr(buf)));
+    a.movri(RDX, 16);
+    a.syscall();
+    // Exit with first byte read.
+    a.movri(RBX, s32(Program::dataAddr(buf)));
+    a.movzx8(RCX, mem(RBX));
+    a.movri(RAX, sysExit);
+    a.syscall();
+
+    RefComponent ref;
+    ref.load(a.finish("read"));
+    ref.os().setInput("Zebra");
+    ref.runToCompletion();
+    EXPECT_EQ(ref.exitCode(), u32('Z'));
+}
+
+TEST(RefComponent, BrkGrowsHeap)
+{
+    Assembler a;
+    a.movri(RAX, sysBrk);
+    a.movri(RCX, 0);
+    a.syscall();          // query: RAX = heapBase
+    a.movrr(RBX, RAX);
+    a.addri(RBX, 0x2000);
+    a.movri(RAX, sysBrk);
+    a.movrr(RCX, RBX);
+    a.syscall();          // grow by 2 pages
+    a.movmr(mem(RAX, -4), RAX); // store to new heap top - 4
+    a.movri(RAX, sysExit);
+    a.movri(RCX, 0);
+    a.syscall();
+
+    RefComponent ref;
+    ref.load(a.finish("brk"));
+    ref.runToCompletion();
+    EXPECT_EQ(ref.exitCode(), 0u);
+    EXPECT_EQ(ref.os().brk(), layout::heapBase + 0x2000);
+}
+
+TEST(RefComponent, HltStopsWithoutExitCode)
+{
+    Assembler a;
+    a.movri(RAX, 1);
+    a.hlt();
+    RefComponent ref;
+    ref.load(a.finish("h"));
+    ref.runToCompletion();
+    EXPECT_TRUE(ref.finished());
+    EXPECT_EQ(ref.instCount(), 1u) << "HLT itself does not count";
+    EXPECT_EQ(ref.state().gpr[RAX], 1u);
+}
+
+TEST(RefComponent, RunUntilInstCountStopsExactly)
+{
+    RefComponent ref;
+    ref.load(sumProgram(100));
+    ref.runUntilInstCount(17);
+    EXPECT_EQ(ref.instCount(), 17u);
+    u64 bb17 = ref.bbCount();
+    ref.runUntilInstCount(18);
+    EXPECT_EQ(ref.instCount(), 18u);
+    EXPECT_GE(ref.bbCount(), bb17);
+    ref.runToCompletion();
+    EXPECT_EQ(ref.exitCode(), u32(5050));
+}
+
+TEST(RefComponent, StringProgram)
+{
+    // memset a 64-byte buffer then copy it with rep movsb; exit with
+    // a probe byte.
+    Assembler a;
+    std::size_t src = a.dataZero(64);
+    std::size_t dst = a.dataZero(64);
+    a.movri(RAX, 0x61); // 'a'
+    a.movri(RDI, s32(Program::dataAddr(src)));
+    a.movri(RCX, 64);
+    a.stosb(true);
+    a.movri(RSI, s32(Program::dataAddr(src)));
+    a.movri(RDI, s32(Program::dataAddr(dst)));
+    a.movri(RCX, 64);
+    a.movsb(true);
+    a.movri(RBX, s32(Program::dataAddr(dst)));
+    a.movzx8(RCX, mem(RBX, 63));
+    a.movri(RAX, sysExit);
+    a.syscall();
+
+    RefComponent ref;
+    ref.load(a.finish("str"));
+    ref.runToCompletion();
+    EXPECT_EQ(ref.exitCode(), 0x61u);
+    // Each REP string op counts as one instruction: 10 scalar
+    // instructions + 2 REP ops = 12.
+    EXPECT_EQ(ref.instCount(), 12u);
+}
+
+TEST(RefComponent, FpProgram)
+{
+    // Compute sqrt(2.0) * sin(1.0) + 3, truncate, exit with it.
+    Assembler a;
+    std::size_t two = a.dataF64(2.0);
+    std::size_t one = a.dataF64(1.0);
+    a.fld(0, memAbs32(Program::dataAddr(two)));
+    a.fsqrt(0, 0);
+    a.fld(1, memAbs32(Program::dataAddr(one)));
+    a.fsin(1, 1);
+    a.fmul(0, 1);
+    a.movri(RBX, 3);
+    a.cvtif(2, RBX);
+    a.fadd(0, 2);
+    a.cvtfi(RCX, 0);
+    a.movri(RAX, sysExit);
+    a.syscall();
+
+    RefComponent ref;
+    ref.load(a.finish("fp"));
+    ref.runToCompletion();
+    // sqrt(2)*sin(1)+3 = 1.4142*0.8414+3 = 4.19 -> 4
+    EXPECT_EQ(ref.exitCode(), 4u);
+}
+
+TEST(RefComponent, DeterministicRandAndTime)
+{
+    Assembler a;
+    a.movri(RAX, sysRand);
+    a.syscall();
+    a.movrr(RBX, RAX);
+    a.movri(RAX, sysTime);
+    a.syscall();
+    a.addrr(RBX, RAX);
+    a.movri(RAX, sysExit);
+    a.movrr(RCX, RBX);
+    a.syscall();
+    Program p = a.finish("rt");
+
+    RefComponent r1(7), r2(7), r3(8);
+    r1.load(p);
+    r2.load(p);
+    r3.load(p);
+    r1.runToCompletion();
+    r2.runToCompletion();
+    r3.runToCompletion();
+    EXPECT_EQ(r1.exitCode(), r2.exitCode());
+    EXPECT_NE(r1.exitCode(), r3.exitCode()) << "seed must matter";
+}
+
+TEST(RefComponent, GuestFaultPropagates)
+{
+    Assembler a;
+    a.movri(RAX, 1);
+    a.movri(RBX, 0);
+    a.idivrr(RAX, RBX);
+    a.hlt();
+    RefComponent ref;
+    ref.load(a.finish("div0"));
+    EXPECT_THROW(ref.runToCompletion(), GuestFault);
+}
+
+TEST(RefComponent, IndirectJumpTable)
+{
+    // Jump through a register: select one of three blocks.
+    Assembler a;
+    auto b0 = a.newLabel(), b1 = a.newLabel(), b2 = a.newLabel();
+    auto end = a.newLabel();
+    // Hand-build a jump: compute target address from table in data.
+    std::size_t table = a.dataZero(12);
+    a.movri(RBX, s32(Program::dataAddr(table)));
+    a.movri(RCX, 1); // select case 1
+    a.movrm(RDX, memIdx(RBX, RCX, 2, 0));
+    a.jmpr(RDX);
+    a.bind(b0);
+    a.movri(RSI, 100);
+    a.jmp(end);
+    a.bind(b1);
+    a.movri(RSI, 200);
+    a.jmp(end);
+    a.bind(b2);
+    a.movri(RSI, 300);
+    a.bind(end);
+    a.movri(RAX, sysExit);
+    a.movrr(RCX, RSI);
+    a.syscall();
+    Program p = a.finish("jtable");
+
+    // Patch the table now that label offsets are resolved: we need the
+    // code addresses of b0/b1/b2. Labels aren't exposed, so rebuild
+    // with known offsets instead: find them by decoding.
+    // Simpler: we know the structure; compute offsets by re-assembly.
+    // The three movri(RSI,...) blocks are the targets; locate them by
+    // scanning for their immediates.
+    auto findOff = [&](s32 imm) -> u32 {
+        std::size_t off = 0;
+        while (off < p.code.size()) {
+            GInst gi;
+            EXPECT_TRUE(
+                decode(p.code.data() + off, p.code.size() - off, gi));
+            if (gi.op == GOp::MOV_RI && gi.rd == RSI && gi.imm == imm)
+                return u32(Program::codeAddr(off));
+            off += gi.length;
+        }
+        ADD_FAILURE() << "target not found";
+        return 0;
+    };
+    u32 t0 = findOff(100), t1 = findOff(200), t2 = findOff(300);
+    std::memcpy(p.data.data() + table + 0, &t0, 4);
+    std::memcpy(p.data.data() + table + 4, &t1, 4);
+    std::memcpy(p.data.data() + table + 8, &t2, 4);
+
+    RefComponent ref;
+    ref.load(p);
+    ref.runToCompletion();
+    EXPECT_EQ(ref.exitCode(), 200u);
+}

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Timing-simulator tests: cache behaviour (hits/misses/LRU/writeback),
+ * TLB levels, gshare learning, BTB, stride prefetcher, scoreboard
+ * dependencies, issue width, and end-to-end IPC sanity; power-model
+ * accounting on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "power/power.hh"
+#include "timing/core.hh"
+
+using namespace darco;
+using namespace darco::timing;
+using host::InstClass;
+using host::InstRecord;
+
+namespace
+{
+
+InstRecord
+alu(u32 pc, u8 dst = host::noReg, u8 s1 = host::noReg,
+    u8 s2 = host::noReg)
+{
+    InstRecord r;
+    r.pc = pc;
+    r.nextPc = pc + 4;
+    r.cls = InstClass::IntAlu;
+    r.dst = dst;
+    r.src1 = s1;
+    r.src2 = s2;
+    return r;
+}
+
+InstRecord
+load(u32 pc, u32 addr, u8 dst)
+{
+    InstRecord r;
+    r.pc = pc;
+    r.nextPc = pc + 4;
+    r.cls = InstClass::Load;
+    r.memAddr = addr;
+    r.memSize = 4;
+    r.dst = dst;
+    return r;
+}
+
+InstRecord
+branch(u32 pc, bool taken, u32 target)
+{
+    InstRecord r;
+    r.pc = pc;
+    r.cls = InstClass::Branch;
+    r.taken = taken;
+    r.nextPc = taken ? target : pc + 4;
+    return r;
+}
+
+} // namespace
+
+TEST(CacheModel, HitsAfterFill)
+{
+    StatGroup st("t");
+    Cache l2("l2", 1 << 16, 8, 64, 10, 100, nullptr, st);
+    Cache l1("l1", 1 << 12, 2, 64, 1, 0, &l2, st);
+    // First access misses all the way to memory.
+    Cycle first = l1.access(0x1000, false);
+    EXPECT_EQ(first, 1u + 10 + 100);
+    // Second hits in L1.
+    EXPECT_EQ(l1.access(0x1000, false), 1u);
+    EXPECT_EQ(l1.access(0x103c, false), 1u) << "same line";
+    EXPECT_EQ(l1.hits(), 2u);
+    EXPECT_EQ(l1.misses(), 1u);
+    // L2 hit path: evict from L1 by conflict, then re-access.
+    l1.access(0x1000 + 4096, false);
+    l1.access(0x1000 + 8192, false);
+    Cycle again = l1.access(0x1000, false);
+    EXPECT_EQ(again, 1u + 10) << "should hit in L2";
+}
+
+TEST(CacheModel, LruReplacement)
+{
+    StatGroup st("t");
+    Cache c("c", 2 * 64, 2, 64, 1, 50, nullptr, st); // 1 set, 2 ways
+    c.access(0x0, false);
+    c.access(0x40, false);
+    c.access(0x0, false);  // touch way A
+    c.access(0x80, false); // evicts 0x40 (LRU)
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_TRUE(c.probe(0x80));
+}
+
+TEST(CacheModel, WritebackOnDirtyEvict)
+{
+    StatGroup st("t");
+    Cache c("c", 2 * 64, 2, 64, 1, 50, nullptr, st);
+    c.access(0x0, true); // dirty
+    c.access(0x40, false);
+    c.access(0x80, false); // evicts dirty 0x0
+    EXPECT_EQ(st.value("c.writebacks"), 1u);
+}
+
+TEST(TlbModel, TwoLevelLatencies)
+{
+    StatGroup st("t");
+    Tlb tlb("tlb", 2, 8, 5, 50, st);
+    EXPECT_EQ(tlb.access(0x1000), 55u) << "cold: L2 + walk";
+    EXPECT_EQ(tlb.access(0x1000), 0u) << "L1 hit";
+    tlb.access(0x2000);
+    tlb.access(0x3000); // evicts 0x1000 from the 2-entry L1
+    EXPECT_EQ(tlb.access(0x1000), 5u) << "L1 miss, L2 hit";
+}
+
+TEST(BpredModel, GshareLearnsLoopPattern)
+{
+    StatGroup st("t");
+    Gshare g(1024, 8, st);
+    // Always-taken branch: after warm-up no mispredicts.
+    for (int i = 0; i < 100; ++i)
+        g.update(0x400, true);
+    u64 before = st.value("bpred.mispredicts");
+    for (int i = 0; i < 100; ++i)
+        g.update(0x400, true);
+    EXPECT_EQ(st.value("bpred.mispredicts"), before);
+}
+
+TEST(BpredModel, BtbRemembersTargets)
+{
+    StatGroup st("t");
+    Btb btb(256, st);
+    u32 t;
+    EXPECT_FALSE(btb.lookup(0x100, t));
+    btb.update(0x100, 0x2000);
+    ASSERT_TRUE(btb.lookup(0x100, t));
+    EXPECT_EQ(t, 0x2000u);
+}
+
+TEST(PrefetchModel, DetectsStride)
+{
+    StatGroup st("t");
+    Cache c("c", 1 << 14, 4, 64, 1, 50, nullptr, st);
+    StridePrefetcher p(64, 2, &c, st);
+    // Strided stream from one pc.
+    for (u32 i = 0; i < 8; ++i)
+        p.observe(0x500, 0x10000 + i * 256);
+    EXPECT_GT(st.value("prefetch.issued"), 0u);
+    // Lines ahead of the stream should now be resident.
+    EXPECT_TRUE(c.probe(0x10000 + 8 * 256));
+}
+
+TEST(CoreModel, DependencyChainSlowerThanIndependent)
+{
+    Config cfg;
+    StatGroup s1("a"), s2("b");
+    InOrderCore dep(cfg, s1), indep(cfg, s2);
+    // Dependent vs independent adds over a warm, looping footprint.
+    for (int i = 0; i < 2000; ++i)
+        dep.record(alu(0x1000 + 4 * (i % 16), 5, 5, 6));
+    for (int i = 0; i < 2000; ++i)
+        indep.record(alu(0x1000 + 4 * (i % 16), u8(5 + (i % 8)), 20,
+                         21));
+    EXPECT_EQ(dep.instructions(), 2000u);
+    EXPECT_GE(indep.ipc(), dep.ipc());
+    EXPECT_GT(indep.ipc(), 1.0) << "2-wide core on independent work";
+}
+
+TEST(CoreModel, IssueWidthBoundsIpc)
+{
+    Config w1({"core.issue_width=1"});
+    Config w4({"core.issue_width=4", "core.fetch_width=8"});
+    StatGroup s1("a"), s4("b");
+    InOrderCore c1(w1, s1), c4(w4, s4);
+    for (int i = 0; i < 500; ++i) {
+        c1.record(alu(0x1000 + 4 * (i % 16), u8(5 + (i % 8)), 20, 21));
+        c4.record(alu(0x1000 + 4 * (i % 16), u8(5 + (i % 8)), 20, 21));
+    }
+    EXPECT_LE(c1.ipc(), 1.01);
+    EXPECT_GT(c4.ipc(), c1.ipc() * 1.5);
+}
+
+TEST(CoreModel, CacheMissesStallLoads)
+{
+    Config cfg;
+    StatGroup s1("a"), s2("b");
+    InOrderCore hitter(cfg, s1), misser(cfg, s2);
+    // Same-line loads vs 4 KiB-strided loads (all L1 misses), with a
+    // dependent consumer after each load.
+    for (int i = 0; i < 100; ++i) {
+        hitter.record(load(0x1000 + 4 * (i % 4), 0x8000, 5));
+        hitter.record(alu(0x1100, 6, 5, 5));
+        misser.record(load(0x1000 + 4 * (i % 4), 0x8000 + i * 8192, 5));
+        misser.record(alu(0x1100, 6, 5, 5));
+    }
+    EXPECT_GT(misser.cycles(), hitter.cycles() * 3);
+    EXPECT_GT(s2.value("l1d.misses"), 90u);
+}
+
+TEST(CoreModel, MispredictsCostCycles)
+{
+    Config cfg;
+    StatGroup s1("a"), s2("b");
+    InOrderCore good(cfg, s1), bad(cfg, s2);
+    // Truly random outcomes (xoshiro): history contexts repeat with
+    // conflicting outcomes, so gshare cannot memorize the stream (a
+    // short fixed sequence it actually CAN learn — that's by design).
+    Rng rng(99);
+    for (u32 i = 0; i < 8000; ++i) {
+        good.record(alu(0x1000, 5, 6, 7));
+        good.record(branch(0x1004, true, 0x1000));
+        bad.record(alu(0x1000, 5, 6, 7));
+        bad.record(branch(0x1004, rng.chance(0.5), 0x1000));
+    }
+    EXPECT_GT(s2.value("bpred.mispredicts"),
+              s1.value("bpred.mispredicts") + 1000);
+    EXPECT_GT(bad.cycles(), good.cycles());
+}
+
+TEST(CoreModel, DivOccupiesUnit)
+{
+    Config cfg;
+    StatGroup s1("a"), s2("b");
+    InOrderCore divs(cfg, s1), adds(cfg, s2);
+    for (int i = 0; i < 500; ++i) {
+        InstRecord r = alu(0x1000 + 4 * (i % 16), u8(5 + (i % 4)), 20,
+                           21);
+        r.cls = InstClass::IntDiv;
+        divs.record(r);
+        adds.record(alu(0x1000 + 4 * (i % 16), u8(5 + (i % 4)), 20,
+                        21));
+    }
+    EXPECT_GT(divs.cycles(), adds.cycles() * 5);
+}
+
+TEST(PowerModel, EnergyScalesWithWork)
+{
+    Config cfg;
+    StatGroup small("a"), big("b");
+    InOrderCore c1(cfg, small), c2(cfg, big);
+    for (int i = 0; i < 100; ++i)
+        c1.record(alu(0x1000 + 4 * i, 5, 6, 7));
+    for (int i = 0; i < 10000; ++i)
+        c2.record(alu(0x1000 + 4 * (i % 64), 5, 6, 7));
+
+    power::PowerModel pm;
+    auto r1 = pm.analyze(small);
+    auto r2 = pm.analyze(big);
+    EXPECT_GT(r1.totalEnergyJ, 0.0);
+    // Not a strict 100x: the small run is dominated by cold-cache
+    // DRAM fills, a fixed cost the long run amortizes.
+    EXPECT_GT(r2.totalEnergyJ, r1.totalEnergyJ * 5);
+    EXPECT_GT(r1.epiNj, 0.0);
+    EXPECT_FALSE(r2.toString().empty());
+}
+
+TEST(PowerModel, BreakdownCoversStructures)
+{
+    Config cfg;
+    StatGroup st("t");
+    InOrderCore core(cfg, st);
+    for (int i = 0; i < 1000; ++i) {
+        core.record(load(0x1000 + 4 * (i % 8), 0x8000 + (i % 256) * 64,
+                         5));
+        core.record(branch(0x1100, true, 0x1000));
+    }
+    power::PowerModel pm;
+    auto r = pm.analyze(st);
+    bool has_l1 = false, has_leak = false, has_bpred = false;
+    for (auto &[k, v] : r.breakdownJ) {
+        has_l1 |= k == "l1_caches" && v > 0;
+        has_leak |= k == "leakage" && v > 0;
+        has_bpred |= k == "bpred+btb" && v > 0;
+    }
+    EXPECT_TRUE(has_l1);
+    EXPECT_TRUE(has_leak);
+    EXPECT_TRUE(has_bpred);
+}
+
+TEST(PowerModel, WiderCoreUsesMoreEnergyPerCycleLessTime)
+{
+    // The paper's "wide in-order" exploration needs power to respond
+    // to configuration: a faster run shrinks leakage share.
+    Config cfg;
+    StatGroup s1("a"), s4("b");
+    InOrderCore narrow(Config({"core.issue_width=1"}), s1);
+    InOrderCore wide(Config({"core.issue_width=4",
+                             "core.fetch_width=8"}),
+                     s4);
+    for (int i = 0; i < 5000; ++i) {
+        narrow.record(alu(0x1000 + 4 * (i % 32), u8(5 + (i % 8)), 20,
+                          21));
+        wide.record(alu(0x1000 + 4 * (i % 32), u8(5 + (i % 8)), 20,
+                        21));
+    }
+    power::PowerModel pm;
+    auto rn = pm.analyze(s1);
+    auto rw = pm.analyze(s4);
+    EXPECT_LT(rw.timeSeconds, rn.timeSeconds);
+    EXPECT_GT(rw.avgPowerW, rn.avgPowerW);
+}
