@@ -40,6 +40,8 @@ struct RunMetrics
     double ovBreakdown[7] = {};
     u64 translationsBb = 0, translationsSb = 0;
     u64 assertFails = 0, rollbacks = 0, chains = 0;
+    /** Code-cache capacity-policy activity (cc.policy). */
+    u64 ccEvictions = 0, ccFlushes = 0, ccBytesReclaimed = 0;
 };
 
 inline double
@@ -93,6 +95,9 @@ runBenchmark(const workloads::Benchmark &b, const Config &extra = Config())
     m.assertFails = s.value("tol.assert_fails");
     m.rollbacks = t.hostEmu().rollbacks();
     m.chains = s.value("tol.chains");
+    m.ccEvictions = s.value("cc.evictions");
+    m.ccFlushes = s.value("cc.flushes");
+    m.ccBytesReclaimed = s.value("cc.bytes_reclaimed");
     return m;
 }
 

@@ -2,48 +2,106 @@
  * @file
  * The translation code cache.
  *
- * A flat array of host instruction words. TOL appends translated
- * regions and patches EXITB words into J words when chaining; the
- * cache tracks occupancy and supports a full flush (the classic
- * "code cache full" policy).
+ * A word-addressed host-code store with a region allocator: TOL
+ * installs translated regions into contiguous word ranges obtained
+ * from a first-fit free list, and releases them individually when a
+ * translation is evicted or invalidated (region-granular eviction).
+ * Released ranges coalesce with free neighbours. The classic
+ * "code cache full -> flush everything" policy remains available via
+ * flush(), which returns the whole cache to a single free hole.
+ *
+ * The cache only manages words; translation bookkeeping (entry maps,
+ * chaining, the LRU eviction clock) lives in tol::TranslationRegistry.
  */
 
 #ifndef DARCO_HOST_CODE_CACHE_HH
 #define DARCO_HOST_CODE_CACHE_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.hh"
-#include "host/hisa.hh"
 
 namespace darco::host
 {
 
-/** Flat host-code store addressed by word index. */
+/** Region-allocating host-code store addressed by word index. */
 class CodeCache
 {
   public:
+    static constexpr u32 npos = ~0u;
+
     explicit CodeCache(u32 capacity_words = 1u << 20)
         : capacity_(capacity_words)
     {
-        words_.reserve(1024);
+        holes_.push_back(Hole{0, capacity_});
     }
 
-    bool
-    hasSpace(u32 n) const
+    /** Can a contiguous block of n words be allocated right now? */
+    bool hasSpace(u32 n) const { return largestFree() >= n; }
+
+    /**
+     * Allocate a contiguous region of n words (first fit).
+     * @return base word index, or npos when no hole fits.
+     */
+    u32
+    alloc(u32 n)
     {
-        return u32(words_.size()) + n <= capacity_;
+        if (n == 0)
+            return npos;
+        for (std::size_t h = 0; h < holes_.size(); ++h) {
+            if (holes_[h].size < n)
+                continue;
+            u32 base = holes_[h].base;
+            holes_[h].base += n;
+            holes_[h].size -= n;
+            if (holes_[h].size == 0)
+                holes_.erase(holes_.begin() + h);
+            if (words_.size() < base + n)
+                words_.resize(base + n, 0);
+            used_ += n;
+            return base;
+        }
+        return npos;
+    }
+
+    /** Return a region to the free list, coalescing neighbours. */
+    void
+    release(u32 base, u32 n)
+    {
+        if (n == 0)
+            return;
+        used_ -= n;
+        ++releases_;
+        // Insert sorted by base.
+        std::size_t h = 0;
+        while (h < holes_.size() && holes_[h].base < base)
+            ++h;
+        holes_.insert(holes_.begin() + h, Hole{base, n});
+        // Coalesce with successor, then predecessor.
+        if (h + 1 < holes_.size() &&
+            holes_[h].base + holes_[h].size == holes_[h + 1].base) {
+            holes_[h].size += holes_[h + 1].size;
+            holes_.erase(holes_.begin() + h + 1);
+        }
+        if (h > 0 &&
+            holes_[h - 1].base + holes_[h - 1].size == holes_[h].base) {
+            holes_[h - 1].size += holes_[h].size;
+            holes_.erase(holes_.begin() + h);
+        }
     }
 
     /**
-     * Append a translated region.
-     * @return base word index of the region.
+     * Allocate and copy a translated region.
+     * @return base word index, or npos when the cache cannot fit it.
      */
     u32
-    append(const std::vector<u32> &region)
+    install(const std::vector<u32> &region)
     {
-        u32 base = u32(words_.size());
-        words_.insert(words_.end(), region.begin(), region.end());
+        u32 base = alloc(u32(region.size()));
+        if (base == npos)
+            return npos;
+        std::copy(region.begin(), region.end(), words_.begin() + base);
         return base;
     }
 
@@ -51,23 +109,51 @@ class CodeCache
     void setWord(u32 idx, u32 w) { words_[idx] = w; }
     const u32 *raw() const { return words_.data(); }
 
-    u32 used() const { return u32(words_.size()); }
+    u32 used() const { return used_; }
     u32 capacity() const { return capacity_; }
+
+    u32
+    largestFree() const
+    {
+        u32 best = 0;
+        for (const Hole &h : holes_)
+            best = h.size > best ? h.size : best;
+        return best;
+    }
+
+    u32 freeWords() const { return capacity_ - used_; }
+
+    /** Number of free-list fragments (fragmentation diagnostics). */
+    std::size_t holeCount() const { return holes_.size(); }
 
     /** Drop every translation (TOL must reset its maps too). */
     void
     flush()
     {
         words_.clear();
+        holes_.clear();
+        holes_.push_back(Hole{0, capacity_});
+        used_ = 0;
         ++flushCount_;
     }
 
     u64 flushCount() const { return flushCount_; }
+    u64 releaseCount() const { return releases_; }
 
   private:
+    /** One free range; the list is sorted by base and coalesced. */
+    struct Hole
+    {
+        u32 base;
+        u32 size;
+    };
+
     u32 capacity_;
-    std::vector<u32> words_;
+    u32 used_ = 0;
+    std::vector<u32> words_; //!< grows lazily to the high-water mark
+    std::vector<Hole> holes_;
     u64 flushCount_ = 0;
+    u64 releases_ = 0;
 };
 
 } // namespace darco::host

@@ -129,6 +129,15 @@ IbtcTable::invalidate(GAddr guest_pc)
 }
 
 void
+IbtcTable::invalidateHostRange(u32 base, u32 words)
+{
+    for (auto &e : entries_) {
+        if (e.tag != ~0u && e.hostPc >= base && e.hostPc < base + words)
+            e = Entry{};
+    }
+}
+
+void
 IbtcTable::clear()
 {
     for (auto &e : entries_)

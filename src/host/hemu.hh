@@ -84,6 +84,12 @@ class IbtcTable
     void insert(GAddr guest_pc, u32 host_pc);
     /** Drop the entry for one guest pc (translation invalidated). */
     void invalidate(GAddr guest_pc);
+    /**
+     * Drop every entry whose host target lies in [base, base+words):
+     * required when a code-cache region is evicted and its words may
+     * be reused by a different translation.
+     */
+    void invalidateHostRange(u32 base, u32 words);
     void clear();
 
     u64 hits() const { return hits_; }

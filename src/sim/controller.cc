@@ -18,8 +18,9 @@ Controller::Controller(const Config &cfg)
       validateEnd_(cfg.getBool("sync.validate_end", true)),
       validateMemory_(cfg.getBool("sync.validate_memory", true))
 {
-    tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
-    tol_->setEnv(this);
+    // The co-designed component is built lazily in load(): it holds a
+    // reference to the emulated memory, which load() replaces, so an
+    // eagerly-built Tol would be discarded unused.
 }
 
 void
@@ -89,6 +90,7 @@ Controller::syscall(u64 completed_insts)
 std::string
 Controller::validateState()
 {
+    darco_assert(tol_, "Controller::load() must run first");
     CpuState a = ref_.state();
     CpuState b = tol_->state();
     if (a == b)
@@ -133,6 +135,7 @@ Controller::validateFinal()
 bool
 Controller::step(u64 guest_insts)
 {
+    darco_assert(tol_, "Controller::load() must run first");
     if (tol_->finished())
         return false;
     tol_->run(guest_insts);
@@ -144,6 +147,7 @@ Controller::step(u64 guest_insts)
 void
 Controller::run(u64 max_guest_insts)
 {
+    darco_assert(tol_, "Controller::load() must run first");
     tol_->run(max_guest_insts);
     if (tol_->finished() && validateEnd_)
         validateFinal();

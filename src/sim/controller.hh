@@ -29,6 +29,7 @@
 #include <string>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "guest/program.hh"
 #include "tol/tol.hh"
@@ -60,8 +61,15 @@ class Controller : public tol::Tol::Env
   public:
     explicit Controller(const Config &cfg = Config());
 
-    /** Initialization phase. */
+    /**
+     * Initialization phase. Builds the co-designed component (Tol):
+     * the controller is inert until the first load(), and loading
+     * again restarts cleanly with a fresh Tol and emulated memory.
+     */
     void load(const guest::Program &prog);
+
+    /** Has load() been called yet? */
+    bool loaded() const { return tol_ != nullptr; }
 
     /** Execution phase; returns when the program finishes. */
     void run(u64 max_guest_insts = ~0ull);
@@ -69,7 +77,7 @@ class Controller : public tol::Tol::Env
     /** One bounded execution slice; false once finished. */
     bool step(u64 guest_insts);
 
-    bool finished() const { return tol_->finished(); }
+    bool finished() const { return tol_ && tol_->finished(); }
     u32 exitCode() const { return ref_.exitCode(); }
 
     /**
@@ -83,7 +91,18 @@ class Controller : public tol::Tol::Env
     void validateFinal();
 
     xemu::RefComponent &ref() { return ref_; }
-    tol::Tol &tol() { return *tol_; }
+
+    tol::Tol &
+    tol()
+    {
+        darco_assert(tol_, "Controller::load() must run first");
+        return *tol_;
+    }
+
+    /** Code-cache / translation introspection (tests, debug tools). */
+    host::CodeCache &codeCache() { return tol().codeCache(); }
+    tol::TranslationRegistry &registry() { return tol().registry(); }
+
     guest::PagedMemory &emulatedMemory() { return mem_; }
     StatGroup &stats() { return stats_; }
     const Config &config() const { return cfg_; }

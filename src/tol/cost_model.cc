@@ -41,7 +41,9 @@ CostModel::CostModel(const Config &cfg, StatGroup &stats)
       cLookup_(cfg.getUint("cost.lookup", 15)),
       cDispatch_(cfg.getUint("cost.dispatch", 9)),
       cInit_(cfg.getUint("cost.init", 40000)),
-      cWordEmit_(cfg.getUint("cost.word_emit", 4))
+      cWordEmit_(cfg.getUint("cost.word_emit", 4)),
+      cEvict_(cfg.getUint("cost.evict", 150)),
+      cUnchain_(cfg.getUint("cost.unchain", 24))
 {
 }
 
@@ -141,6 +143,12 @@ void
 CostModel::chargeInit()
 {
     charge(Overhead::Other, cInit_);
+}
+
+void
+CostModel::chargeEviction(u64 unchained_sites)
+{
+    charge(Overhead::Other, cEvict_ + cUnchain_ * unchained_sites);
 }
 
 u64

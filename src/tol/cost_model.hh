@@ -59,6 +59,8 @@ const char *overheadName(Overhead c);
  *  cost.lookup (15)                  per code-cache lookup
  *  cost.dispatch (9)                 per dispatch-loop iteration
  *  cost.init (40000)                 one-time TOL initialization
+ *  cost.evict (150)                  per code-cache region eviction
+ *  cost.unchain (24)                 per incoming chain site restored
  */
 class CostModel
 {
@@ -78,6 +80,9 @@ class CostModel
     void chargeLookup();
     void chargeDispatch();
     void chargeInit();
+    /** Evicting one region: victim selection + unchaining its
+     *  incoming sites. */
+    void chargeEviction(u64 unchained_sites);
 
     u64 total(Overhead cat) const { return totals_[unsigned(cat)]; }
     u64 totalAll() const;
@@ -98,6 +103,7 @@ class CostModel
     u64 cSbFixed_, cSbWorkUnit_;
     u64 cPrologue_, cChain_, cLookup_, cDispatch_, cInit_;
     u64 cWordEmit_;
+    u64 cEvict_, cUnchain_;
 };
 
 } // namespace darco::tol

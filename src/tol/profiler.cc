@@ -1,0 +1,47 @@
+#include "tol/profiler.hh"
+
+namespace darco::tol
+{
+
+Profiler::Profiler(host::HostEmu &emu, u32 base)
+    : emu_(emu), next_(base)
+{
+}
+
+u32
+Profiler::bumpIm(GAddr entry)
+{
+    return ++imCounters_[entry];
+}
+
+void
+Profiler::resetIm(GAddr entry)
+{
+    imCounters_.erase(entry);
+}
+
+Profiler::Slots
+Profiler::slots(GAddr bb_entry)
+{
+    auto it = slotMap_.find(bb_entry);
+    if (it != slotMap_.end())
+        return it->second;
+    Slots s{next_, next_ + 4, next_ + 8};
+    next_ += 12;
+    slotMap_.emplace(bb_entry, s);
+    return s;
+}
+
+u32
+Profiler::edgeTaken(GAddr bb_entry)
+{
+    return emu_.readLocal32(slots(bb_entry).taken);
+}
+
+u32
+Profiler::edgeFall(GAddr bb_entry)
+{
+    return emu_.readLocal32(slots(bb_entry).fall);
+}
+
+} // namespace darco::tol

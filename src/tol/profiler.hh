@@ -1,0 +1,78 @@
+/**
+ * @file
+ * TOL profiling subsystem.
+ *
+ * Owns everything the runtime uses to decide promotions:
+ *
+ *  - the IM repetition counters (software counters bumped by the
+ *    interpreter dispatch loop; reaching tol.bb_threshold promotes a
+ *    BB to BBM);
+ *  - the profiling-slot allocator: each profiled BB gets three 32-bit
+ *    TOL-local-memory slots (execution counter, taken-edge counter,
+ *    fall-through counter) that BBM instrumentation code increments
+ *    inline;
+ *  - edge-counter readback used by the superblock builder to measure
+ *    branch bias.
+ *
+ * Extracted from the Tol monolith so profiling policy can evolve (and
+ * be swapped) independently of mode transitions and translation
+ * bookkeeping.
+ */
+
+#ifndef DARCO_TOL_PROFILER_HH
+#define DARCO_TOL_PROFILER_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "host/hemu.hh"
+
+namespace darco::tol
+{
+
+/** Profiling counters and slot allocation for the TOL runtime. */
+class Profiler
+{
+  public:
+    /** TOL-local-memory addresses of one BB's profiling counters. */
+    struct Slots
+    {
+        u32 exec, taken, fall;
+    };
+
+    /**
+     * @param emu  host emulator owning the TOL-local memory the
+     *             profiling counters live in
+     * @param base first local-memory address available for counters;
+     *             spill slots grow upward from address 0, so base
+     *             also caps the spill area
+     */
+    explicit Profiler(host::HostEmu &emu, u32 base = 0x4000);
+
+    /** Bump the IM repetition counter for a BB. @return new count. */
+    u32 bumpIm(GAddr entry);
+
+    /** Forget the IM counter for a BB (after promotion). */
+    void resetIm(GAddr entry);
+
+    /** Profiling slots for a BB, allocated on first use. */
+    Slots slots(GAddr bb_entry);
+
+    /** Taken-edge count of the BB's terminating conditional branch. */
+    u32 edgeTaken(GAddr bb_entry);
+
+    /** Fall-through count of the BB's terminating branch. */
+    u32 edgeFall(GAddr bb_entry);
+
+    std::size_t profiledBBs() const { return slotMap_.size(); }
+
+  private:
+    host::HostEmu &emu_;
+    std::unordered_map<GAddr, u32> imCounters_;
+    std::unordered_map<GAddr, Slots> slotMap_;
+    u32 next_;
+};
+
+} // namespace darco::tol
+
+#endif // DARCO_TOL_PROFILER_HH

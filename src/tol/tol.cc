@@ -32,10 +32,11 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
       stats_(stats),
       cache_(u32(cfg.getUint("cc.capacity_words", 1u << 22))),
       emu_(cache_, mem, cfg),
+      profiler_(emu_, profBase),
+      registry_(cache_, emu_.ibtc(), stats),
       cost_(cfg, stats),
       frontend_(FrontendOptions{cfg.getBool("tol.fuse_flags", true)}),
-      localOs_(cfg.getUint("seed", 1)),
-      profNext_(profBase)
+      localOs_(cfg.getUint("seed", 1))
 {
     emu_.setRetireSink(this);
 
@@ -61,6 +62,14 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     sched_ = cfg.getBool("tol.sched", true);
     opt_ = cfg.getBool("tol.opt", true);
     hostChunk_ = cfg.getUint("tol.host_chunk", 1u << 20);
+
+    std::string policy = cfg.getString("cc.policy", "evict");
+    darco_assert(policy == "evict" || policy == "flush",
+                 "cc.policy must be 'evict' or 'flush'");
+    ccEvict_ = policy == "evict";
+    // The classic policy never reclaims invalidated regions: they
+    // stay as dead occupancy until the next full flush.
+    registry_.setReclaimOnInvalidate(ccEvict_);
 
     cGuestIm_ = &stats_.counter("tol.guest_im");
     cGuestBbm_ = &stats_.counter("tol.guest_bbm");
@@ -90,8 +99,9 @@ Tol::scaleThresholds(u32 factor)
 const Translation *
 Tol::translationFor(GAddr pc) const
 {
-    auto it = translations_.find(pc);
-    return it == translations_.end() ? nullptr : &trans_[it->second];
+    u32 tid = registry_.lookup(pc);
+    return tid == TranslationRegistry::npos ? nullptr
+                                            : &registry_.get(tid);
 }
 
 u32
@@ -106,30 +116,6 @@ Tol::poolIndex(double v)
     emu_.fpPool().push_back(v);
     fpPoolMap_.emplace(bits, idx);
     return idx;
-}
-
-Tol::ProfAddrs
-Tol::profAddrs(GAddr bb_entry)
-{
-    auto it = profMap_.find(bb_entry);
-    if (it != profMap_.end())
-        return it->second;
-    ProfAddrs a{profNext_, profNext_ + 4, profNext_ + 8};
-    profNext_ += 12;
-    profMap_.emplace(bb_entry, a);
-    return a;
-}
-
-u32
-Tol::edgeTaken(GAddr bb)
-{
-    return emu_.readLocal32(profAddrs(bb).taken);
-}
-
-u32
-Tol::edgeFall(GAddr bb)
-{
-    return emu_.readLocal32(profAddrs(bb).fall);
 }
 
 // ---------------------------------------------------------------------
@@ -199,13 +185,14 @@ Tol::getBB(GAddr entry)
 void
 Tol::onRetire(u32 exit_id, u64 host_insts)
 {
-    darco_assert(exit_id < globalExits_.size(), "bad RETIRE id");
-    const GlobalExit &ge = globalExits_[exit_id];
+    darco_assert(exit_id < registry_.exitCount(), "bad RETIRE id");
+    const GlobalExit &ge = registry_.exit(exit_id);
+    registry_.touch(ge.trans);
     if (ge.promote) {
         cHostBbm_->inc(host_insts);
         return;
     }
-    const Translation &t = trans_[ge.trans];
+    const Translation &t = registry_.get(ge.trans);
     const ExitDesc &d = t.exits[ge.exitIdx];
     completedInsts_ += d.instsRetired;
     completedBBs_ += d.bbsRetired;
@@ -271,8 +258,8 @@ Tol::interpretStep()
     BBInfo &bb = getBB(entry);
 
     if (bbmEnabled_ && bb.translatable &&
-        translations_.find(entry) == translations_.end()) {
-        u32 c = ++imCounters_[entry];
+        registry_.lookup(entry) == TranslationRegistry::npos) {
+        u32 c = profiler_.bumpIm(entry);
         if (c >= bbThreshold_) {
             translateBB(bb);
             return; // next dispatch enters the fresh translation
@@ -313,7 +300,8 @@ Tol::interpretStep()
             }
             // Hand over early if translated code exists for the next
             // instruction (e.g. the tail after a REP boundary).
-            if (translations_.find(state_.pc) != translations_.end())
+            if (registry_.lookup(state_.pc) !=
+                TranslationRegistry::npos)
                 return;
             break;
 
@@ -335,12 +323,28 @@ Tol::interpretStep()
 }
 
 // ---------------------------------------------------------------------
-// Translation installation & invalidation
+// Translation installation, eviction & flush
 // ---------------------------------------------------------------------
+
+void
+Tol::evictFor(u32 need, u32 pinned_tid)
+{
+    while (!cache_.hasSpace(need)) {
+        u32 victim = registry_.pickVictim(pinned_tid);
+        if (victim == TranslationRegistry::npos)
+            return; // nothing evictable: the caller falls back to flush
+        cost_.chargeEviction(registry_.get(victim).incoming.size());
+        // The evicted BB must re-earn promotion from scratch:
+        // leaving its IM counter at the threshold would retranslate
+        // it on its next interpreted execution and thrash the cache.
+        profiler_.resetIm(registry_.get(victim).entry);
+        registry_.evict(victim);
+    }
+}
 
 u32
 Tol::install(Region &region, RegionMode mode, bool profile,
-             GAddr prof_bb)
+             GAddr prof_bb, u32 pinned_tid)
 {
     u64 pass_work = 0;
     if (opt_) {
@@ -372,14 +376,16 @@ Tol::install(Region &region, RegionMode mode, bool profile,
     Allocation alloc = allocateRegisters(region);
     stats_.counter("tol.spills").inc(alloc.spillCount);
 
-    // Two attempts: a full code cache forces a flush (which renumbers
-    // the global exit-id space), then we regenerate.
+    // Two attempts: when the code cache cannot fit the region even
+    // after evictions, a full flush renumbers the global exit-id
+    // space and we must regenerate. Region-granular eviction keeps
+    // the exit-id space intact, so the first attempt normally lands.
     for (int attempt = 0; attempt < 2; ++attempt) {
         CodegenOptions co;
-        co.exitIdBase = u32(globalExits_.size());
+        co.exitIdBase = registry_.exitCount();
         co.profile = profile;
         if (profile) {
-            ProfAddrs pa = profAddrs(prof_bb);
+            Profiler::Slots pa = profiler_.slots(prof_bb);
             co.execCounterAddr = pa.exec;
             co.promoteExitId = co.exitIdBase + u32(region.exits.size());
             co.sbThreshold = sbThreshold_;
@@ -400,19 +406,24 @@ Tol::install(Region &region, RegionMode mode, bool profile,
         CodegenResult cg = generateCode(
             region, alloc, co, [this](double v) { return poolIndex(v); });
 
-        if (!cache_.hasSpace(u32(cg.words.size()))) {
+        u32 need = u32(cg.words.size());
+        if (!cache_.hasSpace(need) && ccEvict_)
+            evictFor(need, pinned_tid);
+        if (!cache_.hasSpace(need)) {
             darco_assert(attempt == 0, "region exceeds code cache");
             flushAll();
             continue;
         }
 
-        u32 base = cache_.append(cg.words);
-        u32 tid = u32(trans_.size());
+        u32 base = cache_.install(cg.words);
+        darco_assert(base != host::CodeCache::npos,
+                     "code cache install failed after space check");
+        u32 tid = registry_.nextTid();
         Translation t;
         t.entry = region.entryPc;
         t.mode = mode;
         t.hostPc = base;
-        t.words = u32(cg.words.size());
+        t.words = need;
         t.exitIdBase = co.exitIdBase;
         for (std::size_t e = 0; e < region.exits.size(); ++e) {
             const IRExit &x = region.exits[e];
@@ -424,25 +435,22 @@ Tol::install(Region &region, RegionMode mode, bool profile,
             if (cg.exitSite[e] != ~0u)
                 d.siteWord = base + cg.exitSite[e];
             t.exits.push_back(d);
-            globalExits_.push_back(GlobalExit{tid, u32(e), false, 0});
+            registry_.addExit(GlobalExit{tid, u32(e), false, 0});
         }
         if (profile) {
-            globalExits_.push_back(
-                GlobalExit{tid, 0, true, region.entryPc});
+            registry_.addExit(GlobalExit{tid, 0, true, region.entryPc});
         }
 
-        trans_.push_back(std::move(t));
-        translations_[region.entryPc] = tid;
-        hostPcMap_[base] = tid;
+        u32 added = registry_.add(std::move(t));
+        darco_assert(added == tid, "registry tid drifted");
 
         u64 guest_insts =
             region.exits[region.finalExit].instsRetired;
         if (mode == RegionMode::BB) {
-            cost_.chargeBBTranslation(guest_insts, cg.words.size());
+            cost_.chargeBBTranslation(guest_insts, need);
             stats_.counter("tol.translations_bb").inc();
         } else {
-            cost_.chargeSBTranslation(guest_insts, pass_work,
-                                      cg.words.size());
+            cost_.chargeSBTranslation(guest_insts, pass_work, need);
             stats_.counter("tol.translations_sb").inc();
         }
         return tid;
@@ -451,44 +459,15 @@ Tol::install(Region &region, RegionMode mode, bool profile,
 }
 
 void
-Tol::invalidate(u32 tid)
-{
-    Translation &t = trans_[tid];
-    if (!t.valid)
-        return;
-    t.valid = false;
-    auto it = translations_.find(t.entry);
-    if (it != translations_.end() && it->second == tid)
-        translations_.erase(it);
-    hostPcMap_.erase(t.hostPc);
-
-    // Unchain everyone who jumps into this region.
-    for (const Translation::InChain &c : t.incoming) {
-        HInst restore;
-        restore.op = HOp::EXITB;
-        restore.imm = s32(c.exitId);
-        cache_.setWord(c.site, hencode(restore));
-        trans_[c.fromTrans].exits[c.fromExit].chained = false;
-    }
-    t.incoming.clear();
-
-    emu_.ibtc().invalidate(t.entry);
-    stats_.counter("tol.invalidations").inc();
-}
-
-void
 Tol::flushAll()
 {
     cache_.flush();
-    translations_.clear();
-    hostPcMap_.clear();
-    trans_.clear();
-    globalExits_.clear();
+    registry_.clear();
     emu_.ibtc().clear();
     inRegionResume_ = false;
     for (auto &[_, f] : sbFlags_)
         f.residualBb = ~0u; // translation ids are gone
-    stats_.counter("tol.cc_flushes").inc();
+    stats_.counter("cc.flushes").inc();
 }
 
 void
@@ -496,23 +475,14 @@ Tol::maybeChain(u32 from_tid, u32 exit_idx)
 {
     if (!chaining_)
         return;
-    Translation &from = trans_[from_tid];
-    ExitDesc &d = from.exits[exit_idx];
+    ExitDesc &d = registry_.get(from_tid).exits[exit_idx];
     if (d.chained || d.siteWord == ~0u || d.kind != tol::ExitKind::Direct)
         return;
     cost_.chargeChainAttempt();
-    auto it = translations_.find(d.target);
-    if (it == translations_.end())
+    u32 to_tid = registry_.lookup(d.target);
+    if (to_tid == TranslationRegistry::npos)
         return;
-    Translation &to = trans_[it->second];
-    HInst j;
-    j.op = HOp::J;
-    j.imm = s32(to.hostPc);
-    cache_.setWord(d.siteWord, hencode(j));
-    d.chained = true;
-    to.incoming.push_back(Translation::InChain{
-        d.siteWord, from.exitIdBase + exit_idx, from_tid, exit_idx});
-    stats_.counter("tol.chains").inc();
+    registry_.chain(from_tid, exit_idx, to_tid);
 }
 
 // ---------------------------------------------------------------------
@@ -554,7 +524,8 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
                        last.inst.target(last.pc) == start &&
                        prev.inst.op == GOp::DEC;
         if (counted) {
-            u32 tk = edgeTaken(start), fl = edgeFall(start);
+            u32 tk = profiler_.edgeTaken(start);
+            u32 fl = profiler_.edgeFall(start);
             double bias =
                 tk + fl ? double(tk) / double(tk + fl) : 0.0;
             if (tk + fl >= minEdgeTotal_ && bias >= biasThreshold_) {
@@ -615,7 +586,8 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
             }
         } else if (!stop && (li.op == GOp::JCC_REL8 ||
                              li.op == GOp::JCC_REL32)) {
-            u32 tk = edgeTaken(cur), fl = edgeFall(cur);
+            u32 tk = profiler_.edgeTaken(cur);
+            u32 fl = profiler_.edgeFall(cur);
             u32 total = tk + fl;
             if (total >= minEdgeTotal_) {
                 bool taken_dir = tk >= fl;
@@ -671,47 +643,46 @@ Tol::buildSuperblock(GAddr entry)
     // the paper's "original loop" that follows the unrolled version,
     // executing the residual iterations when the runtime trip check
     // fails (instead of falling back to IM).
-    u32 bb_tid = ~0u;
-    auto it = translations_.find(entry);
-    if (it != translations_.end()) {
+    u32 bb_tid = TranslationRegistry::npos;
+    u32 prev = registry_.lookup(entry);
+    if (prev != TranslationRegistry::npos) {
         // Only a genuine BB translation can serve as the residual
         // "original loop"; a previous superblock (recreation path)
         // must be invalidated as usual.
-        if (trip && trans_[it->second].mode == RegionMode::BB) {
-            bb_tid = it->second;
-            translations_.erase(it);
+        if (trip && registry_.get(prev).mode == RegionMode::BB) {
+            bb_tid = prev;
+            registry_.unmapEntry(prev);
             sbFlags_[entry].residualBb = bb_tid;
         } else {
-            invalidate(it->second);
+            registry_.invalidate(prev);
         }
     }
     // Recreations reuse the BB retained by the first promotion.
-    if (trip && bb_tid == ~0u) {
+    if (trip && bb_tid == TranslationRegistry::npos) {
         u32 kept = sbFlags_[entry].residualBb;
-        if (kept != ~0u && kept < trans_.size() && trans_[kept].valid)
+        if (kept != ~0u && registry_.valid(kept))
             bb_tid = kept;
     }
 
-    u32 sb_tid = install(region, RegionMode::SB, false, entry);
+    u32 sb_tid =
+        install(region, RegionMode::SB, false, entry, bb_tid);
 
-    if (trip && bb_tid != ~0u) {
+    // The install may have fallen back to a full flush, which kills
+    // the retained BB (eviction cannot: it is pinned). Re-read the
+    // flag, which flushAll resets.
+    if (trip && sbFlags_[entry].residualBb == ~0u)
+        bb_tid = TranslationRegistry::npos;
+
+    if (trip && bb_tid != TranslationRegistry::npos) {
         // Pre-chain the trip-check exit (exit #0) into the retained
         // BB translation.
-        Translation &sb = trans_[sb_tid];
+        Translation &sb = registry_.get(sb_tid);
         darco_assert(!sb.exits.empty() &&
                          sb.exits[0].kind == tol::ExitKind::Interp &&
                          sb.exits[0].target == entry,
                      "unrolled SB exit layout unexpected");
-        ExitDesc &d = sb.exits[0];
-        if (d.siteWord != ~0u) {
-            Translation &bb = trans_[bb_tid];
-            HInst j;
-            j.op = HOp::J;
-            j.imm = s32(bb.hostPc);
-            cache_.setWord(d.siteWord, hencode(j));
-            d.chained = true;
-            bb.incoming.push_back(Translation::InChain{
-                d.siteWord, sb.exitIdBase + 0, sb_tid, 0});
+        if (sb.exits[0].siteWord != ~0u) {
+            registry_.chain(sb_tid, 0, bb_tid);
             stats_.counter("tol.residual_chains").inc();
         }
     }
@@ -748,16 +719,17 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             continue;
 
           case HExit::Exit: {
-            darco_assert(exit.exitId < globalExits_.size(),
+            darco_assert(exit.exitId < registry_.exitCount(),
                          "EXITB id out of range");
-            const GlobalExit ge = globalExits_[exit.exitId];
+            const GlobalExit ge = registry_.exit(exit.exitId);
             if (ge.promote) {
                 emu_.storeGuestState(state_);
                 state_.pc = ge.promoteTarget;
                 buildSuperblock(ge.promoteTarget);
                 return;
             }
-            const ExitDesc &d = trans_[ge.trans].exits[ge.exitIdx];
+            const ExitDesc &d =
+                registry_.get(ge.trans).exits[ge.exitIdx];
             emu_.storeGuestState(state_);
             state_.pc = d.target;
             switch (d.kind) {
@@ -777,7 +749,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                 // ops) actually lands in IM. Exception: an unchained
                 // trip-check exit targets its own entry — re-entering
                 // the region would spin, so IM must absorb one BB.
-                if (d.target == trans_[ge.trans].entry)
+                if (d.target == registry_.get(ge.trans).entry)
                     forceInterp_ = true;
                 return;
               default:
@@ -789,10 +761,11 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             emu_.storeGuestState(state_);
             state_.pc = exit.guestTarget;
             cost_.chargeLookup();
-            auto it = translations_.find(state_.pc);
-            if (it != translations_.end()) {
+            u32 target = registry_.lookup(state_.pc);
+            if (target != TranslationRegistry::npos) {
                 emu_.ibtc().insert(state_.pc,
-                                   trans_[it->second].hostPc);
+                                   registry_.get(target).hostPc);
+                registry_.touch(target);
                 stats_.counter("tol.ibtc_fills").inc();
             }
             return;
@@ -801,7 +774,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
           case HExit::AssertFail:
           case HExit::AliasFail: {
             u32 rtid = regionAt(emu_.ctx().pc);
-            Translation &t = trans_[rtid];
+            Translation &t = registry_.get(rtid);
             emu_.storeGuestState(state_);
             state_.pc = t.entry;
             // Wasted speculative work still ran in this mode.
@@ -825,7 +798,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                     stats_.counter("tol.sb_recreated_nospec").inc();
                 }
                 GAddr entry = t.entry;
-                invalidate(rtid);
+                registry_.invalidate(rtid);
                 buildSuperblock(entry);
             }
             // IM is the safety net for forward progress (paper V-B1).
@@ -835,10 +808,10 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
 
           case HExit::DivFault: {
             u32 rtid = regionAt(emu_.ctx().pc);
+            const Translation &t = registry_.get(rtid);
             emu_.storeGuestState(state_);
-            state_.pc = trans_[rtid].entry;
-            (trans_[rtid].mode == RegionMode::BB ? cHostBbm_
-                                                 : cHostSbm_)
+            state_.pc = t.entry;
+            (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
             emu_.resetMark();
             // Re-execute in IM for a precise architectural fault.
@@ -848,10 +821,10 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
 
           case HExit::PageMiss: {
             u32 rtid = regionAt(emu_.ctx().pc);
+            const Translation &t = registry_.get(rtid);
             emu_.storeGuestState(state_);
-            state_.pc = trans_[rtid].entry;
-            (trans_[rtid].mode == RegionMode::BB ? cHostBbm_
-                                                 : cHostSbm_)
+            state_.pc = t.entry;
+            (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
             emu_.resetMark();
             servicePageMiss(exit.missPage);
@@ -864,10 +837,10 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
 u32
 Tol::regionAt(u32 host_pc) const
 {
-    auto it = hostPcMap_.find(host_pc);
-    darco_assert(it != hostPcMap_.end(),
+    u32 tid = registry_.atHostBase(host_pc);
+    darco_assert(tid != TranslationRegistry::npos,
                  "rollback landed outside any region base");
-    return it->second;
+    return tid;
 }
 
 // ---------------------------------------------------------------------
@@ -896,10 +869,11 @@ Tol::run(u64 max_guest_insts)
         }
         if (!forceInterp_) {
             cost_.chargeLookup();
-            auto it = translations_.find(state_.pc);
-            if (it != translations_.end()) {
-                executeTranslation(it->second,
-                                   trans_[it->second].hostPc, false);
+            u32 tid = registry_.lookup(state_.pc);
+            if (tid != TranslationRegistry::npos) {
+                registry_.touch(tid);
+                executeTranslation(tid, registry_.get(tid).hostPc,
+                                   false);
                 continue;
             }
         }

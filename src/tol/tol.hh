@@ -14,10 +14,21 @@
  *    (SSA-form IR, forward passes, DCE, DDG memory optimization,
  *    list scheduling with memory speculation, linear-scan allocation).
  *
- * The runtime also owns chaining (EXITB -> J patching), the IBTC fill
+ * Tol itself is the mode-transition state machine; the subsystems it
+ * coordinates are factored out:
+ *
+ *  - tol::Profiler: IM repetition counters, profiling-slot
+ *    allocation, edge-counter readback;
+ *  - tol::TranslationRegistry: the translation table, entry/host-pc
+ *    maps, global exit table, chaining and invalidation mechanics,
+ *    and the LRU eviction clock;
+ *  - host::CodeCache: region-allocating host-code store.
+ *
+ * The runtime still owns policy: promotion thresholds, the IBTC fill
  * policy, speculation-failure handling (assert/alias failure counting
- * and superblock recreation), code-cache flush policy, and the
- * seven-category overhead cost model.
+ * and superblock recreation), the code-cache capacity policy
+ * (cc.policy = evict | flush), and the seven-category overhead cost
+ * model.
  */
 
 #ifndef DARCO_TOL_TOL_HH
@@ -35,6 +46,8 @@
 #include "host/hemu.hh"
 #include "tol/cost_model.hh"
 #include "tol/frontend.hh"
+#include "tol/profiler.hh"
+#include "tol/registry.hh"
 #include "xemu/os.hh"
 
 namespace darco::tol
@@ -48,41 +61,6 @@ struct BBInfo
     bool endsWithCti = false;
     GAddr endPc = 0;      //!< IM continuation point when !endsWithCti
     bool translatable = true;
-};
-
-/** One region exit as the runtime tracks it. */
-struct ExitDesc
-{
-    ExitKind kind = ExitKind::Direct;
-    GAddr target = 0;
-    u32 instsRetired = 0;
-    u32 bbsRetired = 0;
-    u32 siteWord = ~0u; //!< global code-cache word of the EXITB
-    bool chained = false;
-};
-
-/** An installed translation. */
-struct Translation
-{
-    GAddr entry = 0;
-    RegionMode mode = RegionMode::BB;
-    u32 hostPc = 0;
-    u32 words = 0;
-    u32 exitIdBase = 0;
-    std::vector<ExitDesc> exits;
-    bool valid = true;
-    u32 assertFails = 0;
-    u32 aliasFails = 0;
-
-    /** Chain sites in other regions that jump into this one. */
-    struct InChain
-    {
-        u32 site;
-        u32 exitId;
-        u32 fromTrans;
-        u32 fromExit;
-    };
-    std::vector<InChain> incoming;
 };
 
 /**
@@ -109,6 +87,8 @@ struct Translation
  *   tol.opt (true)
  *   tol.fuse_flags (true)
  *   cc.capacity_words (1<<22)
+ *   cc.policy ("evict")        full cache: "evict" cold regions one
+ *                              at a time, or "flush" everything
  */
 class Tol : public host::RetireSink
 {
@@ -154,6 +134,9 @@ class Tol : public host::RetireSink
     host::HostEmu &hostEmu() { return emu_; }
     host::CodeCache &codeCache() { return cache_; }
     CostModel &costModel() { return cost_; }
+    Profiler &profiler() { return profiler_; }
+    TranslationRegistry &registry() { return registry_; }
+    const TranslationRegistry &registry() const { return registry_; }
     StatGroup &stats() { return stats_; }
 
     /** Attach the timing stream (application + synthesized TOL). */
@@ -169,19 +152,13 @@ class Tol : public host::RetireSink
     void onRetire(u32 exit_id, u64 host_insts) override;
 
     // Introspection for tests and benches.
-    std::size_t translationCount() const { return translations_.size(); }
+    std::size_t translationCount() const
+    {
+        return registry_.liveCount();
+    }
     const Translation *translationFor(GAddr pc) const;
 
   private:
-    // --- profiling ------------------------------------------------------
-    struct ProfAddrs
-    {
-        u32 exec, taken, fall;
-    };
-    ProfAddrs profAddrs(GAddr bb_entry);
-    u32 edgeTaken(GAddr bb_entry);
-    u32 edgeFall(GAddr bb_entry);
-
     // --- decode / BB cache ------------------------------------------------
     guest::GInst fetchGuest(GAddr pc);
     BBInfo &getBB(GAddr entry);
@@ -200,12 +177,14 @@ class Tol : public host::RetireSink
                                         std::optional<Frontend::EndSpec>
                                             &end);
     u32 install(Region &region, RegionMode mode, bool profile,
-                GAddr prof_bb);
-    void invalidate(u32 tid);
-    void maybeChain(u32 from_tid, u32 exit_idx);
+                GAddr prof_bb,
+                u32 pinned_tid = TranslationRegistry::npos);
+    /** Evict cold regions until `need` contiguous words fit. */
+    void evictFor(u32 need, u32 pinned_tid);
     void flushAll();
     u32 regionAt(u32 host_pc) const;
     u32 poolIndex(double v);
+    void maybeChain(u32 from_tid, u32 exit_idx);
 
     // --- members -----------------------------------------------------------
     guest::PagedMemory &mem_;
@@ -213,6 +192,8 @@ class Tol : public host::RetireSink
     StatGroup &stats_;
     host::CodeCache cache_;
     host::HostEmu emu_;
+    Profiler profiler_;
+    TranslationRegistry registry_;
     CostModel cost_;
     Frontend frontend_;
     Env *env_ = nullptr;
@@ -233,20 +214,6 @@ class Tol : public host::RetireSink
 
     std::unordered_map<GAddr, guest::GInst> decodeCache_;
     std::unordered_map<GAddr, BBInfo> bbCache_;
-    std::unordered_map<GAddr, u32> imCounters_;
-
-    std::vector<Translation> trans_;
-    std::unordered_map<GAddr, u32> translations_; //!< entry -> tid
-    std::unordered_map<u32, u32> hostPcMap_;      //!< region base -> tid
-
-    struct GlobalExit
-    {
-        u32 trans = 0;
-        u32 exitIdx = 0;
-        bool promote = false;
-        GAddr promoteTarget = 0;
-    };
-    std::vector<GlobalExit> globalExits_;
 
     struct SBFlags
     {
@@ -255,9 +222,6 @@ class Tol : public host::RetireSink
         u32 residualBb = ~0u; //!< retained BB for unrolled residuals
     };
     std::unordered_map<GAddr, SBFlags> sbFlags_;
-
-    std::unordered_map<GAddr, ProfAddrs> profMap_;
-    u32 profNext_;
 
     std::unordered_map<u64, u32> fpPoolMap_;
 
@@ -276,6 +240,7 @@ class Tol : public host::RetireSink
     u32 unrollFactor_;
     bool useAsserts_;
     bool bbmEnabled_, sbmEnabled_, chaining_, specMem_, sched_, opt_;
+    bool ccEvict_; //!< cc.policy == "evict"
     u64 hostChunk_;
 };
 

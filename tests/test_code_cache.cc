@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the region-allocating code cache (first-fit free
+ * list, coalescing release, flush) and the IBTC host-range
+ * invalidation that region eviction relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/code_cache.hh"
+#include "host/hemu.hh"
+
+using namespace darco;
+using darco::host::CodeCache;
+using darco::host::IbtcTable;
+
+TEST(CodeCache, AllocFirstFit)
+{
+    CodeCache cc(100);
+    EXPECT_EQ(cc.capacity(), 100u);
+    EXPECT_TRUE(cc.hasSpace(100));
+    EXPECT_EQ(cc.alloc(40), 0u);
+    EXPECT_EQ(cc.alloc(40), 40u);
+    EXPECT_EQ(cc.used(), 80u);
+    EXPECT_FALSE(cc.hasSpace(40));
+    EXPECT_EQ(cc.alloc(40), CodeCache::npos);
+    EXPECT_EQ(cc.alloc(20), 80u);
+    EXPECT_EQ(cc.used(), 100u);
+    EXPECT_FALSE(cc.hasSpace(1));
+}
+
+TEST(CodeCache, ReleaseCoalescesNeighbours)
+{
+    CodeCache cc(100);
+    u32 a = cc.alloc(20), b = cc.alloc(20), c = cc.alloc(20);
+    u32 d = cc.alloc(40);
+    ASSERT_EQ(d, 60u);
+    EXPECT_EQ(cc.largestFree(), 0u);
+
+    // Free b: one 20-word hole in the middle.
+    cc.release(b, 20);
+    EXPECT_EQ(cc.largestFree(), 20u);
+    EXPECT_EQ(cc.holeCount(), 1u);
+
+    // Free a: must coalesce with b's hole (predecessor side).
+    cc.release(a, 20);
+    EXPECT_EQ(cc.largestFree(), 40u);
+    EXPECT_EQ(cc.holeCount(), 1u);
+
+    // Free c: must coalesce into one 60-word hole (successor side).
+    cc.release(c, 20);
+    EXPECT_EQ(cc.largestFree(), 60u);
+    EXPECT_EQ(cc.holeCount(), 1u);
+    EXPECT_EQ(cc.used(), 40u);
+
+    // A 60-word region now fits exactly where a..c lived.
+    EXPECT_EQ(cc.alloc(60), 0u);
+}
+
+TEST(CodeCache, FragmentationBlocksLargeAlloc)
+{
+    CodeCache cc(90);
+    u32 a = cc.alloc(30);
+    u32 b = cc.alloc(30);
+    u32 c = cc.alloc(30);
+    (void)a;
+    (void)c;
+    cc.release(b, 30);
+    // 30 free in the middle, but nothing contiguous for 31+.
+    EXPECT_TRUE(cc.hasSpace(30));
+    EXPECT_FALSE(cc.hasSpace(31));
+    EXPECT_EQ(cc.freeWords(), 30u);
+}
+
+TEST(CodeCache, InstallCopiesWords)
+{
+    CodeCache cc(64);
+    std::vector<u32> r1{1, 2, 3, 4};
+    std::vector<u32> r2{9, 8, 7};
+    u32 b1 = cc.install(r1);
+    u32 b2 = cc.install(r2);
+    ASSERT_NE(b1, CodeCache::npos);
+    ASSERT_NE(b2, CodeCache::npos);
+    EXPECT_EQ(cc.word(b1 + 2), 3u);
+    EXPECT_EQ(cc.word(b2 + 0), 9u);
+    cc.setWord(b1 + 2, 42u);
+    EXPECT_EQ(cc.word(b1 + 2), 42u);
+
+    // Release r1 and install a region reusing its words.
+    cc.release(b1, u32(r1.size()));
+    std::vector<u32> r3{5, 5};
+    u32 b3 = cc.install(r3);
+    EXPECT_EQ(b3, b1); // first fit lands in the freed hole
+    EXPECT_EQ(cc.word(b3), 5u);
+    EXPECT_EQ(cc.releaseCount(), 1u);
+}
+
+TEST(CodeCache, FlushResetsEverything)
+{
+    CodeCache cc(50);
+    cc.alloc(20);
+    cc.alloc(20);
+    cc.flush();
+    EXPECT_EQ(cc.used(), 0u);
+    EXPECT_EQ(cc.largestFree(), 50u);
+    EXPECT_EQ(cc.flushCount(), 1u);
+    EXPECT_EQ(cc.alloc(50), 0u);
+}
+
+TEST(IbtcTable, InvalidateHostRange)
+{
+    IbtcTable t(64);
+    t.insert(0x1000, 200);
+    t.insert(0x2000, 350);
+    t.insert(0x2004, 500);
+
+    // Evicting host words [300, 400) must drop only the 0x2000 entry.
+    t.invalidateHostRange(300, 100);
+    u32 hp = 0;
+    EXPECT_TRUE(t.lookup(0x1000, hp));
+    EXPECT_FALSE(t.lookup(0x2000, hp));
+    EXPECT_TRUE(t.lookup(0x2004, hp));
+}

@@ -229,6 +229,34 @@ TEST(DebugToolchain, PinpointsInjectedBug)
     EXPECT_FALSE(d->disassembly.empty());
 }
 
+TEST(Controller, DoubleLoadRestartsCleanly)
+{
+    // Regression: the constructor used to build a Tol that load()
+    // immediately discarded; the Tol is now built lazily in load(),
+    // and loading a second program must restart cleanly even after a
+    // partial run of the first.
+    guest::Program p1 = synthesize(smallWorkload(18));
+    guest::Program p2 = synthesize(smallWorkload(19));
+
+    Controller fresh(testCfg());
+    fresh.load(p2);
+    fresh.run();
+
+    Controller reused(testCfg());
+    EXPECT_FALSE(reused.loaded());
+    EXPECT_FALSE(reused.finished());
+    reused.load(p1);
+    EXPECT_TRUE(reused.loaded());
+    reused.tol().run(2000); // abandon p1 mid-flight
+    reused.load(p2);
+    ASSERT_NO_THROW(reused.run());
+    EXPECT_TRUE(reused.finished());
+    EXPECT_EQ(reused.exitCode(), fresh.exitCode());
+    EXPECT_EQ(reused.tol().completedInsts(),
+              fresh.tol().completedInsts());
+    EXPECT_EQ(reused.validateState(), "");
+}
+
 TEST(Controller, DisabledValidationSkipsChecks)
 {
     Controller ctl(testCfg({"sync.validate_syscalls=false",

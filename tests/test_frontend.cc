@@ -85,7 +85,7 @@ regionDifferential(const Program &prog, CpuState pre)
         });
 
     host::CodeCache cache(1 << 16);
-    u32 base = cache.append(cg.words);
+    u32 base = cache.install(cg.words);
 
     PagedMemory hostMem, interpMem;
     prog.load(hostMem);

@@ -32,7 +32,7 @@ struct HostRig
     u32
     install(const HAsm &a)
     {
-        return cache.append(a.words());
+        return cache.install(a.words());
     }
 
     ExitInfo
@@ -262,7 +262,7 @@ TEST(HostEmu, PageMissRollsBackAndReports)
     a.emit(HOp::LW, 16, 15, 0, 0); // page 0x1000 absent
     a.emit(HOp::COMMIT);
     a.emit(HOp::EXITB, 0, 0, 0, 0);
-    u32 pc = cache.append(a.words());
+    u32 pc = cache.install(a.words());
     auto e = emu.run(pc);
     ASSERT_EQ(e.kind, ExitKind::PageMiss);
     EXPECT_EQ(e.missPage, 0x1000u);
@@ -289,7 +289,7 @@ TEST(HostEmu, SpeculativeStoreToAbsentPageMisses)
     a.emit(HOp::SW, 0, 15, 16, 0);
     a.emit(HOp::COMMIT);
     a.emit(HOp::EXITB, 0, 0, 0, 0);
-    u32 pc = cache.append(a.words());
+    u32 pc = cache.install(a.words());
     auto e = emu.run(pc);
     ASSERT_EQ(e.kind, ExitKind::PageMiss);
     EXPECT_EQ(e.missPage, 0x1000u);

@@ -14,6 +14,7 @@
 
 #include "guest/asm.hh"
 #include "tol/tol.hh"
+#include "workloads/suite.hh"
 #include "xemu/ref_component.hh"
 
 using namespace darco;
@@ -133,6 +134,24 @@ hotLoop(u32 iters, u32 elems)
     a.movri(RAX, sysExit);
     a.syscall();
     return a.finish("hotloop");
+}
+
+/**
+ * A workload with enough distinct hot code to overflow a small code
+ * cache many times over (exercises the eviction / flush policies).
+ */
+Program
+evictionWorkload(u64 seed)
+{
+    workloads::WorkloadParams p;
+    p.seed = seed;
+    p.name = "evict" + std::to_string(seed);
+    p.numBlocks = 96;
+    p.outerIters = 200;
+    p.fpFrac = 0.2;
+    p.callFrac = 0.08;
+    p.indirectFrac = 0.04;
+    return workloads::synthesize(p);
 }
 
 } // namespace
@@ -534,4 +553,55 @@ TEST(TolPipeline, IndirectJumpTableDifferential)
     rig.load(p);
     rig.run();
     EXPECT_GT(rig.tol->hostEmu().ibtc().hits(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Code-cache capacity policies (region-granular eviction vs flush)
+// ---------------------------------------------------------------------
+
+TEST(TolPipeline, EvictionPolicyDifferential)
+{
+    Program p = evictionWorkload(7);
+    // Region-granular eviction (default policy) and the classic full
+    // flush must both stay architecturally correct under a code cache
+    // far too small for the workload's hot code.
+    differential(p, {"cc.capacity_words=1500"});
+    differential(p, {"cc.capacity_words=1500", "cc.policy=flush"});
+}
+
+TEST(TolPipeline, EvictionReclaimsWithoutFlushing)
+{
+    TolRig rig({"cc.capacity_words=1500"});
+    rig.load(evictionWorkload(7));
+    rig.run();
+    ASSERT_TRUE(rig.tol->finished());
+    EXPECT_GE(rig.stats.value("cc.evictions"), 10u);
+    EXPECT_EQ(rig.stats.value("cc.flushes"), 0u);
+    EXPECT_GT(rig.stats.value("cc.bytes_reclaimed"), 0u);
+    // Chain sites into evicted regions were restored to EXITBs.
+    EXPECT_GT(rig.stats.value("cc.evict_unchains"), 0u);
+    // The surviving chain graph must be fully consistent.
+    EXPECT_EQ(rig.tol->registry().checkInvariants(), "");
+    EXPECT_LE(rig.tol->codeCache().used(),
+              rig.tol->codeCache().capacity());
+}
+
+TEST(TolPipeline, FlushPolicyStillAvailable)
+{
+    TolRig rig({"cc.capacity_words=1500", "cc.policy=flush"});
+    rig.load(evictionWorkload(7));
+    rig.run();
+    ASSERT_TRUE(rig.tol->finished());
+    EXPECT_GT(rig.stats.value("cc.flushes"), 0u);
+    EXPECT_EQ(rig.stats.value("cc.evictions"), 0u);
+}
+
+TEST(TolPipeline, AmpleCacheNeverEvicts)
+{
+    TolRig rig; // default 4M-word cache
+    rig.load(evictionWorkload(7));
+    rig.run();
+    EXPECT_EQ(rig.stats.value("cc.evictions"), 0u);
+    EXPECT_EQ(rig.stats.value("cc.flushes"), 0u);
+    EXPECT_EQ(rig.tol->registry().checkInvariants(), "");
 }
