@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chaining.dir/bench/bench_ablation_chaining.cc.o"
+  "CMakeFiles/bench_ablation_chaining.dir/bench/bench_ablation_chaining.cc.o.d"
+  "bench_ablation_chaining"
+  "bench_ablation_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optlevels.dir/bench/bench_ablation_optlevels.cc.o"
+  "CMakeFiles/bench_ablation_optlevels.dir/bench/bench_ablation_optlevels.cc.o.d"
+  "bench_ablation_optlevels"
+  "bench_ablation_optlevels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optlevels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

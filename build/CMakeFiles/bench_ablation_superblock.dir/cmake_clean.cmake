@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superblock.dir/bench/bench_ablation_superblock.cc.o"
+  "CMakeFiles/bench_ablation_superblock.dir/bench/bench_ablation_superblock.cc.o.d"
+  "bench_ablation_superblock"
+  "bench_ablation_superblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mode_dist.dir/bench/bench_fig4_mode_dist.cc.o"
+  "CMakeFiles/bench_fig4_mode_dist.dir/bench/bench_fig4_mode_dist.cc.o.d"
+  "bench_fig4_mode_dist"
+  "bench_fig4_mode_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mode_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_mode_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_emulation_cost.dir/bench/bench_fig5_emulation_cost.cc.o"
+  "CMakeFiles/bench_fig5_emulation_cost.dir/bench/bench_fig5_emulation_cost.cc.o.d"
+  "bench_fig5_emulation_cost"
+  "bench_fig5_emulation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_emulation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_emulation_cost.
+# This may be replaced when dependencies are built.

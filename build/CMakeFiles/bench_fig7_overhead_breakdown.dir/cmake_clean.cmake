@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_overhead_breakdown.dir/bench/bench_fig7_overhead_breakdown.cc.o"
+  "CMakeFiles/bench_fig7_overhead_breakdown.dir/bench/bench_fig7_overhead_breakdown.cc.o.d"
+  "bench_fig7_overhead_breakdown"
+  "bench_fig7_overhead_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed.dir/bench/bench_speed.cc.o"
+  "CMakeFiles/bench_speed.dir/bench/bench_speed.cc.o.d"
+  "bench_speed"
+  "bench_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_sweep.dir/bench/bench_timing_sweep.cc.o"
+  "CMakeFiles/bench_timing_sweep.dir/bench/bench_timing_sweep.cc.o.d"
+  "bench_timing_sweep"
+  "bench_timing_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_explorer.dir/examples/codesign_explorer.cpp.o"
+  "CMakeFiles/codesign_explorer.dir/examples/codesign_explorer.cpp.o.d"
+  "codesign_explorer"
+  "codesign_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for codesign_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "CMakeFiles/darco.dir/src/common/config.cc.o" "gcc" "CMakeFiles/darco.dir/src/common/config.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/darco.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/darco.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/guest/asm.cc" "CMakeFiles/darco.dir/src/guest/asm.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/asm.cc.o.d"
+  "/root/repo/src/guest/codec.cc" "CMakeFiles/darco.dir/src/guest/codec.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/codec.cc.o.d"
+  "/root/repo/src/guest/disasm.cc" "CMakeFiles/darco.dir/src/guest/disasm.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/disasm.cc.o.d"
+  "/root/repo/src/guest/gisa.cc" "CMakeFiles/darco.dir/src/guest/gisa.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/gisa.cc.o.d"
+  "/root/repo/src/guest/memory.cc" "CMakeFiles/darco.dir/src/guest/memory.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/memory.cc.o.d"
+  "/root/repo/src/guest/program.cc" "CMakeFiles/darco.dir/src/guest/program.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/program.cc.o.d"
+  "/root/repo/src/guest/semantics.cc" "CMakeFiles/darco.dir/src/guest/semantics.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/semantics.cc.o.d"
+  "/root/repo/src/guest/state.cc" "CMakeFiles/darco.dir/src/guest/state.cc.o" "gcc" "CMakeFiles/darco.dir/src/guest/state.cc.o.d"
+  "/root/repo/src/host/hemu.cc" "CMakeFiles/darco.dir/src/host/hemu.cc.o" "gcc" "CMakeFiles/darco.dir/src/host/hemu.cc.o.d"
+  "/root/repo/src/host/hisa.cc" "CMakeFiles/darco.dir/src/host/hisa.cc.o" "gcc" "CMakeFiles/darco.dir/src/host/hisa.cc.o.d"
+  "/root/repo/src/host/trace.cc" "CMakeFiles/darco.dir/src/host/trace.cc.o" "gcc" "CMakeFiles/darco.dir/src/host/trace.cc.o.d"
+  "/root/repo/src/power/power.cc" "CMakeFiles/darco.dir/src/power/power.cc.o" "gcc" "CMakeFiles/darco.dir/src/power/power.cc.o.d"
+  "/root/repo/src/sampling/warmup.cc" "CMakeFiles/darco.dir/src/sampling/warmup.cc.o" "gcc" "CMakeFiles/darco.dir/src/sampling/warmup.cc.o.d"
+  "/root/repo/src/sim/controller.cc" "CMakeFiles/darco.dir/src/sim/controller.cc.o" "gcc" "CMakeFiles/darco.dir/src/sim/controller.cc.o.d"
+  "/root/repo/src/sim/debug.cc" "CMakeFiles/darco.dir/src/sim/debug.cc.o" "gcc" "CMakeFiles/darco.dir/src/sim/debug.cc.o.d"
+  "/root/repo/src/timing/cache.cc" "CMakeFiles/darco.dir/src/timing/cache.cc.o" "gcc" "CMakeFiles/darco.dir/src/timing/cache.cc.o.d"
+  "/root/repo/src/timing/core.cc" "CMakeFiles/darco.dir/src/timing/core.cc.o" "gcc" "CMakeFiles/darco.dir/src/timing/core.cc.o.d"
+  "/root/repo/src/tol/codegen.cc" "CMakeFiles/darco.dir/src/tol/codegen.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/codegen.cc.o.d"
+  "/root/repo/src/tol/cost_model.cc" "CMakeFiles/darco.dir/src/tol/cost_model.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/cost_model.cc.o.d"
+  "/root/repo/src/tol/ddg.cc" "CMakeFiles/darco.dir/src/tol/ddg.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/ddg.cc.o.d"
+  "/root/repo/src/tol/frontend.cc" "CMakeFiles/darco.dir/src/tol/frontend.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/frontend.cc.o.d"
+  "/root/repo/src/tol/ir.cc" "CMakeFiles/darco.dir/src/tol/ir.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/ir.cc.o.d"
+  "/root/repo/src/tol/passes.cc" "CMakeFiles/darco.dir/src/tol/passes.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/passes.cc.o.d"
+  "/root/repo/src/tol/profiler.cc" "CMakeFiles/darco.dir/src/tol/profiler.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/profiler.cc.o.d"
+  "/root/repo/src/tol/regalloc.cc" "CMakeFiles/darco.dir/src/tol/regalloc.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/regalloc.cc.o.d"
+  "/root/repo/src/tol/registry.cc" "CMakeFiles/darco.dir/src/tol/registry.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/registry.cc.o.d"
+  "/root/repo/src/tol/tol.cc" "CMakeFiles/darco.dir/src/tol/tol.cc.o" "gcc" "CMakeFiles/darco.dir/src/tol/tol.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "CMakeFiles/darco.dir/src/workloads/suite.cc.o" "gcc" "CMakeFiles/darco.dir/src/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/synth.cc" "CMakeFiles/darco.dir/src/workloads/synth.cc.o" "gcc" "CMakeFiles/darco.dir/src/workloads/synth.cc.o.d"
+  "/root/repo/src/xemu/os.cc" "CMakeFiles/darco.dir/src/xemu/os.cc.o" "gcc" "CMakeFiles/darco.dir/src/xemu/os.cc.o.d"
+  "/root/repo/src/xemu/ref_component.cc" "CMakeFiles/darco.dir/src/xemu/ref_component.cc.o" "gcc" "CMakeFiles/darco.dir/src/xemu/ref_component.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_divergence.dir/examples/debug_divergence.cpp.o"
+  "CMakeFiles/debug_divergence.dir/examples/debug_divergence.cpp.o.d"
+  "debug_divergence"
+  "debug_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_cache.dir/tests/test_code_cache.cc.o"
+  "CMakeFiles/test_code_cache.dir/tests/test_code_cache.cc.o.d"
+  "test_code_cache"
+  "test_code_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

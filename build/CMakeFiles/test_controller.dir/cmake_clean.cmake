@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller.dir/tests/test_controller.cc.o"
+  "CMakeFiles/test_controller.dir/tests/test_controller.cc.o.d"
+  "test_controller"
+  "test_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

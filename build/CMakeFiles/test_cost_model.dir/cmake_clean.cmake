@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_model.dir/tests/test_cost_model.cc.o"
+  "CMakeFiles/test_cost_model.dir/tests/test_cost_model.cc.o.d"
+  "test_cost_model"
+  "test_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

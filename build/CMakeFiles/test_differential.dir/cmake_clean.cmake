@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_differential.dir/tests/test_differential.cc.o"
+  "CMakeFiles/test_differential.dir/tests/test_differential.cc.o.d"
+  "test_differential"
+  "test_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_asm.dir/tests/test_guest_asm.cc.o"
+  "CMakeFiles/test_guest_asm.dir/tests/test_guest_asm.cc.o.d"
+  "test_guest_asm"
+  "test_guest_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_memory.dir/tests/test_guest_memory.cc.o"
+  "CMakeFiles/test_guest_memory.dir/tests/test_guest_memory.cc.o.d"
+  "test_guest_memory"
+  "test_guest_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

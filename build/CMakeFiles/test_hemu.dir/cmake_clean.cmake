@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hemu.dir/tests/test_hemu.cc.o"
+  "CMakeFiles/test_hemu.dir/tests/test_hemu.cc.o.d"
+  "test_hemu"
+  "test_hemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

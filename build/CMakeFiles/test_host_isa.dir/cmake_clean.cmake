@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_isa.dir/tests/test_host_isa.cc.o"
+  "CMakeFiles/test_host_isa.dir/tests/test_host_isa.cc.o.d"
+  "test_host_isa"
+  "test_host_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_component.dir/tests/test_ref_component.cc.o"
+  "CMakeFiles/test_ref_component.dir/tests/test_ref_component.cc.o.d"
+  "test_ref_component"
+  "test_ref_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

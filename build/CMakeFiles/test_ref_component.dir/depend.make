@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ref_component.
+# This may be replaced when dependencies are built.

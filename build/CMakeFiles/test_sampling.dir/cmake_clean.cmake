@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling.dir/tests/test_sampling.cc.o"
+  "CMakeFiles/test_sampling.dir/tests/test_sampling.cc.o.d"
+  "test_sampling"
+  "test_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sampling.
+# This may be replaced when dependencies are built.

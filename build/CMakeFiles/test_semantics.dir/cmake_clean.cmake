@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantics.dir/tests/test_semantics.cc.o"
+  "CMakeFiles/test_semantics.dir/tests/test_semantics.cc.o.d"
+  "test_semantics"
+  "test_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

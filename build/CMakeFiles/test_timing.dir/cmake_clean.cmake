@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing.dir/tests/test_timing.cc.o"
+  "CMakeFiles/test_timing.dir/tests/test_timing.cc.o.d"
+  "test_timing"
+  "test_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

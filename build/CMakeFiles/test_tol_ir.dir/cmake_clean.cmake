@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tol_ir.dir/tests/test_tol_ir.cc.o"
+  "CMakeFiles/test_tol_ir.dir/tests/test_tol_ir.cc.o.d"
+  "test_tol_ir"
+  "test_tol_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tol_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

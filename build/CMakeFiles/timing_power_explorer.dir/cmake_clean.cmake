@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_power_explorer.dir/examples/timing_power_explorer.cpp.o"
+  "CMakeFiles/timing_power_explorer.dir/examples/timing_power_explorer.cpp.o.d"
+  "timing_power_explorer"
+  "timing_power_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_power_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tol_pipeline_tour.dir/examples/tol_pipeline_tour.cpp.o"
+  "CMakeFiles/tol_pipeline_tour.dir/examples/tol_pipeline_tour.cpp.o.d"
+  "tol_pipeline_tour"
+  "tol_pipeline_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tol_pipeline_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
