@@ -1,0 +1,241 @@
+#include "fuzz/diffrun.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "guest/semantics.hh"
+#include "sim/controller.hh"
+#include "sim/debug.hh"
+#include "xemu/ref_component.hh"
+
+namespace darco::fuzz
+{
+
+using namespace guest;
+
+std::vector<DiffConfig>
+defaultMatrix()
+{
+    return {
+        {"interp", {"tol.enable_bbm=false", "tol.enable_sbm=false"}},
+        {"noopt",
+         {"tol.opt=false", "tol.sched=false", "tol.spec_mem=false",
+          "tol.unroll=false", "tol.fuse_flags=false",
+          "tol.chaining=false"}},
+        {"fullopt", {}},
+        // Region sizes are bounded (tol.max_sb_insts) well below the
+        // capacity so the pressure produces evictions, never a
+        // region-exceeds-cache panic.
+        {"tinycc",
+         {"cc.capacity_words=768", "cc.policy=evict",
+          "tol.max_sb_insts=120"}},
+    };
+}
+
+Config
+makeConfig(const DiffConfig &cell, u64 seed,
+           const std::vector<std::string> &extra)
+{
+    // Fast-promotion thresholds: fuzz programs are small, and the
+    // point is to spend their dynamic length in translated code.
+    Config cfg;
+    cfg.set("tol.bb_threshold", s64(4));
+    cfg.set("tol.sb_threshold", s64(12));
+    cfg.set("tol.min_edge_total", s64(8));
+    for (const std::string &kv : cell.overrides)
+        cfg.parseLine(kv);
+    for (const std::string &kv : extra)
+        cfg.parseLine(kv);
+    cfg.set("seed", s64(seed));
+    return cfg;
+}
+
+namespace
+{
+
+/** Render a run header like "fullopt: insts=1234 exit=7". */
+std::string
+line(const RunOutcome &r)
+{
+    std::ostringstream os;
+    os << r.config << ": ";
+    if (!r.error.empty()) {
+        os << "ERROR " << r.error;
+    } else if (!r.finished) {
+        os << "HANG (insts=" << r.insts << ")";
+    } else {
+        os << "insts=" << r.insts << " bbs=" << r.bbs
+           << " exit=" << r.exitCode << " evict=" << r.evictions
+           << " flush=" << r.flushes;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+DiffResult::report() const
+{
+    std::ostringstream os;
+    os << (ok ? "OK" : "FAIL");
+    if (!ok)
+        os << " [" << failConfig << "] " << failure;
+    os << '\n';
+    for (const RunOutcome &r : runs)
+        os << "  " << line(r) << '\n';
+    return os.str();
+}
+
+DiffResult
+diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
+{
+    DiffResult res;
+    auto fail = [&](const std::string &config, const std::string &what) {
+        if (res.ok) {
+            res.ok = false;
+            res.failConfig = config;
+            res.failure = what;
+        }
+    };
+
+    // --- golden reference run ------------------------------------------
+    xemu::RefComponent golden(seed);
+    golden.load(prog);
+    try {
+        golden.runToCompletion(opts.maxRefInsts);
+    } catch (const GuestFault &gf) {
+        std::ostringstream os;
+        os << "reference faulted at pc 0x" << std::hex << gf.pc << ": "
+           << gf.msg;
+        fail("reference", os.str());
+        return res;
+    }
+    if (!golden.finished()) {
+        fail("reference", "reference exceeded " +
+                              std::to_string(opts.maxRefInsts) +
+                              " insts (generator bug: non-terminating)");
+        return res;
+    }
+
+    u64 budget =
+        golden.instCount() * opts.budgetSlack + opts.budgetFloor;
+    const std::vector<DiffConfig> matrix =
+        opts.matrix.empty() ? defaultMatrix() : opts.matrix;
+
+    // --- config matrix --------------------------------------------------
+    for (const DiffConfig &cell : matrix) {
+        RunOutcome out;
+        out.config = cell.name;
+        Config cfg = makeConfig(cell, seed, opts.extra);
+
+        sim::Controller ctl(cfg);
+        try {
+            ctl.load(prog);
+            ctl.run(budget);
+        } catch (const sim::DivergenceError &de) {
+            out.error = std::string("divergence: ") + de.what();
+        } catch (const GuestFault &gf) {
+            std::ostringstream os;
+            os << "guest fault at pc 0x" << std::hex << gf.pc << ": "
+               << gf.msg;
+            out.error = os.str();
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        }
+
+        if (ctl.loaded()) {
+            out.finished = ctl.finished();
+            out.state = ctl.tol().state();
+            out.insts = ctl.tol().completedInsts();
+            out.bbs = ctl.tol().completedBBs();
+            out.exitCode = ctl.exitCode();
+            out.evictions = ctl.stats().value("cc.evictions");
+            out.flushes = ctl.stats().value("cc.flushes");
+            out.imInsts = ctl.stats().value("tol.guest_im");
+            out.bbmInsts = ctl.stats().value("tol.guest_bbm");
+            out.sbmInsts = ctl.stats().value("tol.guest_sbm");
+            out.osOutput = ctl.ref().os().output();
+        }
+
+        // --- cross-checks against the golden run -----------------------
+        if (!out.error.empty()) {
+            fail(cell.name, out.error);
+        } else if (!out.finished) {
+            fail(cell.name,
+                 "did not terminate within " + std::to_string(budget) +
+                     " guest insts (golden: " +
+                     std::to_string(golden.instCount()) + ")");
+        } else {
+            if (!(out.state == golden.state()))
+                fail(cell.name, "final state diverged: " +
+                                    golden.state().diff(out.state));
+            if (out.insts != golden.instCount())
+                fail(cell.name,
+                     "retired insts " + std::to_string(out.insts) +
+                         " != golden " +
+                         std::to_string(golden.instCount()));
+            if (out.bbs != golden.bbCount())
+                fail(cell.name,
+                     "retired BBs " + std::to_string(out.bbs) +
+                         " != golden " +
+                         std::to_string(golden.bbCount()));
+            if (out.exitCode != golden.exitCode())
+                fail(cell.name,
+                     "exit code " + std::to_string(out.exitCode) +
+                         " != golden " +
+                         std::to_string(golden.exitCode()));
+            if (out.osOutput != golden.os().output())
+                fail(cell.name, "OS output diverged");
+            // Chain-graph consistency, most interesting after the
+            // tinycc cell's eviction/unchain storms.
+            std::string inv = ctl.registry().checkInvariants();
+            if (!inv.empty())
+                fail(cell.name, "registry invariants broken: " + inv);
+            if (out.imInsts + out.bbmInsts + out.sbmInsts != out.insts)
+                fail(cell.name,
+                     "mode accounting broken: im+bbm+sbm = " +
+                         std::to_string(out.imInsts + out.bbmInsts +
+                                        out.sbmInsts) +
+                         " != retired " + std::to_string(out.insts));
+
+            // Memory image: every page the co-designed side touched
+            // must match the authoritative image bit-exactly. The scan
+            // is deliberately one-sided (paper Section V-D): emulated
+            // memory is a demand-fetched cache of the authoritative
+            // image, so a page it never fetched carries no emulated
+            // claim to compare — materializing it as zeros would
+            // false-positive on every never-read data page.
+            for (GAddr page : ctl.emulatedMemory().residentPages()) {
+                const u8 *mine = ctl.emulatedMemory().page(page);
+                const u8 *gold = golden.memory().page(page);
+                if (std::memcmp(mine, gold, pageSizeBytes) != 0) {
+                    std::ostringstream os;
+                    os << "memory diverged at page 0x" << std::hex
+                       << page;
+                    fail(cell.name, os.str());
+                    break;
+                }
+            }
+        }
+
+        bool thisCellFailed = !res.ok && res.failConfig == cell.name;
+        if (thisCellFailed && opts.pinpoint) {
+            auto dp = sim::findFirstDivergence(prog, cfg, budget);
+            if (dp) {
+                std::ostringstream os;
+                os << res.failure << "\n  first divergent region: pc 0x"
+                   << std::hex << dp->regionEntryPc << std::dec
+                   << " insts [" << dp->instFrom << ", " << dp->instTo
+                   << "]\n"
+                   << dp->disassembly;
+                res.failure = os.str();
+            }
+        }
+
+        res.runs.push_back(std::move(out));
+    }
+
+    return res;
+}
+
+} // namespace darco::fuzz

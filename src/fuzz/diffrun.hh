@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Multi-config differential execution of one guest program.
+ *
+ * The fuzzer's oracle. One golden run of the reference component
+ * provides the authoritative final state; the same program then runs
+ * through the full Controller (co-designed component + sync protocol +
+ * built-in validation) under a matrix of TOL configurations:
+ *
+ *   interp   IM only (no translation at all)
+ *   noopt    BBM+SBM translation with every optimization disabled
+ *   fullopt  the default, fully optimizing pipeline
+ *   tinycc   fullopt squeezed into a tiny code cache (eviction storm)
+ *
+ * Every run is cross-checked against the golden state: architectural
+ * registers, exit code, resident memory image, deterministic OS
+ * output, and the stats invariants (retired instructions and dynamic
+ * basic blocks equal across all configs; IM+BBM+SBM mode counts sum
+ * to the retired-instruction count — so e.g. an eviction storm with
+ * cc.evictions > 0 must still show zero divergence). Hangs are caught
+ * with an instruction budget derived from the golden run; divergence
+ * exceptions thrown by the Controller's own validation are captured
+ * as failures, and an optional lockstep replay (sim/debug.hh)
+ * pinpoints the first divergent region for the report.
+ */
+
+#ifndef DARCO_FUZZ_DIFFRUN_HH
+#define DARCO_FUZZ_DIFFRUN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "guest/program.hh"
+#include "guest/state.hh"
+
+namespace darco::fuzz
+{
+
+/** One cell of the config matrix. */
+struct DiffConfig
+{
+    std::string name;
+    std::vector<std::string> overrides; //!< "key=value" strings
+};
+
+/** The standard four-config cross-validation matrix. */
+std::vector<DiffConfig> defaultMatrix();
+
+/** Per-config execution record. */
+struct RunOutcome
+{
+    std::string config;
+    bool finished = false; //!< program completed within budget
+    std::string error;     //!< exception text (divergence, fault...)
+    guest::CpuState state;
+    u32 exitCode = 0;
+    u64 insts = 0;
+    u64 bbs = 0;
+    u64 evictions = 0;
+    u64 flushes = 0;
+    u64 imInsts = 0, bbmInsts = 0, sbmInsts = 0;
+    std::string osOutput;
+};
+
+/** Result of one differential run. */
+struct DiffResult
+{
+    bool ok = true;
+    std::string failConfig; //!< config of the first failure
+    std::string failure;    //!< human-readable description
+    std::vector<RunOutcome> runs;
+
+    /** Multi-line report (all configs + failure details). */
+    std::string report() const;
+};
+
+/** Knobs for diffRun(). */
+struct DiffOptions
+{
+    /** Budget for the golden reference run. */
+    u64 maxRefInsts = 50'000'000;
+    /** Co-designed budget = ref insts * slack + floor (hang catch). */
+    u64 budgetSlack = 4;
+    u64 budgetFloor = 100'000;
+    /**
+     * Extra "key=value" overrides applied to every matrix cell after
+     * its own overrides (fault injection, threshold sweeps).
+     */
+    std::vector<std::string> extra;
+    /** The config matrix; defaults to defaultMatrix(). */
+    std::vector<DiffConfig> matrix;
+    /**
+     * On a state divergence, lockstep-replay the failing config with
+     * sim::findFirstDivergence and append the guilty region's guest
+     * pc and disassembly to the failure report.
+     */
+    bool pinpoint = false;
+};
+
+/**
+ * Build the effective Config for one matrix cell: fuzzing thresholds
+ * (fast promotion so small programs reach SBM), the cell's overrides,
+ * then `extra`, then the program seed.
+ */
+Config makeConfig(const DiffConfig &cell, u64 seed,
+                  const std::vector<std::string> &extra);
+
+/**
+ * Execute `prog` under the whole matrix and cross-validate.
+ * Never throws for program-level failures: they land in the result.
+ */
+DiffResult diffRun(const guest::Program &prog, u64 seed,
+                   const DiffOptions &opts = DiffOptions());
+
+} // namespace darco::fuzz
+
+#endif // DARCO_FUZZ_DIFFRUN_HH

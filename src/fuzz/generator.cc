@@ -1,0 +1,474 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "guest/asm.hh"
+#include "xemu/os.hh"
+
+namespace darco::fuzz
+{
+
+using namespace guest;
+
+const char *
+blockKindName(BlockKind k)
+{
+    switch (k) {
+      case BlockKind::Straight: return "straight";
+      case BlockKind::Diamond: return "diamond";
+      case BlockKind::Indirect: return "indirect";
+      case BlockKind::Loop: return "loop";
+      case BlockKind::Call: return "call";
+      case BlockKind::Str: return "str";
+      case BlockKind::Div: return "div";
+      case BlockKind::Alias: return "alias";
+      case BlockKind::Fp: return "fp";
+      case BlockKind::Syscall: return "syscall";
+      default: return "?";
+    }
+}
+
+std::string
+ProgramSpec::describe() const
+{
+    std::ostringstream os;
+    os << name << ": seed=" << seed << " iters=" << outerIters
+       << " coldMask=" << coldMask << " blocks=[";
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << blockKindName(blocks[i].kind) << '/' << blocks[i].len;
+    }
+    os << ']';
+    return os.str();
+}
+
+ProgramSpec
+makeSpec(const GenParams &p)
+{
+    Rng rng(p.seed * 0x9e3779b97f4a7c15ull + 0xf0220ull);
+    ProgramSpec spec;
+    spec.name = "fuzz" + std::to_string(p.seed);
+    spec.seed = p.seed;
+    spec.outerIters = u32(rng.range(p.minOuterIters, p.maxOuterIters));
+    spec.coldMask = u32((1u << rng.range(2, 4)) - 1); // 3, 7 or 15
+    spec.dataWords = p.dataWords;
+
+    std::vector<double> w(p.weights.begin(), p.weights.end());
+    u32 n = u32(rng.range(p.minBlocks, p.maxBlocks));
+    for (u32 i = 0; i < n; ++i) {
+        BlockSpec b;
+        b.kind = BlockKind(rng.weighted(w));
+        b.seed = rng.next();
+        b.len = u32(rng.range(p.bodyLenMin, p.bodyLenMax));
+        spec.blocks.push_back(b);
+    }
+    return spec;
+}
+
+namespace
+{
+
+u32
+pow2ceil(u32 v)
+{
+    u32 p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Register discipline (mirrors workloads::synth):
+ *   RSP stack, RBP data base, RBX outer counter, RSI phase counter;
+ *   RAX, RCX, RDX, RDI are free block-body registers (counted loops
+ *   reserve RCX, cold checks clobber RDI).
+ */
+struct Builder
+{
+    const ProgramSpec &spec;
+    Assembler a;
+    u32 wordMask;
+    std::size_t fpArea;
+    static constexpr u32 fpSlots = 16;
+    std::size_t strArea;
+    static constexpr u32 strLen = 24;
+
+    std::vector<Assembler::Label> funcs;
+    bool funcsUsed = false;
+
+    struct ColdStub
+    {
+        Assembler::Label label;
+        Assembler::Label back;
+        u64 seed;
+    };
+    std::vector<ColdStub> coldStubs;
+
+    struct IndirectSite
+    {
+        std::size_t tableOff;
+        Assembler::Label cases[4];
+    };
+    std::vector<IndirectSite> indirectSites;
+
+    explicit Builder(const ProgramSpec &s) : spec(s)
+    {
+        u32 words = pow2ceil(std::max(64u, spec.dataWords));
+        wordMask = (words - 1) << 2;
+
+        // Data image: int working set | fp slots | string buffers.
+        // Pre-initialized in the image itself (no runtime init loop),
+        // so minimized reproducers stay tiny.
+        Rng drng(spec.seed ^ 0xda7a5eedull);
+        for (u32 i = 0; i < words; ++i)
+            a.dataU32(u32(drng.next()));
+        fpArea = words * 4;
+        for (u32 i = 0; i < fpSlots; ++i)
+            a.dataF64(0.25 + 0.0625 * double(i));
+        strArea = fpArea + fpSlots * 8;
+        a.dataZero(2 * strLen + 16);
+
+        for (u32 f = 0; f < 2; ++f)
+            funcs.push_back(a.newLabel());
+    }
+
+    GReg
+    bodyReg(Rng &rng, bool allow_rcx, bool allow_rdi = true)
+    {
+        for (;;) {
+            switch (rng.range(0, 3)) {
+              case 0: return RAX;
+              case 1:
+                if (allow_rcx)
+                    return RCX;
+                break;
+              case 2: return RDX;
+              default:
+                if (allow_rdi)
+                    return RDI;
+                break;
+            }
+        }
+    }
+
+    /** Masked in-working-set memory operand through idx. */
+    Mem
+    dataRef(GReg idx)
+    {
+        a.andri(idx, s32(wordMask & ~3u));
+        return memIdx(RBP, idx, 0, 0);
+    }
+
+    /** One random integer body instruction (flag-heavy mix). */
+    void
+    emitIntOp(Rng &rng, bool allow_rcx, bool mem_ok = true)
+    {
+        GReg d = bodyReg(rng, allow_rcx);
+        GReg s = bodyReg(rng, allow_rcx);
+        if (mem_ok && rng.chance(0.3)) {
+            GReg idx = bodyReg(rng, allow_rcx);
+            switch (rng.range(0, 4)) {
+              case 0: a.movrm(d, dataRef(idx)); break;
+              case 1: a.movmr(dataRef(idx), d); break;
+              case 2: a.addrm(d, dataRef(idx)); break;
+              case 3: a.movzx8(d, dataRef(idx)); break;
+              default: a.addmr(dataRef(idx), d); break;
+            }
+            return;
+        }
+        switch (rng.range(0, 12)) {
+          case 0: a.addrr(d, s); break;
+          case 1: a.subrr(d, s); break;
+          case 2: a.xorrr(d, s); break;
+          case 3: a.imulrr(d, s); break;
+          case 4: a.addri(d, s32(rng.range(0, 2000)) - 1000); break;
+          case 5: a.shlri(d, s8(rng.range(1, 7))); break;
+          case 6: a.sarri(d, s8(rng.range(1, 7))); break;
+          case 7: a.inc(d); break;
+          case 8: a.notr(d); break;
+          case 9: {
+            a.cmpri(d, s32(rng.range(0, 64)));
+            a.cmovcc(GCond(rng.range(0, 11)), d, s);
+            break;
+          }
+          case 10: {
+            a.testrr(d, s);
+            a.setcc(GCond(rng.range(0, 11)), d);
+            break;
+          }
+          default: {
+            a.push(d);
+            a.movri(d, s32(rng.next() & 0xffff));
+            a.pop(d);
+            break;
+          }
+        }
+    }
+
+    void
+    emitIntBody(Rng &rng, u32 len, bool allow_rcx, bool mem_ok = true)
+    {
+        for (u32 i = 0; i < len; ++i)
+            emitIntOp(rng, allow_rcx, mem_ok);
+    }
+
+    void
+    emitFpOp(Rng &rng)
+    {
+        u8 fd = u8(rng.range(0, 7));
+        u8 fs = u8(rng.range(0, 7));
+        switch (rng.range(0, 7)) {
+          case 0:
+            a.fld(fd, mem(RBP, s32(fpArea + 8 * rng.range(0, fpSlots - 1))));
+            break;
+          case 1:
+            a.fst(mem(RBP, s32(fpArea + 8 * rng.range(0, fpSlots - 1))),
+                  fs);
+            break;
+          case 2: a.fadd(fd, fs); break;
+          case 3: a.fmul(fd, fs); break;
+          case 4:
+            if (rng.chance(0.4))
+                a.fsin(fd, fs);
+            else
+                a.fsub(fd, fs);
+            break;
+          case 5:
+            if (rng.chance(0.4)) {
+                a.fcos(fd, fs);
+            } else {
+                a.fabs_(fd, fs);
+                a.fsqrt(fd, fd);
+            }
+            break;
+          default: {
+            a.fcmp(fd, fs);
+            a.setcc(GCond::B, bodyReg(rng, true));
+            break;
+          }
+        }
+    }
+
+    // --- per-kind block emitters ---------------------------------------
+
+    void
+    emitBlock(const BlockSpec &b)
+    {
+        Rng rng(b.seed);
+        switch (b.kind) {
+          case BlockKind::Straight:
+            emitIntBody(rng, std::max(1u, b.len), true);
+            break;
+
+          case BlockKind::Diamond: {
+            // Biased branch: cold side every (coldMask+1) phases.
+            emitIntBody(rng, std::max(1u, b.len / 2), true);
+            ColdStub stub{a.newLabel(), a.newLabel(), rng.next()};
+            a.inc(RSI);
+            a.movrr(RDI, RSI);
+            a.andri(RDI, s32(spec.coldMask));
+            a.cmpri(RDI, 0);
+            a.jcc(GCond::EQ, stub.label);
+            a.bind(stub.back);
+            coldStubs.push_back(stub);
+            break;
+          }
+
+          case BlockKind::Indirect: {
+            // Jump-table dispatch on the phase counter: IBTC traffic
+            // with four rotating targets per site.
+            IndirectSite site;
+            site.tableOff = a.dataZero(16);
+            auto join = a.newLabel();
+            a.movrr(RDI, RSI);
+            a.andri(RDI, 3);
+            a.movri(RDX, s32(Program::dataAddr(site.tableOff)));
+            a.movrm(RDX, memIdx(RDX, RDI, 2, 0));
+            a.jmpr(RDX);
+            for (int c = 0; c < 4; ++c) {
+                site.cases[c] = a.newLabel();
+                a.bind(site.cases[c]);
+                emitIntBody(rng, 1, true, false);
+                if (c != 3)
+                    a.jmp(join);
+            }
+            a.bind(join);
+            indirectSites.push_back(site);
+            break;
+          }
+
+          case BlockKind::Loop: {
+            u32 trip = u32(rng.range(3, 10));
+            a.movri(RCX, s32(trip));
+            auto l = a.newLabel();
+            a.bind(l);
+            emitIntBody(rng, std::max(1u, b.len), false);
+            a.dec(RCX);
+            a.jcc(GCond::NE, l);
+            break;
+          }
+
+          case BlockKind::Call:
+            emitIntBody(rng, std::max(1u, b.len / 2), true);
+            a.call(funcs[rng.range(0, funcs.size() - 1)]);
+            funcsUsed = true;
+            break;
+
+          case BlockKind::Str: {
+            a.push(RSI);
+            a.movri(RSI, s32(Program::dataAddr(strArea)));
+            a.movri(RDI, s32(Program::dataAddr(strArea + strLen)));
+            a.movri(RCX, s32(rng.range(4, strLen)));
+            if (rng.chance(0.5)) {
+                a.movsb(true);
+            } else {
+                a.movri(RAX, s32(rng.range(0, 255)));
+                a.stosb(true);
+            }
+            a.pop(RSI);
+            break;
+          }
+
+          case BlockKind::Div: {
+            // Division guarded by a biased branch: the divisor
+            // (phase & coldMask) is zero every (coldMask+1) phases, and
+            // exactly then the guard skips the division. Superblocks
+            // convert the guard into an assert; a scheduler that hoists
+            // the division above it hits the speculative DivFault path.
+            auto skip = a.newLabel();
+            a.inc(RSI);
+            a.movrr(RDI, RSI);
+            a.andri(RDI, s32(spec.coldMask));
+            a.cmpri(RDI, 0);
+            a.jcc(GCond::EQ, skip);
+            a.andri(RAX, 0x7fffffff);
+            if (rng.chance(0.5))
+                a.idivrr(RAX, RDI);
+            else
+                a.iremrr(RAX, RDI);
+            a.bind(skip);
+            break;
+          }
+
+          case BlockKind::Alias: {
+            // load / store / re-load of one working-set address: a
+            // speculatively hoisted second load aliases the store and
+            // must trigger the checked-store rollback, not corruption.
+            a.movrr(RDI, RSI);
+            Mem m = dataRef(RDI);
+            a.movrm(RAX, m);
+            a.addri(RAX, s32(rng.range(1, 100)));
+            a.movmr(m, RAX);
+            a.movrm(RDX, m);
+            a.addrr(RDX, RAX);
+            break;
+          }
+
+          case BlockKind::Fp:
+            for (u32 i = 0; i < std::max(1u, b.len); ++i)
+                emitFpOp(rng);
+            break;
+
+          case BlockKind::Syscall: {
+            switch (rng.range(0, 2)) {
+              case 0:
+                a.movri(RAX, s32(xemu::sysTime));
+                break;
+              case 1:
+                a.movri(RAX, s32(xemu::sysRand));
+                break;
+              default:
+                a.movri(RAX, s32(xemu::sysWriteInt));
+                a.movrr(RCX, RDX);
+                break;
+            }
+            a.syscall();
+            a.addrr(RDX, RAX);
+            break;
+          }
+
+          default:
+            panic("unknown block kind");
+        }
+    }
+
+    Program
+    run()
+    {
+        // Prologue: base registers and the outer loop counter.
+        a.movri(RBP, s32(layout::dataBase));
+        a.movri(RBX, s32(std::max(1u, spec.outerIters)));
+        a.movri(RSI, 0);
+        a.movri(RDX, s32(spec.seed & 0xffff));
+
+        auto chain = a.newLabel();
+        a.bind(chain);
+        for (const BlockSpec &b : spec.blocks)
+            emitBlock(b);
+        a.dec(RBX);
+        a.jcc(GCond::NE, chain);
+
+        // Exit: fold live state into the exit code so pure register
+        // divergence is visible even without a final state compare.
+        a.movrr(RCX, RDX);
+        a.xorrr(RCX, RAX);
+        a.andri(RCX, 0xff);
+        a.movri(RAX, s32(xemu::sysExit));
+        a.syscall();
+
+        // Cold stubs (out of line, so the diamonds stay biased).
+        for (const ColdStub &c : coldStubs) {
+            a.bind(c.label);
+            Rng crng(c.seed);
+            emitIntBody(crng, u32(crng.range(1, 2)), true);
+            a.jmp(c.back);
+        }
+
+        // Shared leaf functions (only when some block calls them).
+        if (funcsUsed) {
+            Rng frng(spec.seed ^ 0xf00dull);
+            for (auto &f : funcs) {
+                a.bind(f);
+                emitIntBody(frng, u32(frng.range(1, 3)), true);
+                a.ret();
+            }
+        } else {
+            for (auto &f : funcs)
+                a.bind(f); // keep labels bound; no code emitted
+        }
+
+        Program prog = a.finish(spec.name);
+
+        // Patch the per-site jump tables with the case addresses.
+        for (const IndirectSite &site : indirectSites) {
+            u32 pcs[4];
+            for (int c = 0; c < 4; ++c)
+                pcs[c] =
+                    u32(Program::codeAddr(a.labelOffset(site.cases[c])));
+            std::memcpy(prog.data.data() + site.tableOff, pcs, 16);
+        }
+        return prog;
+    }
+};
+
+} // namespace
+
+Program
+build(const ProgramSpec &spec)
+{
+    Builder b(spec);
+    return b.run();
+}
+
+Program
+generate(const GenParams &p)
+{
+    return build(makeSpec(p));
+}
+
+} // namespace darco::fuzz

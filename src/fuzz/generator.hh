@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Seeded, constrained random GISA program generation.
+ *
+ * The fuzzer's front end: a generator that emits guaranteed-terminating
+ * guest programs with a tunable mix of the control/data shapes that
+ * drive every co-designed execution path — biased branches (assert
+ * creation and AssertFail rollback), jump-table indirect branches
+ * (IBTC fills and misses), memory traffic including same-address
+ * load/store pairs (speculation AliasFail), guarded divisions with
+ * periodically-zero divisors (DivFault on speculative wrong paths),
+ * counted single-BB loops (unrolling and trip checks), REP string ops
+ * (untranslatable code, IM fallback) and syscalls (synchronization
+ * points).
+ *
+ * Generation is two-phase so failures can be delta-debugged:
+ *
+ *   GenParams --makeSpec--> ProgramSpec --build--> guest::Program
+ *
+ * A ProgramSpec is a flat list of per-block decisions, each carrying
+ * its own derived RNG seed; removing or shrinking one block therefore
+ * never perturbs the code any other block emits, which is what makes
+ * greedy minimization (shrink.hh) converge.
+ */
+
+#ifndef DARCO_FUZZ_GENERATOR_HH
+#define DARCO_FUZZ_GENERATOR_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "guest/program.hh"
+
+namespace darco::fuzz
+{
+
+/** Block archetypes, each stressing one co-designed mechanism. */
+enum class BlockKind : u8
+{
+    Straight, //!< random ALU/memory body
+    Diamond,  //!< biased branch, cold side taken periodically
+    Indirect, //!< jump-table dispatch through JMPR
+    Loop,     //!< counted single-BB loop (unroll candidate)
+    Call,     //!< call into a shared leaf function
+    Str,      //!< REP string op (interpreted)
+    Div,      //!< branch-guarded division, divisor periodically zero
+    Alias,    //!< load/store/load of one address (spec-mem hazard)
+    Fp,       //!< FP body including software-expanded trig
+    Syscall,  //!< deterministic syscall (sync point)
+    NumKinds,
+};
+
+/** Printable kind name. */
+const char *blockKindName(BlockKind k);
+
+/** One generated block decision. */
+struct BlockSpec
+{
+    BlockKind kind = BlockKind::Straight;
+    u64 seed = 0; //!< private RNG stream for this block's body
+    u32 len = 2;  //!< body instructions (meaning varies per kind)
+};
+
+/**
+ * The reducible intermediate form of a fuzz program: everything
+ * build() needs to reproduce the exact image.
+ */
+struct ProgramSpec
+{
+    std::string name = "fuzz";
+    u64 seed = 1;        //!< data image + leaf-function bodies
+    u32 outerIters = 20; //!< repetitions of the whole block chain
+    u32 coldMask = 7;    //!< cold paths fire every (mask+1) phases
+    u32 dataWords = 256; //!< integer working-set size (u32 words)
+    std::vector<BlockSpec> blocks;
+
+    /** One-line summary for failure reports. */
+    std::string describe() const;
+};
+
+/** Mix knobs for makeSpec(). */
+struct GenParams
+{
+    u64 seed = 1;
+    u32 minBlocks = 6;
+    u32 maxBlocks = 18;
+    u32 minOuterIters = 10;
+    u32 maxOuterIters = 36;
+    u32 bodyLenMin = 1;
+    u32 bodyLenMax = 6;
+    u32 dataWords = 256;
+    /** Relative weight per BlockKind (index by BlockKind). */
+    std::array<double, std::size_t(BlockKind::NumKinds)> weights = {
+        4.0, // Straight
+        2.0, // Diamond
+        1.0, // Indirect
+        1.5, // Loop
+        1.0, // Call
+        0.5, // Str
+        1.0, // Div
+        1.5, // Alias
+        1.5, // Fp
+        1.0, // Syscall
+    };
+};
+
+/** Roll a random ProgramSpec from the mix knobs. Deterministic. */
+ProgramSpec makeSpec(const GenParams &p);
+
+/**
+ * Assemble a spec into a loadable program. Deterministic, and the
+ * program always terminates: every loop is counted, every indirect
+ * target comes from a generator-built table, and the exit path is a
+ * sysExit whose code hashes live register state.
+ */
+guest::Program build(const ProgramSpec &spec);
+
+/** makeSpec + build. */
+guest::Program generate(const GenParams &p);
+
+} // namespace darco::fuzz
+
+#endif // DARCO_FUZZ_GENERATOR_HH

@@ -1,0 +1,130 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+
+namespace darco::fuzz
+{
+
+namespace
+{
+
+/** Stateful trial runner with an attempt budget. */
+struct Shrinker
+{
+    const DiffOptions &diffOpts;
+    const ShrinkOptions &opts;
+    u32 attempts = 0;
+    DiffResult lastFailure;
+
+    bool
+    budgetLeft() const
+    {
+        return attempts < opts.maxAttempts;
+    }
+
+    /** Does this candidate still fail? Records the failure if so. */
+    bool
+    fails(const ProgramSpec &cand)
+    {
+        if (!budgetLeft())
+            return false;
+        ++attempts;
+        DiffResult r = diffRun(build(cand), cand.seed, diffOpts);
+        bool failed = !r.ok;
+        if (failed)
+            lastFailure = std::move(r);
+        return failed;
+    }
+};
+
+} // namespace
+
+ShrinkResult
+shrink(const ProgramSpec &failing, const DiffOptions &diff_opts,
+       const ShrinkOptions &opts)
+{
+    Shrinker sh{diff_opts, opts, 0, DiffResult()};
+    ShrinkResult res;
+    res.spec = failing;
+
+    // Re-establish the failure (also seeds lastFailure for reports).
+    if (!sh.fails(res.spec)) {
+        res.program = build(res.spec);
+        res.failure = DiffResult(); // ok == true: nothing to shrink
+        res.attempts = sh.attempts;
+        res.instructions = guest::countInstructions(res.program);
+        return res;
+    }
+
+    // --- pass 1: ddmin over the block list ------------------------------
+    std::size_t chunk = std::max<std::size_t>(1, res.spec.blocks.size() / 2);
+    while (chunk >= 1 && sh.budgetLeft()) {
+        bool removedAny = false;
+        for (std::size_t at = 0;
+             at + 1 <= res.spec.blocks.size() && sh.budgetLeft();) {
+            if (res.spec.blocks.empty())
+                break;
+            ProgramSpec cand = res.spec;
+            std::size_t n =
+                std::min(chunk, cand.blocks.size() - at);
+            cand.blocks.erase(cand.blocks.begin() + at,
+                              cand.blocks.begin() + at + n);
+            if (sh.fails(cand)) {
+                res.spec = std::move(cand);
+                removedAny = true;
+                // keep `at`: the next chunk slid into place
+            } else {
+                at += chunk;
+            }
+        }
+        if (chunk == 1 && !removedAny)
+            break;
+        if (chunk > 1)
+            chunk /= 2;
+    }
+
+    // --- pass 2: outer-iteration reduction ------------------------------
+    while (res.spec.outerIters > 1 && sh.budgetLeft()) {
+        ProgramSpec cand = res.spec;
+        cand.outerIters = std::max(1u, cand.outerIters / 2);
+        if (sh.fails(cand))
+            res.spec = std::move(cand);
+        else
+            break;
+    }
+    while (res.spec.outerIters > 1 && sh.budgetLeft()) {
+        ProgramSpec cand = res.spec;
+        cand.outerIters -= 1;
+        if (sh.fails(cand))
+            res.spec = std::move(cand);
+        else
+            break;
+    }
+
+    // --- pass 3: per-block body-length reduction ------------------------
+    for (std::size_t i = 0;
+         i < res.spec.blocks.size() && sh.budgetLeft(); ++i) {
+        if (res.spec.blocks[i].len <= 1)
+            continue;
+        ProgramSpec cand = res.spec;
+        cand.blocks[i].len = 1;
+        if (sh.fails(cand))
+            res.spec = std::move(cand);
+    }
+
+    // --- pass 4: working-set reduction ----------------------------------
+    if (res.spec.dataWords > 64 && sh.budgetLeft()) {
+        ProgramSpec cand = res.spec;
+        cand.dataWords = 64;
+        if (sh.fails(cand))
+            res.spec = std::move(cand);
+    }
+
+    res.program = build(res.spec);
+    res.failure = std::move(sh.lastFailure);
+    res.attempts = sh.attempts;
+    res.instructions = guest::countInstructions(res.program);
+    return res;
+}
+
+} // namespace darco::fuzz

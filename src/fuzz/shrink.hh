@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Greedy delta-debugging minimization of failing fuzz programs.
+ *
+ * Works on the generator's ProgramSpec, not on raw bytes: each block
+ * carries a private RNG seed, so removing one block leaves every other
+ * block's code identical — a reduction either keeps the failure alive
+ * or it doesn't, with no accidental re-rolls. The passes, in order:
+ *
+ *  1. ddmin over the block list (chunked removal, halving chunks),
+ *  2. outer-iteration reduction (halving, then a linear tail),
+ *  3. per-block body-length reduction to 1,
+ *  4. working-set reduction.
+ *
+ * The predicate is "diffRun still reports any failure"; when the
+ * failure mutates into a different one during reduction, that is
+ * accepted (classic ddmin behaviour — the minimized case is still a
+ * real bug).
+ */
+
+#ifndef DARCO_FUZZ_SHRINK_HH
+#define DARCO_FUZZ_SHRINK_HH
+
+#include "fuzz/diffrun.hh"
+#include "fuzz/generator.hh"
+
+namespace darco::fuzz
+{
+
+/** Minimization outcome. */
+struct ShrinkResult
+{
+    ProgramSpec spec;       //!< minimized spec
+    guest::Program program; //!< build(spec)
+    DiffResult failure;     //!< the failure the minimized case shows
+    u32 attempts = 0;       //!< diffRun trials spent
+    std::size_t instructions = 0; //!< static insts of the reproducer
+};
+
+/** Shrink knobs. */
+struct ShrinkOptions
+{
+    u32 maxAttempts = 400; //!< hard cap on diffRun trials
+};
+
+/**
+ * Reduce `failing` (a spec whose diffRun fails under `diff_opts`) to
+ * a locally-minimal reproducer.
+ *
+ * Precondition: diffRun(build(failing), failing.seed, diff_opts)
+ * fails; shrink() re-establishes this itself and returns the input
+ * unchanged (with failure.ok == true) when it does not.
+ */
+ShrinkResult shrink(const ProgramSpec &failing,
+                    const DiffOptions &diff_opts,
+                    const ShrinkOptions &opts = ShrinkOptions());
+
+} // namespace darco::fuzz
+
+#endif // DARCO_FUZZ_SHRINK_HH

@@ -1,6 +1,10 @@
 #include "guest/program.hh"
 
+#include <cstdlib>
+#include <sstream>
+
 #include "common/logging.hh"
+#include "guest/gisa.hh"
 
 namespace darco::guest
 {
@@ -22,6 +26,123 @@ Program::load(PagedMemory &mem) const
     st.pc = entry;
     st.gpr[RSP] = layout::stackTop;
     return st;
+}
+
+namespace
+{
+
+void
+hexDump(std::ostringstream &os, const char *tag,
+        const std::vector<u8> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    for (std::size_t i = 0; i < bytes.size(); i += 32) {
+        os << tag << ' ';
+        for (std::size_t j = i; j < std::min(i + 32, bytes.size()); ++j) {
+            os << digits[bytes[j] >> 4] << digits[bytes[j] & 0xf];
+        }
+        os << '\n';
+    }
+}
+
+bool
+hexParse(const std::string &line, std::vector<u8> &out)
+{
+    if (line.size() % 2 != 0)
+        return false;
+    for (std::size_t i = 0; i < line.size(); i += 2) {
+        auto nib = [](char c) -> int {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            if (c >= 'a' && c <= 'f')
+                return c - 'a' + 10;
+            return -1;
+        };
+        int hi = nib(line[i]), lo = nib(line[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(u8(hi << 4 | lo));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Program::saveGisa() const
+{
+    std::ostringstream os;
+    os << "# darco .gisa case v1\n";
+    os << "name " << name << '\n';
+    os << "entry 0x" << std::hex << entry << std::dec << '\n';
+    hexDump(os, "code", code);
+    hexDump(os, "data", data);
+    return os.str();
+}
+
+bool
+Program::parseGisa(const std::string &text, Program &out,
+                   std::string *err)
+{
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+    out = Program();
+    out.code.clear();
+    std::istringstream is(text);
+    std::string line;
+    bool sawVersion = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            if (line.find(".gisa case v1") != std::string::npos)
+                sawVersion = true;
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string key, val;
+        ls >> key >> val;
+        if (key == "name") {
+            out.name = val;
+        } else if (key == "entry") {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(val.c_str(), &end, 0);
+            if (val.empty() || end == nullptr || *end != '\0' ||
+                v > ~u32(0))
+                return fail("bad entry value: " + val);
+            out.entry = GAddr(v);
+        } else if (key == "code") {
+            if (!hexParse(val, out.code))
+                return fail("bad code hex: " + val);
+        } else if (key == "data") {
+            if (!hexParse(val, out.data))
+                return fail("bad data hex: " + val);
+        } else {
+            return fail("unknown key: " + key);
+        }
+    }
+    if (!sawVersion)
+        return fail("missing '# darco .gisa case v1' header");
+    if (out.code.empty())
+        return fail("no code segment");
+    return true;
+}
+
+std::size_t
+countInstructions(const Program &prog)
+{
+    std::size_t n = 0, off = 0;
+    while (off < prog.code.size()) {
+        GInst gi;
+        if (!decode(prog.code.data() + off, prog.code.size() - off, gi))
+            break;
+        off += gi.length;
+        ++n;
+    }
+    return n;
 }
 
 } // namespace darco::guest

@@ -50,7 +50,29 @@ struct Program
     {
         return layout::dataBase + GAddr(off);
     }
+
+    /**
+     * Serialize to the textual `.gisa` case format (name, entry and
+     * hex-dumped segments). Used by the fuzzer to dump minimized
+     * reproducers that `darco_fuzz --replay` can reload.
+     */
+    std::string saveGisa() const;
+
+    /**
+     * Parse a `.gisa` image produced by saveGisa().
+     * @return false (with *err filled when non-null) on malformed
+     *         input.
+     */
+    static bool parseGisa(const std::string &text, Program &out,
+                          std::string *err = nullptr);
 };
+
+/**
+ * Number of static instructions in the code segment (decodes from the
+ * start; stops at the first undecodable byte). The fuzzer's minimality
+ * metric.
+ */
+std::size_t countInstructions(const Program &prog);
 
 } // namespace darco::guest
 

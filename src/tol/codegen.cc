@@ -512,7 +512,8 @@ struct Gen
         for (const IRItem &it : r.items) {
             if (it.kind == IRItem::Kind::CondExit) {
                 u8 c = srcInt(it.cond, scratch0);
-                u32 site = a.emit(it.condInvert ? HOp::BEQ : HOp::BNE,
+                bool inv = it.condInvert != opts.flipCondExits;
+                u32 site = a.emit(inv ? HOp::BEQ : HOp::BNE,
                                   0, c, 0, 0);
                 branches.push_back(PendingBranch{site, it.exitIdx});
                 continue;

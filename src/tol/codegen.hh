@@ -42,6 +42,13 @@ struct CodegenOptions
     u32 sbThreshold = 0;
     /** Per-exit edge-counter local-mem address (-1 = none). */
     std::vector<s32> exitCounterAddr;
+    /**
+     * Fault injection (fuzzer self-test): emit every conditional exit
+     * with the opposite branch sense, so the region commits down the
+     * wrong path. Driven by the hidden `debug.flip_cond_exits` config
+     * key; must never be set outside tests.
+     */
+    bool flipCondExits = false;
 };
 
 /** Generated region code. */

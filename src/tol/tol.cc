@@ -62,6 +62,9 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     sched_ = cfg.getBool("tol.sched", true);
     opt_ = cfg.getBool("tol.opt", true);
     hostChunk_ = cfg.getUint("tol.host_chunk", 1u << 20);
+    // Hidden fault-injection hook for the differential fuzzer's
+    // self-test (see CodegenOptions::flipCondExits).
+    flipCondExits_ = cfg.getBool("debug.flip_cond_exits", false);
 
     std::string policy = cfg.getString("cc.policy", "evict");
     darco_assert(policy == "evict" || policy == "flush",
@@ -384,6 +387,7 @@ Tol::install(Region &region, RegionMode mode, bool profile,
         CodegenOptions co;
         co.exitIdBase = registry_.exitCount();
         co.profile = profile;
+        co.flipCondExits = flipCondExits_;
         if (profile) {
             Profiler::Slots pa = profiler_.slots(prof_bb);
             co.execCounterAddr = pa.exec;

@@ -240,6 +240,7 @@ class Tol : public host::RetireSink
     u32 unrollFactor_;
     bool useAsserts_;
     bool bbmEnabled_, sbmEnabled_, chaining_, specMem_, sched_, opt_;
+    bool flipCondExits_; //!< hidden fault injection (fuzzer self-test)
     bool ccEvict_; //!< cc.policy == "evict"
     u64 hostChunk_;
 };

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Differential-fuzzing subsystem tests.
+ *
+ * - generator determinism and guaranteed termination,
+ * - `.gisa` case serialization round trip,
+ * - fixed-seed smoke shards through the full four-config matrix
+ *   (registered with ctest as separate label("fuzz") shards so they
+ *   run apart from the unit tests — see CMakeLists.txt),
+ * - the oracle self-test: a codegen bug injected behind the hidden
+ *   `debug.flip_cond_exits` flag must be caught by the matrix and
+ *   delta-debugged down to a tiny reproducer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fuzz/diffrun.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/shrink.hh"
+#include "xemu/ref_component.hh"
+
+using namespace darco;
+using namespace darco::fuzz;
+
+namespace
+{
+
+ProgramSpec
+specFor(u64 seed)
+{
+    GenParams gp;
+    gp.seed = seed;
+    return makeSpec(gp);
+}
+
+} // namespace
+
+TEST(FuzzGenerator, DeterministicForSeed)
+{
+    for (u64 seed : {1ull, 7ull, 42ull}) {
+        guest::Program a = build(specFor(seed));
+        guest::Program b = build(specFor(seed));
+        EXPECT_EQ(a.code, b.code) << "seed " << seed;
+        EXPECT_EQ(a.data, b.data) << "seed " << seed;
+        EXPECT_EQ(a.entry, b.entry);
+    }
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer)
+{
+    guest::Program a = build(specFor(1));
+    guest::Program b = build(specFor(2));
+    EXPECT_NE(a.code, b.code);
+}
+
+TEST(FuzzGenerator, GeneratedProgramsTerminate)
+{
+    for (u64 seed = 1; seed <= 12; ++seed) {
+        guest::Program prog = build(specFor(seed));
+        xemu::RefComponent ref(seed);
+        ref.load(prog);
+        ref.runToCompletion(20'000'000);
+        EXPECT_TRUE(ref.finished()) << "seed " << seed << " did not "
+                                    << "terminate within budget";
+        EXPECT_GT(ref.instCount(), 0u);
+    }
+}
+
+TEST(FuzzGenerator, CoversEveryBlockKind)
+{
+    // Across a modest seed range, every archetype must appear: the mix
+    // weights are all positive, so a missing kind means the spec
+    // roller is broken.
+    std::array<u32, std::size_t(BlockKind::NumKinds)> seen{};
+    for (u64 seed = 1; seed <= 40; ++seed)
+        for (const BlockSpec &b : specFor(seed).blocks)
+            ++seen[std::size_t(b.kind)];
+    for (std::size_t k = 0; k < seen.size(); ++k)
+        EXPECT_GT(seen[k], 0u)
+            << "block kind " << blockKindName(BlockKind(k))
+            << " never generated";
+}
+
+TEST(FuzzCaseIo, GisaRoundTrip)
+{
+    guest::Program a = build(specFor(5));
+    std::string text = a.saveGisa();
+    guest::Program b;
+    std::string err;
+    ASSERT_TRUE(guest::Program::parseGisa(text, b, &err)) << err;
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.entry, b.entry);
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.data, b.data);
+    EXPECT_GT(guest::countInstructions(b), 0u);
+}
+
+TEST(FuzzCaseIo, RejectsGarbage)
+{
+    guest::Program p;
+    std::string err;
+    EXPECT_FALSE(guest::Program::parseGisa("not a case", p, &err));
+    EXPECT_FALSE(guest::Program::parseGisa(
+        "# darco .gisa case v1\nname x\n", p, &err)); // no code
+}
+
+// ---------------------------------------------------------------------
+// Smoke shards: fixed seeds, deterministic, full config matrix.
+// Sharded by seed % 4 into Shard0..Shard3 ctest entries (label: fuzz).
+// ---------------------------------------------------------------------
+
+class FuzzSmoke : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FuzzSmoke, MatrixAgrees)
+{
+    u64 seed = GetParam();
+    ProgramSpec spec = specFor(seed);
+    DiffResult r = diffRun(build(spec), seed, DiffOptions());
+    EXPECT_TRUE(r.ok) << spec.describe() << "\n" << r.report();
+    ASSERT_EQ(r.runs.size(), 4u);
+    for (const RunOutcome &run : r.runs)
+        EXPECT_TRUE(run.finished) << run.config;
+}
+
+static std::vector<u64>
+smokeSeeds()
+{
+    std::vector<u64> seeds;
+    for (u64 s = 1; s <= 32; ++s)
+        seeds.push_back(s);
+    return seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzSmoke, ::testing::ValuesIn(smokeSeeds()),
+    [](const ::testing::TestParamInfo<u64> &info) {
+        return "seed" + std::to_string(info.param) + "_shard" +
+               std::to_string(info.param % 4);
+    });
+
+// The eviction-stressed cell must actually evict somewhere in the
+// smoke range, otherwise the tinycc config is not testing what it
+// claims ("cc.evictions > 0 implies no divergence" needs evictions).
+TEST(FuzzSmokeInvariants, TinyCcEvictsSomewhere)
+{
+    u64 evictions = 0;
+    for (u64 seed = 1; seed <= 8; ++seed) {
+        DiffResult r = diffRun(build(specFor(seed)), seed, DiffOptions());
+        ASSERT_TRUE(r.ok) << r.report();
+        for (const RunOutcome &run : r.runs)
+            if (run.config == "tinycc")
+                evictions += run.evictions;
+    }
+    EXPECT_GT(evictions, 0u)
+        << "tiny code cache never evicted: not a stress cell";
+}
+
+// ---------------------------------------------------------------------
+// Oracle self-test: injected codegen bug caught and minimized.
+// ---------------------------------------------------------------------
+
+TEST(FuzzSelfTest, InjectedFlipCondBugCaughtAndMinimized)
+{
+    DiffOptions dopts;
+    dopts.extra = {"debug.flip_cond_exits=true"};
+
+    // The flipped branch sense breaks any translated conditional
+    // branch, so the very first seeds must already trip the oracle.
+    ProgramSpec failing;
+    bool found = false;
+    for (u64 seed = 1; seed <= 8 && !found; ++seed) {
+        ProgramSpec spec = specFor(seed);
+        DiffResult r = diffRun(build(spec), seed, dopts);
+        if (!r.ok) {
+            failing = spec;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found)
+        << "flip-cond injection not caught on seeds 1..8: oracle blind";
+
+    ShrinkResult sr = shrink(failing, dopts);
+    EXPECT_FALSE(sr.failure.ok);
+    EXPECT_LE(sr.instructions, 20u)
+        << "minimizer stopped at " << sr.instructions
+        << " static insts: " << sr.spec.describe();
+
+    // The reproducer must be dumpable and replayable.
+    guest::Program reloaded;
+    std::string err;
+    ASSERT_TRUE(guest::Program::parseGisa(sr.program.saveGisa(),
+                                          reloaded, &err))
+        << err;
+    DiffResult replay = diffRun(reloaded, sr.spec.seed, dopts);
+    EXPECT_FALSE(replay.ok)
+        << "minimized case no longer fails after .gisa round trip";
+
+    // And without the injection the minimized case is clean: the bug
+    // is in the (sabotaged) translator, not in the program.
+    DiffResult clean = diffRun(sr.program, sr.spec.seed, DiffOptions());
+    EXPECT_TRUE(clean.ok) << clean.report();
+}

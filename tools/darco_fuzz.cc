@@ -1,0 +1,225 @@
+/**
+ * @file
+ * darco_fuzz: the differential-fuzzing driver.
+ *
+ * Generates seeded random guest programs, cross-validates each one
+ * under the four-config matrix (see fuzz/diffrun.hh), and on failure
+ * minimizes the program with delta debugging and dumps a reloadable
+ * `.gisa` reproducer.
+ *
+ *   darco_fuzz --seeds 256                # fuzz seeds 1..256
+ *   darco_fuzz --seed-base 1000 --seeds 64
+ *   darco_fuzz --replay fuzz-out/seed7.gisa
+ *   darco_fuzz --seeds 16 -c debug.flip_cond_exits=true   # self-test
+ *
+ * Exit code: 0 when every seed passed, 1 on any failure, 2 on usage
+ * errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/diffrun.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/shrink.hh"
+
+using namespace darco;
+
+namespace
+{
+
+struct Options
+{
+    u64 seeds = 16;
+    u64 seedBase = 1;
+    std::string outDir = "fuzz-out";
+    std::string replay;
+    bool verbose = false;
+    bool noMinimize = false;
+    std::vector<std::string> extra;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --seeds N         fuzz N seeds (default 16)\n"
+        "  --seed-base B     first seed (default 1)\n"
+        "  --out DIR         failure-dump directory (default fuzz-out)\n"
+        "  --replay FILE     re-run one .gisa case instead of fuzzing\n"
+        "  --no-minimize     skip delta debugging on failures\n"
+        "  -c key=value      extra config override (repeatable)\n"
+        "  -v                per-seed config matrix detail\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    auto number = [](const char *v, u64 &out) {
+        char *end = nullptr;
+        out = std::strtoull(v, &end, 0);
+        return *v != '\0' && end && *end == '\0';
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--seeds") {
+            const char *v = next();
+            if (!v || !number(v, o.seeds))
+                return false;
+        } else if (a == "--seed-base") {
+            const char *v = next();
+            if (!v || !number(v, o.seedBase))
+                return false;
+        } else if (a == "--out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.outDir = v;
+        } else if (a == "--replay") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.replay = v;
+        } else if (a == "--no-minimize") {
+            o.noMinimize = true;
+        } else if (a == "-c") {
+            const char *v = next();
+            if (!v)
+                return false;
+            // The seed must stay in lockstep with the golden run; it
+            // is derived from --seed-base/--seeds (or the case name),
+            // never overridable per-config.
+            if (std::string(v).rfind("seed=", 0) == 0) {
+                std::fprintf(stderr,
+                             "-c seed=... is not allowed; use "
+                             "--seed-base instead\n");
+                return false;
+            }
+            o.extra.push_back(v);
+        } else if (a == "-v") {
+            o.verbose = true;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Dump a program as <outdir>/<stem>.gisa (best effort). */
+void
+dumpCase(const Options &o, const std::string &stem,
+         const guest::Program &prog)
+{
+    std::string dir = o.outDir.empty() ? "." : o.outDir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        std::fprintf(stderr, "warning: cannot create %s: %s\n",
+                     dir.c_str(), ec.message().c_str());
+    std::string path = dir + "/" + stem + ".gisa";
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    f << prog.saveGisa();
+    std::printf("  reproducer dumped to %s\n", path.c_str());
+}
+
+int
+replayCase(const Options &o)
+{
+    std::ifstream f(o.replay);
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", o.replay.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    guest::Program prog;
+    std::string err;
+    if (!guest::Program::parseGisa(ss.str(), prog, &err)) {
+        std::fprintf(stderr, "bad .gisa case: %s\n", err.c_str());
+        return 2;
+    }
+
+    fuzz::DiffOptions dopts;
+    dopts.extra = o.extra;
+    dopts.pinpoint = true;
+    // Seed convention: replayed cases were generated as fuzz<seed>.
+    u64 seed = 1;
+    if (prog.name.rfind("fuzz", 0) == 0 && prog.name.size() > 4)
+        seed = std::strtoull(prog.name.c_str() + 4, nullptr, 10);
+
+    fuzz::DiffResult r = fuzz::diffRun(prog, seed, dopts);
+    std::printf("%s (%zu static insts)\n%s", prog.name.c_str(),
+                guest::countInstructions(prog), r.report().c_str());
+    return r.ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (!o.replay.empty())
+        return replayCase(o);
+
+    fuzz::DiffOptions dopts;
+    dopts.extra = o.extra;
+
+    u64 failures = 0;
+    for (u64 s = o.seedBase; s < o.seedBase + o.seeds; ++s) {
+        fuzz::GenParams gp;
+        gp.seed = s;
+        fuzz::ProgramSpec spec = fuzz::makeSpec(gp);
+        fuzz::DiffResult r = fuzz::diffRun(fuzz::build(spec), s, dopts);
+        if (r.ok) {
+            if (o.verbose)
+                std::printf("seed %llu: %s", (unsigned long long)s,
+                            r.report().c_str());
+            continue;
+        }
+
+        ++failures;
+        std::printf("seed %llu: FAIL — %s\n", (unsigned long long)s,
+                    spec.describe().c_str());
+        std::printf("%s", r.report().c_str());
+
+        if (o.noMinimize) {
+            dumpCase(o, "seed" + std::to_string(s), fuzz::build(spec));
+            continue;
+        }
+
+        fuzz::DiffOptions mopts = dopts;
+        mopts.pinpoint = false; // fast trials while reducing
+        fuzz::ShrinkResult sr = fuzz::shrink(spec, mopts);
+        std::printf(
+            "  minimized to %zu static insts in %u trials: %s\n",
+            sr.instructions, sr.attempts, sr.spec.describe().c_str());
+        std::printf("  minimized failure: %s",
+                    sr.failure.report().c_str());
+        dumpCase(o, "seed" + std::to_string(s) + ".min", sr.program);
+    }
+
+    std::printf("darco_fuzz: %llu/%llu seeds failed\n",
+                (unsigned long long)failures, (unsigned long long)o.seeds);
+    return failures ? 1 : 0;
+}
