@@ -1,0 +1,458 @@
+#include "campaign/campaign.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "sim/controller.hh"
+#include "snapshot/io.hh"
+
+namespace darco::campaign
+{
+
+// ---------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------
+
+Pool::Pool(unsigned workers) : workers_(workers ? workers : 1) {}
+
+namespace
+{
+
+/** Shared state of one Pool::run() invocation. */
+struct PoolRun
+{
+    std::vector<std::deque<std::function<void()>>> queues;
+    std::vector<std::unique_ptr<std::mutex>> locks;
+
+    explicit PoolRun(unsigned n) : queues(n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            locks.push_back(std::make_unique<std::mutex>());
+    }
+
+    /** Pop from own deque (LIFO) or steal from a victim (FIFO). */
+    bool
+    take(unsigned self, std::function<void()> &out)
+    {
+        {
+            std::lock_guard<std::mutex> g(*locks[self]);
+            if (!queues[self].empty()) {
+                out = std::move(queues[self].back());
+                queues[self].pop_back();
+                return true;
+            }
+        }
+        for (unsigned k = 1; k < queues.size(); ++k) {
+            unsigned victim = (self + k) % queues.size();
+            std::lock_guard<std::mutex> g(*locks[victim]);
+            if (!queues[victim].empty()) {
+                out = std::move(queues[victim].front());
+                queues[victim].pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+void
+Pool::run(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    if (workers_ == 1) {
+        for (auto &t : tasks)
+            t();
+        return;
+    }
+
+    unsigned n = std::min<unsigned>(workers_, unsigned(tasks.size()));
+    PoolRun state(n);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        state.queues[i % n].push_back(std::move(tasks[i]));
+
+    auto worker = [&state](unsigned self) {
+        std::function<void()> task;
+        while (state.take(self, task))
+            task();
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (unsigned i = 1; i < n; ++i)
+        threads.emplace_back(worker, i);
+    worker(0);
+    for (auto &t : threads)
+        t.join();
+}
+
+// ---------------------------------------------------------------------
+// Matrix expansion & presets
+// ---------------------------------------------------------------------
+
+std::vector<Job>
+expandMatrix(const std::vector<std::pair<std::string,
+                                         guest::Program>> &workloads,
+             const std::vector<std::pair<std::string, Config>> &configs,
+             u64 max_insts, u64 skip)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(workloads.size() * configs.size());
+    for (const auto &[wname, prog] : workloads) {
+        for (const auto &[cname, cfg] : configs) {
+            Job j;
+            j.workload = wname;
+            j.configName = cname;
+            j.program = prog;
+            j.config = cfg;
+            j.maxInsts = max_insts;
+            j.skip = skip;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+std::vector<std::pair<std::string, Config>>
+presetConfigs(const std::vector<std::string> &names,
+              const std::vector<std::string> &extra)
+{
+    std::vector<std::pair<std::string, Config>> out;
+    for (const std::string &name : names) {
+        Config cfg;
+        if (name == "interp") {
+            cfg.parseLine("tol.enable_bbm=false");
+            cfg.parseLine("tol.enable_sbm=false");
+        } else if (name == "noopt") {
+            cfg.parseLine("tol.opt=false");
+            cfg.parseLine("tol.sched=false");
+            cfg.parseLine("tol.spec_mem=false");
+            cfg.parseLine("tol.unroll=false");
+            cfg.parseLine("tol.fuse_flags=false");
+            cfg.parseLine("tol.chaining=false");
+        } else if (name == "fullopt") {
+            // defaults
+        } else if (name == "tinycc") {
+            cfg.parseLine("cc.capacity_words=768");
+            cfg.parseLine("cc.policy=evict");
+            cfg.parseLine("tol.max_sb_insts=120");
+        } else {
+            fatal("unknown config preset '", name,
+                  "' (expected interp|noopt|fullopt|tinycc)");
+        }
+        for (const std::string &kv : extra)
+            cfg.parseLine(kv);
+        out.emplace_back(name, std::move(cfg));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint cache
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** FNV-1a over the job identity (program bytes, config, skip). */
+u64
+jobKeyHash(const Job &job)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const void *data, std::size_t len) {
+        const u8 *p = static_cast<const u8 *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull;
+        }
+    };
+    auto mixStr = [&](const std::string &s) {
+        mix(s.data(), s.size());
+        mix("\0", 1);
+    };
+    mixStr(job.program.name);
+    mix(job.program.code.data(), job.program.code.size());
+    mix(job.program.data.data(), job.program.data.size());
+    mix(&job.program.entry, sizeof(job.program.entry));
+    for (const auto &[k, v] : job.config.entries()) {
+        mixStr(k);
+        mixStr(v);
+    }
+    mix(&job.skip, sizeof(job.skip));
+    return h;
+}
+
+/** File names must survive workload names like "400.perlbench". */
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out += (std::isalnum(u8(c)) || c == '.' || c == '-') ? c : '_';
+    return out;
+}
+
+} // namespace
+
+std::string
+checkpointPath(const std::string &dir, const Job &job)
+{
+    std::ostringstream os;
+    os << dir << '/' << sanitize(job.workload) << '-'
+       << sanitize(job.configName) << '-' << std::hex << jobKeyHash(job)
+       << ".ckpt";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+JobResult
+runJob(const Job &job, const RunOptions &opts)
+{
+    JobResult r;
+    r.workload = job.workload;
+    r.configName = job.configName;
+    auto t0 = std::chrono::steady_clock::now();
+
+    try {
+        // optional<> so a partially-restored controller can be torn
+        // down and rebuilt in place (Controller is self-referential:
+        // its Tol holds references into it, so it is not movable).
+        std::optional<sim::Controller> holder;
+        holder.emplace(job.config);
+        sim::Controller &ctl = *holder;
+        u64 done = 0; // guest insts already covered
+
+        bool use_ckpt = !opts.checkpointDir.empty() && job.skip > 0;
+        if (use_ckpt) {
+            std::string path =
+                checkpointPath(opts.checkpointDir, job);
+            bool restored = false;
+            {
+                std::ifstream in(path, std::ios::binary);
+                if (in) {
+                    try {
+                        ctl.restoreCheckpoint(in);
+                        restored = true;
+                    } catch (const snapshot::SnapshotError &) {
+                        // A bad cache entry (torn write, stale
+                        // version) is a miss, not a job failure:
+                        // fall through to the cold path, which
+                        // overwrites it.
+                        holder.emplace(job.config);
+                    }
+                }
+            }
+            if (restored) {
+                r.checkpointHit = true;
+                done = job.skip;
+            } else {
+                ctl.load(job.program);
+                ctl.run(job.skip);
+                done = job.skip;
+                // Write via a temp file + rename so a concurrent
+                // writer of the same key can never expose a torn
+                // checkpoint; only a fully-written image is renamed
+                // into place.
+                std::error_code ec;
+                std::filesystem::create_directories(
+                    opts.checkpointDir, ec);
+                std::string tmp =
+                    path + ".tmp." +
+                    std::to_string(
+                        std::hash<std::thread::id>{}(
+                            std::this_thread::get_id()));
+                bool written = false;
+                {
+                    std::ofstream out(tmp, std::ios::binary);
+                    if (out) {
+                        ctl.saveCheckpoint(out);
+                        out.flush();
+                        written = out.good();
+                    }
+                }
+                if (written) {
+                    std::filesystem::rename(tmp, path, ec);
+                    r.checkpointStored = !ec;
+                }
+                if (!r.checkpointStored)
+                    std::filesystem::remove(tmp, ec);
+            }
+        } else {
+            ctl.load(job.program);
+            if (job.skip > 0) {
+                ctl.run(job.skip);
+                done = job.skip;
+            }
+        }
+
+        if (!ctl.finished()) {
+            u64 remaining = job.maxInsts == ~0ull
+                                ? ~0ull
+                                : (job.maxInsts > done
+                                       ? job.maxInsts - done
+                                       : 0);
+            if (remaining > 0)
+                ctl.run(remaining);
+        }
+
+        r.ok = true;
+        r.finished = ctl.finished();
+        r.exitCode = ctl.exitCode();
+        r.insts = ctl.tol().completedInsts();
+        r.bbs = ctl.tol().completedBBs();
+        for (const auto &[name, c] : ctl.stats().counters())
+            r.stats[name] = c.value();
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    r.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const std::vector<Job> &jobs, const RunOptions &opts)
+{
+    CampaignResult res;
+    res.results.resize(jobs.size());
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        tasks.push_back([i, &jobs, &opts, &res]() {
+            res.results[i] = runJob(jobs[i], opts);
+        });
+    }
+    Pool(opts.jobs).run(std::move(tasks));
+
+    auto t1 = std::chrono::steady_clock::now();
+    res.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (const JobResult &r : res.results) {
+        if (r.checkpointHit)
+            ++res.checkpointHits;
+        if (r.checkpointStored)
+            ++res.checkpointMisses;
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** The stable per-job stat columns every report carries. */
+const std::vector<std::string> reportStats = {
+    "tol.guest_im",      "tol.guest_bbm",     "tol.guest_sbm",
+    "tol.translations_bb", "tol.translations_sb", "cc.evictions",
+    "cc.flushes",        "sync.syscalls",
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+u64
+statOr0(const JobResult &r, const std::string &name)
+{
+    auto it = r.stats.find(name);
+    return it == r.stats.end() ? 0 : it->second;
+}
+
+} // namespace
+
+std::string
+CampaignResult::csv() const
+{
+    std::ostringstream os;
+    os << "workload,config,ok,finished,exit_code,insts,bbs";
+    for (const std::string &s : reportStats)
+        os << ',' << s;
+    os << ",checkpoint,error\n";
+    for (const JobResult &r : results) {
+        os << r.workload << ',' << r.configName << ',' << (r.ok ? 1 : 0)
+           << ',' << (r.finished ? 1 : 0) << ',' << r.exitCode << ','
+           << r.insts << ',' << r.bbs;
+        for (const std::string &s : reportStats)
+            os << ',' << statOr0(r, s);
+        os << ','
+           << (r.checkpointHit ? "hit"
+                               : r.checkpointStored ? "stored" : "-");
+        std::string err = r.error;
+        for (char &c : err)
+            if (c == ',' || c == '\n')
+                c = ';';
+        os << ',' << err << '\n';
+    }
+    return os.str();
+}
+
+std::string
+CampaignResult::json() const
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JobResult &r = results[i];
+        os << "  {\"workload\": \"" << jsonEscape(r.workload)
+           << "\", \"config\": \"" << jsonEscape(r.configName)
+           << "\", \"ok\": " << (r.ok ? "true" : "false")
+           << ", \"finished\": " << (r.finished ? "true" : "false")
+           << ", \"exit_code\": " << r.exitCode
+           << ", \"insts\": " << r.insts << ", \"bbs\": " << r.bbs
+           << ", \"checkpoint\": \""
+           << (r.checkpointHit ? "hit"
+                               : r.checkpointStored ? "stored" : "-")
+           << "\", \"stats\": {";
+        bool first = true;
+        for (const std::string &s : reportStats) {
+            os << (first ? "" : ", ") << '"' << s
+               << "\": " << statOr0(r, s);
+            first = false;
+        }
+        os << "}, \"error\": \"" << jsonEscape(r.error) << "\"}"
+           << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    os << "]\n";
+    return os.str();
+}
+
+} // namespace darco::campaign

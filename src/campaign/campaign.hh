@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Parallel experiment-campaign engine.
+ *
+ * The paper's evaluation is a large workload×config matrix (Fig. 4-7,
+ * the ablations, the warm-up study): dozens of independent simulations
+ * that today run one after another. This subsystem executes such a
+ * matrix on a work-stealing thread pool with one fully isolated
+ * Controller per job (the library keeps no global mutable state), and
+ * aggregates every job's stats into a CSV/JSON report.
+ *
+ * Checkpoint integration: a job may declare a `skip` prefix of guest
+ * instructions; with a checkpoint directory configured, the state at
+ * the end of that prefix is saved through Controller::saveCheckpoint
+ * keyed by (workload, config, skip), and later invocations of the
+ * same cell restore it instead of re-simulating the prefix.
+ *
+ * The pool itself is generic (std::function tasks), so other drivers
+ * — darco_fuzz --jobs N — reuse it for their own fan-out.
+ */
+
+#ifndef DARCO_CAMPAIGN_CAMPAIGN_HH
+#define DARCO_CAMPAIGN_CAMPAIGN_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "guest/program.hh"
+
+namespace darco::campaign
+{
+
+/**
+ * Work-stealing thread pool. Tasks are dealt round-robin onto
+ * per-worker deques; each worker drains its own deque LIFO and steals
+ * FIFO from the others when empty. run() blocks until every task has
+ * finished. Tasks must not throw (wrap and capture failures).
+ *
+ * workers == 1 executes inline on the calling thread, so a serial
+ * campaign is exactly a plain loop (byte-identical results is the
+ * contract the tests pin down).
+ */
+class Pool
+{
+  public:
+    explicit Pool(unsigned workers);
+
+    unsigned workers() const { return workers_; }
+
+    /** Execute all tasks; returns when the last one completes. */
+    void run(std::vector<std::function<void()>> tasks);
+
+  private:
+    unsigned workers_;
+};
+
+/** One cell of the campaign matrix. */
+struct Job
+{
+    std::string workload;   //!< workload display name
+    std::string configName; //!< config-variant display name
+    guest::Program program;
+    Config config;          //!< full effective Config for the run
+    u64 maxInsts = ~0ull;   //!< total guest-instruction budget
+    u64 skip = 0;           //!< checkpointable fast-forward prefix
+};
+
+/** Per-job outcome + stats snapshot. */
+struct JobResult
+{
+    std::string workload;
+    std::string configName;
+    bool ok = false;
+    std::string error;
+    u32 exitCode = 0;
+    u64 insts = 0; //!< retired guest instructions
+    u64 bbs = 0;   //!< retired dynamic basic blocks
+    bool finished = false;
+    bool checkpointHit = false;    //!< prefix restored from cache
+    bool checkpointStored = false; //!< prefix saved to cache
+    double wallMs = 0;             //!< per-job wall clock (not compared)
+    std::map<std::string, u64> stats; //!< full counter snapshot
+};
+
+/** Execution knobs. */
+struct RunOptions
+{
+    unsigned jobs = 1;
+    /** Directory for fast-forward checkpoints; empty disables. */
+    std::string checkpointDir;
+};
+
+/** Whole-campaign outcome. */
+struct CampaignResult
+{
+    std::vector<JobResult> results; //!< in job-submission order
+    double wallMs = 0;
+    u64 checkpointHits = 0;
+    u64 checkpointMisses = 0;
+
+    /** results as CSV (header + one row per job, stable column set). */
+    std::string csv() const;
+    /** results as a JSON array of objects. */
+    std::string json() const;
+};
+
+/**
+ * Run every job (isolated Controller each) on `opts.jobs` workers.
+ * Results are independent of the worker count and of scheduling
+ * order: results[i] always corresponds to jobs[i].
+ */
+CampaignResult runCampaign(const std::vector<Job> &jobs,
+                           const RunOptions &opts);
+
+/**
+ * Expand a workload×config matrix into jobs (row-major: all configs
+ * of workload 0, then workload 1, ...).
+ */
+std::vector<Job>
+expandMatrix(const std::vector<std::pair<std::string,
+                                         guest::Program>> &workloads,
+             const std::vector<std::pair<std::string, Config>> &configs,
+             u64 max_insts, u64 skip);
+
+/**
+ * Named config presets for campaign matrices: interp, noopt, fullopt,
+ * tinycc — the same design points the differential fuzzer validates,
+ * at production promotion thresholds.
+ */
+std::vector<std::pair<std::string, Config>>
+presetConfigs(const std::vector<std::string> &names,
+              const std::vector<std::string> &extra = {});
+
+/** The checkpoint-cache file for one job (diagnostics, tests). */
+std::string checkpointPath(const std::string &dir, const Job &job);
+
+} // namespace darco::campaign
+
+#endif // DARCO_CAMPAIGN_CAMPAIGN_HH

@@ -11,6 +11,7 @@
 #ifndef DARCO_COMMON_RNG_HH
 #define DARCO_COMMON_RNG_HH
 
+#include <array>
 #include <vector>
 
 #include "common/logging.hh"
@@ -69,6 +70,20 @@ class Rng
 
     /** Bernoulli trial with probability p of true. */
     bool chance(double p) { return uniform() < p; }
+
+    /** Raw generator state (checkpoint save/restore). */
+    std::array<u64, 4>
+    stateWords() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    setStateWords(const std::array<u64, 4> &w)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = w[i];
+    }
 
     /**
      * Pick an index according to non-negative weights.

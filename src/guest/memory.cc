@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "snapshot/io.hh"
 
 namespace darco::guest
 {
@@ -148,6 +149,38 @@ PagedMemory::installPage(GAddr page_addr, const u8 *data)
     auto p = std::make_unique<Page>();
     std::memcpy(p->data(), data, pageSizeBytes);
     pages_[page_addr] = std::move(p);
+}
+
+void
+PagedMemory::save(snapshot::Serializer &s) const
+{
+    s.w8(u8(policy_));
+    s.w64(pages_.size());
+    // Sorted order keeps the byte stream deterministic across runs
+    // (unordered_map iteration order is not).
+    for (GAddr base : residentPages()) {
+        s.w32(base);
+        s.wbytes(pages_.at(base)->data(), pageSizeBytes);
+    }
+}
+
+void
+PagedMemory::restore(snapshot::Deserializer &d)
+{
+    u8 pol = d.r8();
+    if (pol > u8(MissPolicy::Signal))
+        throw snapshot::SnapshotError("bad memory miss policy");
+    policy_ = MissPolicy(pol);
+    pages_.clear();
+    u64 n = d.r64();
+    for (u64 i = 0; i < n; ++i) {
+        GAddr base = d.r32();
+        if (pageOffset(base) != 0)
+            throw snapshot::SnapshotError("unaligned page in snapshot");
+        auto p = std::make_unique<Page>();
+        d.rbytes(p->data(), pageSizeBytes);
+        pages_[base] = std::move(p);
+    }
 }
 
 std::vector<GAddr>

@@ -21,6 +21,12 @@
 
 #include "common/types.hh"
 
+namespace darco::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace darco::snapshot
+
 namespace darco::guest
 {
 
@@ -76,6 +82,13 @@ class PagedMemory
     std::size_t pageCount() const { return pages_.size(); }
 
     MissPolicy policy() const { return policy_; }
+
+    /**
+     * Checkpoint hooks (snapshot/io.hh): the full resident page image
+     * plus the miss policy. restore() replaces the current contents.
+     */
+    void save(snapshot::Serializer &s) const;
+    void restore(snapshot::Deserializer &d);
 
   private:
     using Page = std::array<u8, pageSizeBytes>;

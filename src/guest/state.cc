@@ -2,8 +2,32 @@
 
 #include <sstream>
 
+#include "snapshot/io.hh"
+
 namespace darco::guest
 {
+
+void
+CpuState::save(snapshot::Serializer &s) const
+{
+    for (u32 r : gpr)
+        s.w32(r);
+    for (double f : fpr)
+        s.wf64(f);
+    s.w8(flags);
+    s.w32(pc);
+}
+
+void
+CpuState::restore(snapshot::Deserializer &d)
+{
+    for (u32 &r : gpr)
+        r = d.r32();
+    for (double &f : fpr)
+        f = d.rf64();
+    flags = d.r8();
+    pc = d.r32();
+}
 
 std::string
 CpuState::toString() const

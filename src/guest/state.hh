@@ -16,6 +16,12 @@
 
 #include "guest/gisa.hh"
 
+namespace darco::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace darco::snapshot
+
 namespace darco::guest
 {
 
@@ -35,6 +41,10 @@ struct CpuState
         return gpr == o.gpr && flags == o.flags && pc == o.pc &&
                std::memcmp(fpr.data(), o.fpr.data(), sizeof(fpr)) == 0;
     }
+
+    /** Checkpoint hooks (snapshot/io.hh). */
+    void save(snapshot::Serializer &s) const;
+    void restore(snapshot::Deserializer &d);
 
     /** Human-readable dump for divergence reports. */
     std::string toString() const;

@@ -191,7 +191,9 @@ HostEmu::storeGuestState(guest::CpuState &st) const
 u32
 HostEmu::readLocal32(u32 addr) const
 {
-    darco_assert(addr + 4 <= localMem_.size(), "local mem OOB read");
+    // u64 arithmetic: addr + 4 must not wrap for addresses near 2^32.
+    darco_assert(u64(addr) + 4 <= localMem_.size(),
+                 "local mem OOB read");
     u32 v;
     __builtin_memcpy(&v, localMem_.data() + addr, 4);
     return v;
@@ -200,7 +202,8 @@ HostEmu::readLocal32(u32 addr) const
 void
 HostEmu::writeLocal32(u32 addr, u32 v)
 {
-    darco_assert(addr + 4 <= localMem_.size(), "local mem OOB write");
+    darco_assert(u64(addr) + 4 <= localMem_.size(),
+                 "local mem OOB write");
     __builtin_memcpy(localMem_.data() + addr, &v, 4);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "timing/core.hh"
 #include "tol/tol.hh"
@@ -71,19 +72,42 @@ measureWindow(tol::Tol &t, u64 length, SampleMetrics &m,
 
 } // namespace
 
+FastForwardCheckpoint
+makeFastForwardCheckpoint(const Program &prog, const Config &cfg,
+                          u64 ff_point)
+{
+    xemu::RefComponent ref(cfg.getUint("seed", 1));
+    ref.load(prog);
+    ref.runUntilInstCount(ff_point);
+    FastForwardCheckpoint ckpt;
+    ckpt.ffPoint = ff_point;
+    std::ostringstream os;
+    xemu::saveRefSnapshot(os, ref);
+    ckpt.image = os.str();
+    return ckpt;
+}
+
 SampleMetrics
 runSample(const Program &prog, const Config &cfg,
           const SampleSpec &spec, u64 warmup_len, u32 scale,
-          bool with_timing)
+          bool with_timing, const FastForwardCheckpoint *ckpt)
 {
     SampleMetrics m;
     warmup_len = std::min(warmup_len, spec.skip);
     u64 ff = spec.skip - warmup_len;
 
     // Functional fast-forward in the reference component (the cheap
-    // part of sampled simulation).
+    // part of sampled simulation) — from a shared checkpoint when one
+    // covers this run's fast-forward point.
     xemu::RefComponent ref(cfg.getUint("seed", 1));
-    ref.load(prog);
+    if (ckpt && ckpt->valid() && ckpt->ffPoint <= ff) {
+        std::istringstream is(ckpt->image);
+        xemu::restoreRefSnapshot(is, ref);
+        m.ffInsts = ff - ckpt->ffPoint;
+    } else {
+        ref.load(prog);
+        m.ffInsts = ff;
+    }
     ref.runUntilInstCount(ff);
 
     // Seed a co-designed instance with the fast-forward state.
@@ -152,10 +176,25 @@ pickWarmup(const Program &prog, const Config &cfg,
     HeuristicResult r;
     r.authoritative = runAuthoritative(prog, cfg, spec, false);
 
+    // Share the functional fast-forward: snapshot the reference
+    // component at the earliest point any candidate needs
+    // (skip - max warm-up length) and let every candidate restore
+    // from it, so the common prefix is simulated once, not per
+    // candidate.
+    u64 max_warmup = 0;
+    for (const WarmupCandidate &c : cands)
+        max_warmup = std::max(max_warmup, c.warmupLen);
+    max_warmup = std::min(max_warmup, spec.skip);
+    FastForwardCheckpoint ckpt = makeFastForwardCheckpoint(
+        prog, cfg, spec.skip - max_warmup);
+    r.ffInstsExecuted = ckpt.ffPoint;
+
     bool first = true;
     for (const WarmupCandidate &c : cands) {
-        SampleMetrics m =
-            runSample(prog, cfg, spec, c.warmupLen, c.scale, false);
+        SampleMetrics m = runSample(prog, cfg, spec, c.warmupLen,
+                                    c.scale, false, &ckpt);
+        r.ffInstsExecuted += m.ffInsts;
+        r.ffInstsNaive += spec.skip - std::min(c.warmupLen, spec.skip);
         double err = modeError(m, r.authoritative);
         r.scores.emplace_back(c, err);
         // Within-noise ties go to the cheaper configuration: the

@@ -52,9 +52,28 @@ struct SampleMetrics
     double sbmFrac = 0;
     double tolOverheadFrac = 0; //!< TOL overhead share of host stream
     u64 detailedInsts = 0; //!< warm-up + sample (the simulation cost)
+    u64 ffInsts = 0;       //!< functional fast-forward insts executed
     u64 translationsAtSampleStart = 0;
     double ipc = 0;        //!< only when with_timing
 };
+
+/**
+ * A reference-component snapshot at a shared fast-forward point, so a
+ * candidate sweep pays the functional fast-forward once instead of
+ * once per candidate (see pickWarmup). The image is a snapshot/io.hh
+ * container holding a "ref" section.
+ */
+struct FastForwardCheckpoint
+{
+    u64 ffPoint = 0;   //!< guest-instruction count of the snapshot
+    std::string image; //!< serialized RefComponent snapshot
+
+    bool valid() const { return !image.empty(); }
+};
+
+/** Fast-forward `prog` to `ff_point` once and snapshot the state. */
+FastForwardCheckpoint makeFastForwardCheckpoint(
+    const guest::Program &prog, const Config &cfg, u64 ff_point);
 
 /**
  * Run one sampled simulation: functional fast-forward to
@@ -62,10 +81,16 @@ struct SampleMetrics
  * `scale`, restore thresholds, measure the sample.
  *
  * warmupLen > skip is clamped (warm-up starts at program start).
+ *
+ * When `ckpt` is given and lies at or before this run's fast-forward
+ * point, the reference component restores from it and only executes
+ * the remaining (ff - ckpt->ffPoint) instructions; SampleMetrics::
+ * ffInsts reports the fast-forward instructions actually executed.
  */
 SampleMetrics runSample(const guest::Program &prog, const Config &cfg,
                         const SampleSpec &spec, u64 warmup_len,
-                        u32 scale, bool with_timing = false);
+                        u32 scale, bool with_timing = false,
+                        const FastForwardCheckpoint *ckpt = nullptr);
 
 /** The authoritative measurement: full detailed run, no fast-forward. */
 SampleMetrics runAuthoritative(const guest::Program &prog,
@@ -85,12 +110,24 @@ struct HeuristicResult
     /** (candidate, error) for every configuration tried. */
     std::vector<std::pair<WarmupCandidate, double>> scores;
     SampleMetrics authoritative;
+    /**
+     * Fast-forward instructions actually executed across the whole
+     * sweep (shared checkpoint + per-candidate deltas) vs what the
+     * pre-checkpoint implementation would have executed (every
+     * candidate fast-forwarding from instruction 0).
+     */
+    u64 ffInstsExecuted = 0;
+    u64 ffInstsNaive = 0;
 };
 
 /**
  * The paper's offline heuristic: evaluate every candidate's sample
  * execution distribution against the authoritative distribution and
  * pick the best match (ties go to the cheaper configuration).
+ *
+ * The functional fast-forward is shared: one checkpoint is taken at
+ * skip - max(warmupLen) and every candidate restores from it, paying
+ * only its delta instead of re-running from instruction 0.
  */
 HeuristicResult pickWarmup(const guest::Program &prog, const Config &cfg,
                            const SampleSpec &spec,

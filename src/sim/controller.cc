@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "snapshot/io.hh"
 
 namespace darco::sim
 {
@@ -151,6 +152,102 @@ Controller::run(u64 max_guest_insts)
     tol_->run(max_guest_insts);
     if (tol_->finished() && validateEnd_)
         validateFinal();
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore
+// ---------------------------------------------------------------------
+
+void
+Controller::saveCheckpoint(std::ostream &os)
+{
+    darco_assert(tol_, "Controller::load() must run first");
+    tol_->quiesce();
+
+    snapshot::Serializer s(os);
+
+    // Config snapshot: restore refuses a mismatch, since the replayed
+    // translations (and the Tol rebuilt around them) depend on it.
+    s.beginSection("cfg");
+    s.w64(cfg_.entries().size());
+    for (const auto &[k, v] : cfg_.entries()) {
+        s.wstr(k);
+        s.wstr(v);
+    }
+    s.endSection();
+
+    s.beginSection("ref");
+    ref_.save(s);
+    s.endSection();
+
+    s.beginSection("emem");
+    mem_.save(s);
+    s.endSection();
+
+    s.beginSection("tol");
+    tol_->save(s);
+    s.endSection();
+
+    s.beginSection("stats");
+    s.w64(stats_.counters().size());
+    for (const auto &[name, c] : stats_.counters()) {
+        s.wstr(name);
+        s.w64(c.value());
+    }
+    s.endSection();
+
+    s.finish();
+}
+
+void
+Controller::restoreCheckpoint(std::istream &is)
+{
+    snapshot::Deserializer d(is);
+
+    d.expectSection("cfg");
+    u64 ncfg = d.r64();
+    if (ncfg != cfg_.entries().size())
+        throw snapshot::SnapshotError(
+            "config mismatch: checkpoint has " + std::to_string(ncfg) +
+            " keys, controller has " +
+            std::to_string(cfg_.entries().size()));
+    for (u64 i = 0; i < ncfg; ++i) {
+        std::string k = d.rstr();
+        std::string v = d.rstr();
+        if (!cfg_.has(k) || cfg_.getString(k) != v)
+            throw snapshot::SnapshotError(
+                "config mismatch at key '" + k + "' (checkpoint '" + v +
+                "' vs controller '" + cfg_.getString(k) + "')");
+    }
+    d.endSection();
+
+    d.expectSection("ref");
+    ref_.restore(d);
+    d.endSection();
+
+    d.expectSection("emem");
+    mem_.restore(d);
+    d.endSection();
+
+    // Fresh co-designed component over the restored memory image; its
+    // restore() replays translation installation (host code is
+    // re-materialized, not deserialized).
+    tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
+    tol_->setEnv(this);
+    d.expectSection("tol");
+    tol_->restore(d);
+    d.endSection();
+
+    // Last: overwrite every counter the replay bumped with the
+    // checkpointed values.
+    d.expectSection("stats");
+    stats_.resetAll();
+    u64 nstats = d.r64();
+    for (u64 i = 0; i < nstats; ++i) {
+        std::string name = d.rstr();
+        stats_.counter(name).set(d.r64());
+    }
+    d.endSection();
 }
 
 } // namespace darco::sim

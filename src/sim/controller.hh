@@ -25,6 +25,7 @@
 #ifndef DARCO_SIM_CONTROLLER_HH
 #define DARCO_SIM_CONTROLLER_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -106,6 +107,28 @@ class Controller : public tol::Tol::Env
     guest::PagedMemory &emulatedMemory() { return mem_; }
     StatGroup &stats() { return stats_; }
     const Config &config() const { return cfg_; }
+
+    // --- checkpoint/restore ----------------------------------------------
+    /**
+     * Serialize the full simulation state (both components, stats)
+     * as a versioned checkpoint. Host code is not serialized:
+     * restoreCheckpoint() retranslates every registered region, so
+     * the image is host-agnostic. If execution paused inside a
+     * translated region, the runtime first runs to the next region
+     * boundary (Tol::quiesce), so the saved point can overshoot a
+     * step() budget by up to one region's remainder.
+     */
+    void saveCheckpoint(std::ostream &os);
+
+    /**
+     * Restore a checkpoint written by saveCheckpoint(). Works on a
+     * fresh Controller (no load() needed — the memory images carry
+     * the program). The Controller must have been constructed with
+     * the exact Config the checkpoint was saved under; a mismatch
+     * (or a bad magic/version/truncated stream) throws
+     * snapshot::SnapshotError.
+     */
+    void restoreCheckpoint(std::istream &is);
 
     // --- Tol::Env (Synchronization phase) --------------------------------
     void dataRequest(GAddr page, u64 completed_insts) override;

@@ -1,0 +1,297 @@
+#include "snapshot/io.hh"
+
+#include <cstring>
+
+namespace darco::snapshot
+{
+
+// ---------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------
+
+Serializer::Serializer(std::ostream &os) : os_(os)
+{
+    raw32(os_, snapshotMagic);
+    raw32(os_, snapshotVersion);
+}
+
+Serializer::~Serializer()
+{
+    // Best effort: a forgotten finish() must not leave the container
+    // without its end marker (throwing from a destructor is worse than
+    // a short write, which the reader reports as truncation anyway).
+    if (!finished_ && !inSection_)
+        finish();
+}
+
+void
+Serializer::raw8(std::ostream &os, u8 v)
+{
+    os.put(char(v));
+}
+
+void
+Serializer::raw16(std::ostream &os, u16 v)
+{
+    raw8(os, u8(v));
+    raw8(os, u8(v >> 8));
+}
+
+void
+Serializer::raw32(std::ostream &os, u32 v)
+{
+    raw16(os, u16(v));
+    raw16(os, u16(v >> 16));
+}
+
+void
+Serializer::raw64(std::ostream &os, u64 v)
+{
+    raw32(os, u32(v));
+    raw32(os, u32(v >> 32));
+}
+
+void
+Serializer::beginSection(const std::string &name)
+{
+    if (inSection_)
+        throw SnapshotError("nested section '" + name + "'");
+    if (name.empty() || name.size() > 0xffff)
+        throw SnapshotError("bad section name");
+    inSection_ = true;
+    sectionName_ = name;
+    section_.str("");
+}
+
+void
+Serializer::endSection()
+{
+    if (!inSection_)
+        throw SnapshotError("endSection without beginSection");
+    inSection_ = false;
+    std::string payload = section_.str();
+    raw16(os_, u16(sectionName_.size()));
+    os_.write(sectionName_.data(),
+              std::streamsize(sectionName_.size()));
+    raw64(os_, payload.size());
+    os_.write(payload.data(), std::streamsize(payload.size()));
+}
+
+void
+Serializer::finish()
+{
+    if (finished_)
+        return;
+    if (inSection_)
+        throw SnapshotError("finish inside open section");
+    raw16(os_, 0); // end marker
+    os_.flush();
+    finished_ = true;
+}
+
+void
+Serializer::w8(u8 v)
+{
+    raw8(section_, v);
+}
+
+void
+Serializer::w16(u16 v)
+{
+    raw16(section_, v);
+}
+
+void
+Serializer::w32(u32 v)
+{
+    raw32(section_, v);
+}
+
+void
+Serializer::w64(u64 v)
+{
+    raw64(section_, v);
+}
+
+void
+Serializer::wf64(double v)
+{
+    u64 bits;
+    std::memcpy(&bits, &v, 8);
+    w64(bits);
+}
+
+void
+Serializer::wstr(const std::string &s)
+{
+    w64(s.size());
+    section_.write(s.data(), std::streamsize(s.size()));
+}
+
+void
+Serializer::wbytes(const void *data, std::size_t len)
+{
+    section_.write(static_cast<const char *>(data),
+                   std::streamsize(len));
+}
+
+// ---------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------
+
+Deserializer::Deserializer(std::istream &is) : is_(is)
+{
+    u32 magic = raw32();
+    if (magic != snapshotMagic)
+        throw SnapshotError("bad magic (not a DARCO checkpoint)");
+    version_ = raw32();
+    if (version_ != snapshotVersion)
+        throw SnapshotError(
+            "unsupported snapshot version " + std::to_string(version_) +
+            " (expected " + std::to_string(snapshotVersion) + ")");
+}
+
+void
+Deserializer::need(std::size_t n)
+{
+    if (inSection_) {
+        if (sectionRemaining_ < n)
+            throw SnapshotError("section overrun (corrupt payload)");
+        sectionRemaining_ -= n;
+    }
+}
+
+u8
+Deserializer::raw8()
+{
+    int c = is_.get();
+    if (c == std::char_traits<char>::eof())
+        throw SnapshotError("truncated stream");
+    return u8(c);
+}
+
+u16
+Deserializer::raw16()
+{
+    u16 lo = raw8();
+    return u16(lo | (u16(raw8()) << 8));
+}
+
+u32
+Deserializer::raw32()
+{
+    u32 lo = raw16();
+    return lo | (u32(raw16()) << 16);
+}
+
+u64
+Deserializer::raw64()
+{
+    u64 lo = raw32();
+    return lo | (u64(raw32()) << 32);
+}
+
+std::string
+Deserializer::nextSection()
+{
+    if (inSection_) {
+        // Drop whatever the reader did not consume (forward compat).
+        is_.ignore(std::streamsize(sectionRemaining_));
+        if (!is_)
+            throw SnapshotError("truncated stream");
+        inSection_ = false;
+    }
+    u16 name_len = raw16();
+    if (name_len == 0)
+        return ""; // end marker
+    std::string name(name_len, '\0');
+    is_.read(name.data(), name_len);
+    if (!is_)
+        throw SnapshotError("truncated section name");
+    sectionRemaining_ = raw64();
+    inSection_ = true;
+    return name;
+}
+
+void
+Deserializer::expectSection(const std::string &name)
+{
+    for (;;) {
+        std::string got = nextSection();
+        if (got == name)
+            return;
+        if (got.empty())
+            throw SnapshotError("missing section '" + name + "'");
+        // Unknown section from a newer writer: skip it.
+    }
+}
+
+void
+Deserializer::endSection()
+{
+    if (!inSection_)
+        throw SnapshotError("endSection without an open section");
+    if (sectionRemaining_ != 0)
+        throw SnapshotError("section underrun (payload not consumed)");
+    inSection_ = false;
+}
+
+u8
+Deserializer::r8()
+{
+    need(1);
+    return raw8();
+}
+
+u16
+Deserializer::r16()
+{
+    need(2);
+    return raw16();
+}
+
+u32
+Deserializer::r32()
+{
+    need(4);
+    return raw32();
+}
+
+u64
+Deserializer::r64()
+{
+    need(8);
+    return raw64();
+}
+
+double
+Deserializer::rf64()
+{
+    u64 bits = r64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+std::string
+Deserializer::rstr()
+{
+    u64 len = r64();
+    need(len);
+    std::string s(len, '\0');
+    is_.read(s.data(), std::streamsize(len));
+    if (!is_)
+        throw SnapshotError("truncated string");
+    return s;
+}
+
+void
+Deserializer::rbytes(void *data, std::size_t len)
+{
+    need(len);
+    is_.read(static_cast<char *>(data), std::streamsize(len));
+    if (!is_)
+        throw SnapshotError("truncated byte block");
+}
+
+} // namespace darco::snapshot

@@ -1,5 +1,7 @@
 #include "tol/cost_model.hh"
 
+#include "snapshot/io.hh"
+
 namespace darco::tol
 {
 
@@ -158,6 +160,26 @@ CostModel::totalAll() const
     for (u64 v : totals_)
         t += v;
     return t;
+}
+
+void
+CostModel::save(snapshot::Serializer &s) const
+{
+    s.w64(totals_.size());
+    for (u64 v : totals_)
+        s.w64(v);
+    s.w32(synthPc_);
+}
+
+void
+CostModel::restore(snapshot::Deserializer &d)
+{
+    u64 n = d.r64();
+    if (n != totals_.size())
+        throw snapshot::SnapshotError("overhead category count changed");
+    for (u64 &v : totals_)
+        v = d.r64();
+    synthPc_ = d.r32();
 }
 
 } // namespace darco::tol

@@ -26,6 +26,12 @@
 #include "common/stats.hh"
 #include "host/trace.hh"
 
+namespace darco::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace darco::snapshot
+
 namespace darco::tol
 {
 
@@ -86,6 +92,10 @@ class CostModel
 
     u64 total(Overhead cat) const { return totals_[unsigned(cat)]; }
     u64 totalAll() const;
+
+    /** Checkpoint hooks: the per-category accumulated totals. */
+    void save(snapshot::Serializer &s) const;
+    void restore(snapshot::Deserializer &d);
 
     /** Synthesize charged instructions into the timing stream. */
     void setTraceSink(host::TraceSink *sink) { sink_ = sink; }

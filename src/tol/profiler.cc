@@ -1,10 +1,74 @@
 #include "tol/profiler.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "snapshot/io.hh"
+
 namespace darco::tol
 {
 
+void
+Profiler::save(snapshot::Serializer &s) const
+{
+    // Sorted orders keep the byte stream deterministic.
+    std::vector<std::pair<GAddr, u32>> im(imCounters_.begin(),
+                                          imCounters_.end());
+    std::sort(im.begin(), im.end());
+    s.w64(im.size());
+    for (auto &[entry, count] : im) {
+        s.w32(entry);
+        s.w32(count);
+    }
+
+    std::vector<std::pair<GAddr, Slots>> sm(slotMap_.begin(),
+                                            slotMap_.end());
+    std::sort(sm.begin(), sm.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.exec < b.second.exec;
+              });
+    s.w64(sm.size());
+    for (auto &[entry, sl] : sm) {
+        s.w32(entry);
+        s.w32(sl.exec);
+        s.w32(emu_.readLocal32(sl.exec));
+        s.w32(emu_.readLocal32(sl.taken));
+        s.w32(emu_.readLocal32(sl.fall));
+    }
+    s.w32(next_);
+}
+
+void
+Profiler::restore(snapshot::Deserializer &d)
+{
+    imCounters_.clear();
+    u64 nim = d.r64();
+    for (u64 i = 0; i < nim; ++i) {
+        GAddr entry = d.r32();
+        imCounters_[entry] = d.r32();
+    }
+
+    slotMap_.clear();
+    u64 nsl = d.r64();
+    for (u64 i = 0; i < nsl; ++i) {
+        GAddr entry = d.r32();
+        u32 exec = d.r32();
+        // Slot addresses come from untrusted input: every slot the
+        // allocator can hand out lies in [base_, base_ + 12*count).
+        if (exec < base_ || u64(exec) + 12 > u64(base_) + 12 * nsl)
+            throw snapshot::SnapshotError(
+                "profiling slot address out of range");
+        Slots sl{exec, exec + 4, exec + 8};
+        emu_.writeLocal32(sl.exec, d.r32());
+        emu_.writeLocal32(sl.taken, d.r32());
+        emu_.writeLocal32(sl.fall, d.r32());
+        slotMap_.emplace(entry, sl);
+    }
+    next_ = d.r32();
+}
+
 Profiler::Profiler(host::HostEmu &emu, u32 base)
-    : emu_(emu), next_(base)
+    : emu_(emu), base_(base), next_(base)
 {
 }
 

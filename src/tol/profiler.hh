@@ -27,6 +27,12 @@
 #include "common/types.hh"
 #include "host/hemu.hh"
 
+namespace darco::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace darco::snapshot
+
 namespace darco::tol
 {
 
@@ -66,10 +72,19 @@ class Profiler
 
     std::size_t profiledBBs() const { return slotMap_.size(); }
 
+    /**
+     * Checkpoint hooks: IM repetition counters, the slot map (with
+     * each BB's counter *values*, read from / written back to the
+     * emulator's TOL-local memory), and the allocation cursor.
+     */
+    void save(snapshot::Serializer &s) const;
+    void restore(snapshot::Deserializer &d);
+
   private:
     host::HostEmu &emu_;
     std::unordered_map<GAddr, u32> imCounters_;
     std::unordered_map<GAddr, Slots> slotMap_;
+    u32 base_;
     u32 next_;
 };
 

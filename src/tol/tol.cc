@@ -1,9 +1,11 @@
 #include "tol/tol.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
 #include "guest/semantics.hh"
+#include "snapshot/io.hh"
 #include "tol/codegen.hh"
 #include "tol/ddg.hh"
 #include "tol/passes.hh"
@@ -82,6 +84,7 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     cBbSbm_ = &stats_.counter("tol.bb_sbm");
     cHostBbm_ = &stats_.counter("tol.host_app_bbm");
     cHostSbm_ = &stats_.counter("tol.host_app_sbm");
+    cChainTouches_ = &stats_.counter("tol.chain_target_touches");
 }
 
 void
@@ -197,6 +200,14 @@ Tol::onRetire(u32 exit_id, u64 host_insts)
     }
     const Translation &t = registry_.get(ge.trans);
     const ExitDesc &d = t.exits[ge.exitIdx];
+    // Eviction-clock blind spot: control now transfers into the chain
+    // target inside the code cache; if the target later leaves through
+    // a rollback (assert/alias/div/page-miss) instead of its own
+    // RETIRE, this entry mark is its only refBit touch.
+    if (d.chained) {
+        registry_.touch(d.chainedTo);
+        cChainTouches_->inc();
+    }
     completedInsts_ += d.instsRetired;
     completedBBs_ += d.bbsRetired;
     if (t.mode == RegionMode::BB) {
@@ -778,6 +789,9 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
           case HExit::AssertFail:
           case HExit::AliasFail: {
             u32 rtid = regionAt(emu_.ctx().pc);
+            // The region executed (hot) but never reaches its RETIRE:
+            // keep the eviction clock honest.
+            registry_.touch(rtid);
             Translation &t = registry_.get(rtid);
             emu_.storeGuestState(state_);
             state_.pc = t.entry;
@@ -812,6 +826,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
 
           case HExit::DivFault: {
             u32 rtid = regionAt(emu_.ctx().pc);
+            registry_.touch(rtid);
             const Translation &t = registry_.get(rtid);
             emu_.storeGuestState(state_);
             state_.pc = t.entry;
@@ -825,6 +840,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
 
           case HExit::PageMiss: {
             u32 rtid = regionAt(emu_.ctx().pc);
+            registry_.touch(rtid);
             const Translation &t = registry_.get(rtid);
             emu_.storeGuestState(state_);
             state_.pc = t.entry;
@@ -885,6 +901,141 @@ Tol::run(u64 max_guest_insts)
         interpretStep();
     }
     return RunResult::Finished;
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+void
+Tol::quiesce()
+{
+    if (!inRegionResume_)
+        return;
+    runTarget_ = ~0ull;
+    executeTranslation(0, resumeHostPc_, true);
+    darco_assert(!inRegionResume_,
+                 "quiesce left mid-region resume state");
+}
+
+void
+Tol::save(snapshot::Serializer &s) const
+{
+    darco_assert(!inRegionResume_,
+                 "Tol::save requires a quiescent runtime "
+                 "(call quiesce() first)");
+
+    s.w64(completedInsts_);
+    s.w64(completedBBs_);
+    s.wbool(finished_);
+    s.wbool(forceInterp_);
+    s.wbool(initCharged_);
+    s.w32(bbThreshold_);
+    s.w32(sbThreshold_);
+    state_.save(s);
+    profiler_.save(s);
+
+    // The discovered-BB set: superblock replay walks paths through
+    // bbCache_, so restore must re-decode these before retranslating.
+    std::vector<GAddr> bbs;
+    bbs.reserve(bbCache_.size());
+    for (const auto &[entry, _] : bbCache_)
+        bbs.push_back(entry);
+    std::sort(bbs.begin(), bbs.end());
+    s.w64(bbs.size());
+    for (GAddr e : bbs)
+        s.w32(e);
+
+    // Superblock recreation flags (residual tids are re-established
+    // by the replay itself).
+    std::vector<std::pair<GAddr, SBFlags>> flags(sbFlags_.begin(),
+                                                 sbFlags_.end());
+    std::sort(flags.begin(), flags.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    s.w64(flags.size());
+    for (auto &[entry, f] : flags) {
+        s.w32(entry);
+        s.wbool(f.noAsserts);
+        s.wbool(f.noSpec);
+    }
+
+    // Live translations in installation (tid) order: enough metadata
+    // to retranslate each region from the restored memory image.
+    std::vector<u32> live;
+    for (u32 tid = 0; tid < registry_.totalCount(); ++tid) {
+        if (registry_.valid(tid))
+            live.push_back(tid);
+    }
+    s.w64(live.size());
+    for (u32 tid : live) {
+        const Translation &t = registry_.get(tid);
+        s.w32(t.entry);
+        s.w8(u8(t.mode));
+        s.wbool(registry_.lookup(t.entry) == tid);
+        s.w32(t.assertFails);
+        s.w32(t.aliasFails);
+    }
+
+    cost_.save(s);
+}
+
+void
+Tol::restore(snapshot::Deserializer &d)
+{
+    completedInsts_ = d.r64();
+    completedBBs_ = d.r64();
+    finished_ = d.rbool();
+    forceInterp_ = d.rbool();
+    initCharged_ = d.rbool();
+    bbThreshold_ = d.r32();
+    sbThreshold_ = d.r32();
+    state_.restore(d);
+    profiler_.restore(d);
+
+    u64 nbbs = d.r64();
+    for (u64 i = 0; i < nbbs; ++i)
+        getBB(d.r32());
+
+    u64 nflags = d.r64();
+    for (u64 i = 0; i < nflags; ++i) {
+        GAddr entry = d.r32();
+        SBFlags f;
+        f.noAsserts = d.rbool();
+        f.noSpec = d.rbool();
+        sbFlags_[entry] = f;
+    }
+
+    // Re-materialize host code: replay installation in tid order.
+    // The BB/SB builders run against the restored memory image and
+    // profile counters, so regenerated code is deterministic; the
+    // translation/cost charges this produces are overwritten by the
+    // cost and stats sections restored afterwards.
+    u64 ntrans = d.r64();
+    for (u64 i = 0; i < ntrans; ++i) {
+        GAddr entry = d.r32();
+        RegionMode mode = RegionMode(d.r8());
+        (void)d.rbool(); // mapped flag: re-established by the replay
+        u32 assert_fails = d.r32();
+        u32 alias_fails = d.r32();
+        if (mode == RegionMode::BB) {
+            BBInfo &bb = getBB(entry);
+            if (bb.translatable &&
+                registry_.lookup(entry) == TranslationRegistry::npos)
+                translateBB(bb);
+        } else {
+            buildSuperblock(entry);
+            u32 tid = registry_.lookup(entry);
+            if (tid != TranslationRegistry::npos &&
+                registry_.get(tid).mode == RegionMode::SB) {
+                registry_.get(tid).assertFails = assert_fails;
+                registry_.get(tid).aliasFails = alias_fails;
+            }
+        }
+    }
+
+    cost_.restore(d);
 }
 
 } // namespace darco::tol

@@ -50,6 +50,12 @@
 #include "tol/registry.hh"
 #include "xemu/os.hh"
 
+namespace darco::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace darco::snapshot
+
 namespace darco::tol
 {
 
@@ -151,6 +157,32 @@ class Tol : public host::RetireSink
     // RetireSink
     void onRetire(u32 exit_id, u64 host_insts) override;
 
+    // --- checkpointing ---------------------------------------------------
+    /**
+     * Run to the next region boundary if execution paused inside a
+     * translated region (a budget stop mid-region leaves host-pc
+     * resume state a checkpoint cannot carry). May advance guest
+     * execution by up to one region's remainder; no-op otherwise.
+     */
+    void quiesce();
+
+    /**
+     * Serialize runtime state: retirement counts, mode/threshold
+     * state, guest architectural state, profiling counters, the
+     * discovered-BB set, and per-entry translation metadata. Host
+     * code is *not* saved — restore() re-materializes it by
+     * retranslating every registered region, so checkpoints stay
+     * host-agnostic. Requires a quiescent runtime (see quiesce()).
+     */
+    void save(snapshot::Serializer &s) const;
+
+    /**
+     * Restore into a freshly-constructed Tol (same Config, env
+     * already attached). Replays translation installation in original
+     * order against the restored memory image and profile counters.
+     */
+    void restore(snapshot::Deserializer &d);
+
     // Introspection for tests and benches.
     std::size_t translationCount() const
     {
@@ -229,6 +261,7 @@ class Tol : public host::RetireSink
     Counter *cGuestIm_, *cGuestBbm_, *cGuestSbm_;
     Counter *cBbIm_, *cBbBbm_, *cBbSbm_;
     Counter *cHostBbm_, *cHostSbm_;
+    Counter *cChainTouches_;
 
     // Config snapshot.
     u32 bbThreshold_, sbThreshold_;

@@ -3,9 +3,36 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snapshot/io.hh"
 
 namespace darco::xemu
 {
+
+void
+GuestOS::save(snapshot::Serializer &s) const
+{
+    s.wstr(output_);
+    s.wstr(input_);
+    s.w64(inputPos_);
+    s.w32(brk_);
+    s.w64(virtualTime_);
+    for (u64 w : rng_.stateWords())
+        s.w64(w);
+}
+
+void
+GuestOS::restore(snapshot::Deserializer &d)
+{
+    output_ = d.rstr();
+    input_ = d.rstr();
+    inputPos_ = d.r64();
+    brk_ = d.r32();
+    virtualTime_ = d.r64();
+    std::array<u64, 4> w;
+    for (u64 &x : w)
+        x = d.r64();
+    rng_.setStateWords(w);
+}
 
 using namespace guest;
 

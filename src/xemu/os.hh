@@ -20,6 +20,12 @@
 #include "guest/program.hh"
 #include "guest/state.hh"
 
+namespace darco::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace darco::snapshot
+
 namespace darco::xemu
 {
 
@@ -72,6 +78,11 @@ class GuestOS
     const std::string &output() const { return output_; }
 
     u32 brk() const { return brk_; }
+
+    /** Checkpoint hooks: all deterministic OS state (output, input
+     *  cursor, brk, virtual time, RNG). */
+    void save(snapshot::Serializer &s) const;
+    void restore(snapshot::Deserializer &d);
 
   private:
     std::string output_;

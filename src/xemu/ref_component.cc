@@ -1,11 +1,57 @@
 #include "xemu/ref_component.hh"
 
 #include "common/logging.hh"
+#include "snapshot/io.hh"
 
 namespace darco::xemu
 {
 
 using namespace guest;
+
+void
+RefComponent::save(snapshot::Serializer &s) const
+{
+    state_.save(s);
+    mem_.save(s);
+    os_.save(s);
+    s.w64(instCount_);
+    s.w64(bbCount_);
+    s.wbool(finished_);
+    s.w32(exitCode_);
+}
+
+void
+RefComponent::restore(snapshot::Deserializer &d)
+{
+    state_.restore(d);
+    mem_.restore(d);
+    os_.restore(d);
+    instCount_ = d.r64();
+    bbCount_ = d.r64();
+    finished_ = d.rbool();
+    exitCode_ = d.r32();
+    decodeCache_.clear();
+    lastDirtied_.clear();
+}
+
+void
+saveRefSnapshot(std::ostream &os, const RefComponent &ref)
+{
+    snapshot::Serializer s(os);
+    s.beginSection(refSectionName);
+    ref.save(s);
+    s.endSection();
+    s.finish();
+}
+
+void
+restoreRefSnapshot(std::istream &is, RefComponent &ref)
+{
+    snapshot::Deserializer d(is);
+    d.expectSection(refSectionName);
+    ref.restore(d);
+    d.endSection();
+}
 
 void
 RefComponent::load(const Program &prog)

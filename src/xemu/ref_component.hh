@@ -17,10 +17,23 @@
 #include "common/stats.hh"
 #include "guest/program.hh"
 #include "guest/semantics.hh"
+#include <iosfwd>
+
 #include "xemu/os.hh"
 
 namespace darco::xemu
 {
+
+class RefComponent;
+
+/** Section name RefComponent snapshots are framed under. */
+constexpr const char *refSectionName = "ref";
+
+/** Save one framed ref-only snapshot (header + "ref" section). */
+void saveRefSnapshot(std::ostream &os, const RefComponent &ref);
+
+/** Restore a ref-only snapshot written by saveRefSnapshot(). */
+void restoreRefSnapshot(std::istream &is, RefComponent &ref);
 
 /**
  * Authoritative guest interpreter + OS.
@@ -71,6 +84,14 @@ class RefComponent
     {
         return lastDirtied_;
     }
+
+    /**
+     * Checkpoint hooks: the complete authoritative execution state
+     * (registers, memory image, OS, counts). restore() replaces the
+     * current state; no load() is needed first.
+     */
+    void save(snapshot::Serializer &s) const;
+    void restore(snapshot::Deserializer &d);
 
   private:
     const guest::GInst &fetch(GAddr pc);

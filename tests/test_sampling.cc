@@ -119,6 +119,49 @@ TEST(Sampling, HeuristicPicksAccurateCheapConfig)
     EXPECT_GT(speedup, 4.0);
 }
 
+TEST(Sampling, SharedFastForwardCutsSimulationCost)
+{
+    guest::Program p = longWorkload();
+    std::vector<WarmupCandidate> cands = {
+        {5'000, 1}, {20'000, 8}, {60'000, 8}, {100'000, 8},
+    };
+    HeuristicResult r = pickWarmup(p, cfg(), spec, cands);
+
+    // One shared checkpoint at skip - max(warmupLen), then deltas:
+    // ffmin + sum(max_warmup - warmup_i) instead of sum(skip - warmup_i).
+    u64 max_warmup = 100'000;
+    u64 ffmin = spec.skip - max_warmup;
+    u64 expect_exec = ffmin; // the checkpoint itself
+    u64 expect_naive = 0;
+    for (const WarmupCandidate &c : cands) {
+        expect_exec += max_warmup - c.warmupLen;
+        expect_naive += spec.skip - c.warmupLen;
+    }
+    EXPECT_EQ(r.ffInstsExecuted, expect_exec);
+    EXPECT_EQ(r.ffInstsNaive, expect_naive);
+    EXPECT_LT(r.ffInstsExecuted, r.ffInstsNaive);
+}
+
+TEST(Sampling, CheckpointedSampleMatchesColdSample)
+{
+    guest::Program p = longWorkload();
+    SampleMetrics cold = runSample(p, cfg(), spec, 20'000, 8);
+    FastForwardCheckpoint ckpt =
+        makeFastForwardCheckpoint(p, cfg(), spec.skip - 100'000);
+    SampleMetrics warm =
+        runSample(p, cfg(), spec, 20'000, 8, false, &ckpt);
+
+    // Restoring the shared snapshot must not change the measurement.
+    EXPECT_EQ(warm.imFrac, cold.imFrac);
+    EXPECT_EQ(warm.bbmFrac, cold.bbmFrac);
+    EXPECT_EQ(warm.sbmFrac, cold.sbmFrac);
+    EXPECT_EQ(warm.translationsAtSampleStart,
+              cold.translationsAtSampleStart);
+    // Only the fast-forward cost differs.
+    EXPECT_EQ(cold.ffInsts, spec.skip - 20'000);
+    EXPECT_EQ(warm.ffInsts, 100'000u - 20'000u);
+}
+
 TEST(Sampling, WarmupClampedToSkip)
 {
     guest::Program p = longWorkload();

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Checkpoint/restore tests: round-trip determinism (save mid-run,
+ * restore into a fresh Controller, finish — final architectural
+ * state, memory image, exit code and retired-instruction/BB counts
+ * must be bit-identical to an uninterrupted run) across the three
+ * validation configs the differential fuzzer uses, plus container
+ * rejection tests (magic, version, truncation, config mismatch).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "sim/controller.hh"
+#include "snapshot/io.hh"
+#include "workloads/synth.hh"
+#include "xemu/ref_component.hh"
+
+using namespace darco;
+using snapshot::SnapshotError;
+
+namespace
+{
+
+guest::Program
+workload()
+{
+    workloads::WorkloadParams p;
+    p.name = "snapshot-wl";
+    p.seed = 97;
+    p.numBlocks = 40;
+    p.outerIters = 260;
+    p.fpFrac = 0.15;
+    p.loopFrac = 0.10;
+    p.indirectFrac = 0.03;
+    return workloads::synthesize(p);
+}
+
+Config
+makeCfg(const std::string &variant)
+{
+    // Fast promotion so the run exercises BBM/SBM within test budget.
+    Config cfg({"tol.bb_threshold=4", "tol.sb_threshold=12",
+                "tol.min_edge_total=8"});
+    if (variant == "interp") {
+        cfg.parseLine("tol.enable_bbm=false");
+        cfg.parseLine("tol.enable_sbm=false");
+    } else if (variant == "tinycc") {
+        cfg.parseLine("cc.capacity_words=768");
+        cfg.parseLine("cc.policy=evict");
+        cfg.parseLine("tol.max_sb_insts=120");
+    } else {
+        EXPECT_EQ(variant, "fullopt");
+    }
+    return cfg;
+}
+
+/** Assert both reference memory images are bit-identical. */
+void
+expectSameMemory(xemu::RefComponent &a, xemu::RefComponent &b)
+{
+    auto pa = a.memory().residentPages();
+    auto pb = b.memory().residentPages();
+    ASSERT_EQ(pa, pb);
+    for (GAddr page : pa) {
+        ASSERT_EQ(std::memcmp(a.memory().page(page),
+                              b.memory().page(page),
+                              pageSizeBytes),
+                  0)
+            << "page 0x" << std::hex << page;
+    }
+}
+
+void
+roundTrip(const std::string &variant)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg(variant);
+
+    // The uninterrupted run.
+    sim::Controller full(cfg);
+    full.load(prog);
+    full.run();
+    ASSERT_TRUE(full.finished());
+
+    // Save at roughly 40% of the run (any budget: saveCheckpoint
+    // quiesces to a region boundary when needed).
+    u64 mid = full.tol().completedInsts() * 2 / 5;
+    sim::Controller part(cfg);
+    part.load(prog);
+    part.run(mid);
+    ASSERT_FALSE(part.finished());
+    std::stringstream img;
+    part.saveCheckpoint(img);
+
+    // Restore into a fresh Controller (no load()) and finish.
+    sim::Controller resumed(cfg);
+    img.seekg(0);
+    resumed.restoreCheckpoint(img);
+    EXPECT_GE(resumed.tol().completedInsts(), mid);
+    resumed.run();
+    ASSERT_TRUE(resumed.finished());
+
+    // Architectural results must be bit-identical.
+    EXPECT_TRUE(resumed.tol().state() == full.tol().state())
+        << full.tol().state().diff(resumed.tol().state());
+    EXPECT_EQ(resumed.exitCode(), full.exitCode());
+    EXPECT_EQ(resumed.tol().completedInsts(),
+              full.tol().completedInsts());
+    EXPECT_EQ(resumed.tol().completedBBs(), full.tol().completedBBs());
+    expectSameMemory(resumed.ref(), full.ref());
+
+    // Every emulated page must match the authoritative image.
+    for (GAddr page : resumed.emulatedMemory().residentPages()) {
+        ASSERT_EQ(std::memcmp(resumed.emulatedMemory().page(page),
+                              full.ref().memory().page(page),
+                              pageSizeBytes),
+                  0)
+            << "emulated page 0x" << std::hex << page;
+    }
+
+    // Mode accounting must still sum to the retired count.
+    StatGroup &st = resumed.stats();
+    EXPECT_EQ(st.value("tol.guest_im") + st.value("tol.guest_bbm") +
+                  st.value("tol.guest_sbm"),
+              resumed.tol().completedInsts());
+    EXPECT_TRUE(resumed.registry().checkInvariants().empty());
+}
+
+} // namespace
+
+TEST(SnapshotRoundTrip, Interp)
+{
+    roundTrip("interp");
+}
+
+TEST(SnapshotRoundTrip, Fullopt)
+{
+    roundTrip("fullopt");
+}
+
+TEST(SnapshotRoundTrip, TinyccEvictionStorm)
+{
+    roundTrip("tinycc");
+}
+
+TEST(SnapshotRoundTrip, RestoredStatsMatchSavePoint)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg("fullopt");
+
+    sim::Controller part(cfg);
+    part.load(prog);
+    part.run(60'000);
+    std::stringstream img;
+    part.saveCheckpoint(img);
+
+    // Right after restore, every counter reads exactly as saved (the
+    // translation-replay charges must have been overwritten).
+    sim::Controller resumed(cfg);
+    img.seekg(0);
+    resumed.restoreCheckpoint(img);
+    for (const auto &[name, c] : part.stats().counters())
+        EXPECT_EQ(resumed.stats().value(name), c.value()) << name;
+    EXPECT_EQ(resumed.tol().completedInsts(),
+              part.tol().completedInsts());
+    EXPECT_TRUE(resumed.tol().state() == part.tol().state());
+}
+
+TEST(SnapshotRejection, BadMagic)
+{
+    std::stringstream ss("this is not a checkpoint at all........");
+    sim::Controller ctl(Config{});
+    EXPECT_THROW(ctl.restoreCheckpoint(ss), SnapshotError);
+}
+
+TEST(SnapshotRejection, EmptyStream)
+{
+    std::stringstream ss;
+    sim::Controller ctl(Config{});
+    EXPECT_THROW(ctl.restoreCheckpoint(ss), SnapshotError);
+}
+
+TEST(SnapshotRejection, WrongVersion)
+{
+    // Hand-build a header with a future version number.
+    std::stringstream ss;
+    u32 magic = snapshot::snapshotMagic;
+    u32 version = snapshot::snapshotVersion + 41;
+    ss.write(reinterpret_cast<const char *>(&magic), 4);
+    ss.write(reinterpret_cast<const char *>(&version), 4);
+    sim::Controller ctl(Config{});
+    EXPECT_THROW(ctl.restoreCheckpoint(ss), SnapshotError);
+}
+
+TEST(SnapshotRejection, TruncatedImage)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg("interp");
+    sim::Controller part(cfg);
+    part.load(prog);
+    part.run(20'000);
+    std::stringstream img;
+    part.saveCheckpoint(img);
+    std::string bytes = img.str();
+
+    std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+    sim::Controller ctl(cfg);
+    EXPECT_THROW(ctl.restoreCheckpoint(cut), SnapshotError);
+}
+
+TEST(SnapshotRejection, ConfigMismatch)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg("fullopt");
+    sim::Controller part(cfg);
+    part.load(prog);
+    part.run(20'000);
+    std::stringstream img;
+    part.saveCheckpoint(img);
+
+    // Restoring under a different configuration is unsound (the
+    // replayed translations depend on it) and must be refused.
+    sim::Controller other(makeCfg("tinycc"));
+    img.seekg(0);
+    EXPECT_THROW(other.restoreCheckpoint(img), SnapshotError);
+}
+
+TEST(SnapshotRefOnly, RefComponentRoundTrip)
+{
+    guest::Program prog = workload();
+    xemu::RefComponent a(1);
+    a.load(prog);
+    a.runUntilInstCount(50'000);
+
+    std::stringstream img;
+    xemu::saveRefSnapshot(img, a);
+
+    xemu::RefComponent b(1);
+    img.seekg(0);
+    xemu::restoreRefSnapshot(img, b);
+    EXPECT_EQ(b.instCount(), a.instCount());
+    EXPECT_TRUE(b.state() == a.state());
+    expectSameMemory(a, b);
+
+    // Both must evolve identically from here (OS RNG/time included).
+    a.runToCompletion();
+    b.runToCompletion();
+    EXPECT_TRUE(b.state() == a.state());
+    EXPECT_EQ(b.exitCode(), a.exitCode());
+    EXPECT_EQ(b.instCount(), a.instCount());
+    EXPECT_EQ(b.os().output(), a.os().output());
+}

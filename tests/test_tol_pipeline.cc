@@ -605,3 +605,37 @@ TEST(TolPipeline, AmpleCacheNeverEvicts)
     EXPECT_EQ(rig.stats.value("cc.flushes"), 0u);
     EXPECT_EQ(rig.tol->registry().checkInvariants(), "");
 }
+
+TEST(TolPipeline, ChainTargetsTouchedAtRetire)
+{
+    // Eviction-clock blind spot (ROADMAP): regions entered through a
+    // chained jump used to earn a refBit only via their own RETIRE,
+    // which a rollback exit never reaches. onRetire now touches the
+    // chain target on entry; the counter proves the path fires.
+    TolRig rig;
+    rig.load(evictionWorkload(7));
+    rig.run();
+    ASSERT_TRUE(rig.tol->finished());
+    ASSERT_GT(rig.stats.value("tol.chains"), 0u);
+    EXPECT_GT(rig.stats.value("tol.chain_target_touches"), 0u);
+}
+
+TEST(TolPipeline, NoChainTouchesWithChainingDisabled)
+{
+    // tol.unroll must be off too: residual-BB chains of unrolled
+    // loops are structural, not part of the chaining optimization.
+    TolRig rig({"tol.chaining=false", "tol.unroll=false"});
+    rig.load(evictionWorkload(7));
+    rig.run();
+    ASSERT_TRUE(rig.tol->finished());
+    EXPECT_EQ(rig.stats.value("tol.chain_target_touches"), 0u);
+}
+
+TEST(TolPipeline, EvictionStormStaysCorrectWithChainTouches)
+{
+    // The tinycc stress cell of the differential fuzzer: an eviction
+    // storm with chaining on must remain architecturally exact now
+    // that chain targets and rollback exits feed the clock.
+    Program p = evictionWorkload(7);
+    differential(p, {"cc.capacity_words=768", "tol.max_sb_insts=120"});
+}

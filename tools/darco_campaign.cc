@@ -1,0 +1,249 @@
+/**
+ * @file
+ * darco_campaign: parallel workload×config experiment runner.
+ *
+ * Expands a matrix of paper-suite workloads against named config
+ * presets, executes every cell on the campaign thread pool (one
+ * isolated Controller per job), and writes a CSV/JSON report.
+ *
+ *   darco_campaign --jobs 4
+ *   darco_campaign --workloads 401.bzip2,429.mcf --configs fullopt,interp
+ *   darco_campaign --jobs 8 --skip 200000 --checkpoint-dir ckpt
+ *   darco_campaign --list
+ *
+ * Exit code: 0 when every job succeeded, 1 on any job failure, 2 on
+ * usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "common/logging.hh"
+#include "workloads/suite.hh"
+#include "workloads/synth.hh"
+
+using namespace darco;
+
+namespace
+{
+
+struct Options
+{
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<std::string> workloads = {"400.perlbench", "401.bzip2",
+                                          "429.mcf"};
+    std::vector<std::string> configs = {"interp", "noopt", "fullopt",
+                                        "tinycc"};
+    std::vector<std::string> extra;
+    double scale = 0.25;
+    u64 maxInsts = ~0ull;
+    u64 skip = 0;
+    std::string checkpointDir;
+    std::string csvPath;
+    std::string jsonPath;
+    bool list = false;
+    bool quiet = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --jobs N            worker threads (default: hw cores)\n"
+        "  --workloads a,b,c   paper-suite workload names\n"
+        "  --configs c1,c2     presets: interp|noopt|fullopt|tinycc\n"
+        "  --scale S           workload dynamic-length scale (default "
+        "0.25)\n"
+        "  --max-insts N       per-job guest-instruction budget\n"
+        "  --skip N            checkpointable fast-forward prefix\n"
+        "  --checkpoint-dir D  create/reuse prefix checkpoints in D\n"
+        "  --csv PATH          write the CSV report here\n"
+        "  --json PATH         write the JSON report here\n"
+        "  --list              list known workloads and presets\n"
+        "  -c key=value        extra config override (repeatable)\n"
+        "  -q                  suppress the stdout CSV\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    auto number = [](const char *v, u64 &out) {
+        char *end = nullptr;
+        out = std::strtoull(v, &end, 0);
+        return *v != '\0' && end && *end == '\0';
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        u64 n = 0;
+        if (a == "--jobs") {
+            const char *v = next();
+            if (!v || !number(v, n) || n == 0)
+                return false;
+            o.jobs = unsigned(n);
+        } else if (a == "--workloads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.workloads = splitCommas(v);
+        } else if (a == "--configs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.configs = splitCommas(v);
+        } else if (a == "--scale") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.scale = std::atof(v);
+            if (o.scale <= 0)
+                return false;
+        } else if (a == "--max-insts") {
+            const char *v = next();
+            if (!v || !number(v, o.maxInsts))
+                return false;
+        } else if (a == "--skip") {
+            const char *v = next();
+            if (!v || !number(v, o.skip))
+                return false;
+        } else if (a == "--checkpoint-dir") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.checkpointDir = v;
+        } else if (a == "--csv") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.csvPath = v;
+        } else if (a == "--json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.jsonPath = v;
+        } else if (a == "-c") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.extra.push_back(v);
+        } else if (a == "--list") {
+            o.list = true;
+        } else if (a == "-q") {
+            o.quiet = true;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    f << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<workloads::Benchmark> suite =
+        workloads::paperSuite(o.scale);
+
+    if (o.list) {
+        std::printf("workloads (at --scale %g):\n", o.scale);
+        for (const auto &b : suite)
+            std::printf("  %-18s [%s]\n", b.params.name.c_str(),
+                        workloads::suiteGroupName(b.group));
+        std::printf("config presets: interp noopt fullopt tinycc\n");
+        return 0;
+    }
+
+    try {
+        std::vector<std::pair<std::string, guest::Program>> progs;
+        for (const std::string &name : o.workloads) {
+            const workloads::Benchmark *b =
+                workloads::findBenchmark(suite, name);
+            if (!b) {
+                std::fprintf(stderr,
+                             "unknown workload '%s' (see --list)\n",
+                             name.c_str());
+                return 2;
+            }
+            progs.emplace_back(name, workloads::synthesize(b->params));
+        }
+
+        std::vector<campaign::Job> jobs = campaign::expandMatrix(
+            progs, campaign::presetConfigs(o.configs, o.extra),
+            o.maxInsts, o.skip);
+
+        campaign::RunOptions ropts;
+        ropts.jobs = o.jobs;
+        ropts.checkpointDir = o.checkpointDir;
+
+        campaign::CampaignResult res =
+            campaign::runCampaign(jobs, ropts);
+
+        if (!o.quiet)
+            std::printf("%s", res.csv().c_str());
+        if (!o.csvPath.empty() && !writeFile(o.csvPath, res.csv()))
+            return 2;
+        if (!o.jsonPath.empty() && !writeFile(o.jsonPath, res.json()))
+            return 2;
+
+        unsigned failed = 0;
+        for (const auto &r : res.results)
+            failed += r.ok ? 0 : 1;
+        std::fprintf(stderr,
+                     "darco_campaign: %zu jobs on %u workers in %.0f ms"
+                     " (%u failed, checkpoints: %llu hit / %llu"
+                     " stored)\n",
+                     res.results.size(), o.jobs, res.wallMs, failed,
+                     (unsigned long long)res.checkpointHits,
+                     (unsigned long long)res.checkpointMisses);
+        return failed ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "darco_campaign: %s\n", e.what());
+        return 2;
+    }
+}

@@ -8,9 +8,15 @@
  * `.gisa` reproducer.
  *
  *   darco_fuzz --seeds 256                # fuzz seeds 1..256
+ *   darco_fuzz --seeds 256 --jobs 8       # same, on 8 workers
  *   darco_fuzz --seed-base 1000 --seeds 64
  *   darco_fuzz --replay fuzz-out/seed7.gisa
  *   darco_fuzz --seeds 16 -c debug.flip_cond_exits=true   # self-test
+ *
+ * With --jobs N the seed sweep fans out on the campaign thread pool
+ * (one isolated differential run per seed); reporting and failure
+ * minimization stay serial and in seed order, so the output and the
+ * dumped reproducers are byte-identical to a --jobs 1 run.
  *
  * Exit code: 0 when every seed passed, 1 on any failure, 2 on usage
  * errors.
@@ -21,10 +27,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
 #include "fuzz/diffrun.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/shrink.hh"
@@ -38,6 +46,7 @@ struct Options
 {
     u64 seeds = 16;
     u64 seedBase = 1;
+    unsigned jobs = 1;
     std::string outDir = "fuzz-out";
     std::string replay;
     bool verbose = false;
@@ -53,6 +62,7 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "  --seeds N         fuzz N seeds (default 16)\n"
         "  --seed-base B     first seed (default 1)\n"
+        "  --jobs N          run seeds on N worker threads (default 1)\n"
         "  --out DIR         failure-dump directory (default fuzz-out)\n"
         "  --replay FILE     re-run one .gisa case instead of fuzzing\n"
         "  --no-minimize     skip delta debugging on failures\n"
@@ -82,6 +92,12 @@ parseArgs(int argc, char **argv, Options &o)
             const char *v = next();
             if (!v || !number(v, o.seedBase))
                 return false;
+        } else if (a == "--jobs") {
+            const char *v = next();
+            u64 n = 0;
+            if (!v || !number(v, n) || n == 0)
+                return false;
+            o.jobs = unsigned(n);
         } else if (a == "--out") {
             const char *v = next();
             if (!v)
@@ -185,12 +201,31 @@ main(int argc, char **argv)
     fuzz::DiffOptions dopts;
     dopts.extra = o.extra;
 
+    // Phase 1 — the differential runs, fanned out on the campaign
+    // pool (each seed is an isolated generator + Controller set).
+    std::vector<fuzz::ProgramSpec> specs(o.seeds);
+    std::vector<fuzz::DiffResult> results(o.seeds);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(o.seeds);
+    for (u64 i = 0; i < o.seeds; ++i) {
+        tasks.push_back([i, &o, &dopts, &specs, &results]() {
+            u64 s = o.seedBase + i;
+            fuzz::GenParams gp;
+            gp.seed = s;
+            specs[i] = fuzz::makeSpec(gp);
+            results[i] =
+                fuzz::diffRun(fuzz::build(specs[i]), s, dopts);
+        });
+    }
+    campaign::Pool(o.jobs).run(std::move(tasks));
+
+    // Phase 2 — reporting and minimization, serial and in seed order
+    // (byte-identical output whatever the worker count).
     u64 failures = 0;
-    for (u64 s = o.seedBase; s < o.seedBase + o.seeds; ++s) {
-        fuzz::GenParams gp;
-        gp.seed = s;
-        fuzz::ProgramSpec spec = fuzz::makeSpec(gp);
-        fuzz::DiffResult r = fuzz::diffRun(fuzz::build(spec), s, dopts);
+    for (u64 i = 0; i < o.seeds; ++i) {
+        u64 s = o.seedBase + i;
+        const fuzz::ProgramSpec &spec = specs[i];
+        const fuzz::DiffResult &r = results[i];
         if (r.ok) {
             if (o.verbose)
                 std::printf("seed %llu: %s", (unsigned long long)s,
