@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -12,8 +13,11 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "power/power.hh"
+#include "sampling/simpoint.hh"
 #include "sim/controller.hh"
 #include "snapshot/io.hh"
+#include "timing/core.hh"
 
 namespace darco::campaign
 {
@@ -215,6 +219,18 @@ checkpointPath(const std::string &dir, const Job &job)
     return os.str();
 }
 
+std::string
+simpointCheckpointPath(const std::string &dir, const Job &job,
+                       u64 interval, u64 warmup, u32 interval_index)
+{
+    std::ostringstream os;
+    os << dir << '/' << sanitize(job.workload) << '-'
+       << sanitize(job.configName) << '-' << std::hex << jobKeyHash(job)
+       << std::dec << "-i" << interval << "-w" << warmup << "-sp"
+       << interval_index << ".ckpt";
+    return os.str();
+}
+
 // ---------------------------------------------------------------------
 // Job execution
 // ---------------------------------------------------------------------
@@ -222,9 +238,72 @@ checkpointPath(const std::string &dir, const Job &job)
 namespace
 {
 
+/**
+ * Write checkpoint bytes via a temp file + rename so a concurrent
+ * writer of the same key can never expose a torn image; only a
+ * fully-written checkpoint is renamed into place. @return true when
+ * stored.
+ */
+bool
+writeCheckpointBytes(const std::string &dir, const std::string &path,
+                     const std::string &image)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string tmp =
+        path + ".tmp." +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    bool written = false;
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (out) {
+            out << image;
+            out.flush();
+            written = out.good();
+        }
+    }
+    bool stored = false;
+    if (written) {
+        std::filesystem::rename(tmp, path, ec);
+        stored = !ec;
+    }
+    if (!stored)
+        std::filesystem::remove(tmp, ec);
+    return stored;
+}
+
+/** Serialize + tmp/rename-store a controller checkpoint. */
+bool
+storeCheckpointFile(const std::string &dir, const std::string &path,
+                    sim::Controller &ctl)
+{
+    std::ostringstream os;
+    ctl.saveCheckpoint(os);
+    return writeCheckpointBytes(dir, path, os.str());
+}
+
+/** Fill the timing/power result fields from a measured window. */
+void
+fillTimingResult(JobResult &r, const Job &job,
+                 const timing::InOrderCore &core,
+                 const StatGroup &tstats)
+{
+    r.cycles = double(core.cycles());
+    r.ipc = core.ipc();
+    power::PowerReport pr = power::PowerModel(job.config).analyze(tstats);
+    r.energyJ = pr.totalEnergyJ;
+    r.avgPowerW = pr.avgPowerW;
+}
+
+JobResult runSampledJob(const Job &job, const RunOptions &opts);
+
 JobResult
 runJob(const Job &job, const RunOptions &opts)
 {
+    if (opts.sampleMode == SampleMode::SimPoint)
+        return runSampledJob(job, opts);
+
     JobResult r;
     r.workload = job.workload;
     r.configName = job.configName;
@@ -266,33 +345,8 @@ runJob(const Job &job, const RunOptions &opts)
                 ctl.load(job.program);
                 ctl.run(job.skip);
                 done = job.skip;
-                // Write via a temp file + rename so a concurrent
-                // writer of the same key can never expose a torn
-                // checkpoint; only a fully-written image is renamed
-                // into place.
-                std::error_code ec;
-                std::filesystem::create_directories(
-                    opts.checkpointDir, ec);
-                std::string tmp =
-                    path + ".tmp." +
-                    std::to_string(
-                        std::hash<std::thread::id>{}(
-                            std::this_thread::get_id()));
-                bool written = false;
-                {
-                    std::ofstream out(tmp, std::ios::binary);
-                    if (out) {
-                        ctl.saveCheckpoint(out);
-                        out.flush();
-                        written = out.good();
-                    }
-                }
-                if (written) {
-                    std::filesystem::rename(tmp, path, ec);
-                    r.checkpointStored = !ec;
-                }
-                if (!r.checkpointStored)
-                    std::filesystem::remove(tmp, ec);
+                r.checkpointStored = storeCheckpointFile(
+                    opts.checkpointDir, path, ctl);
             }
         } else {
             ctl.load(job.program);
@@ -301,6 +355,19 @@ runJob(const Job &job, const RunOptions &opts)
                 done = job.skip;
             }
         }
+
+        // Detailed models over the measured region (post-prefix).
+        // Attaching after the prefix keeps results identical whether
+        // the prefix was simulated or restored from the cache.
+        std::unique_ptr<StatGroup> tstats;
+        std::unique_ptr<timing::InOrderCore> core;
+        if (opts.timing) {
+            tstats = std::make_unique<StatGroup>("timing");
+            core = std::make_unique<timing::InOrderCore>(job.config,
+                                                         *tstats);
+            ctl.tol().setTraceSink(core.get());
+        }
+        u64 measureFrom = ctl.tol().completedInsts();
 
         if (!ctl.finished()) {
             u64 remaining = job.maxInsts == ~0ull
@@ -317,8 +384,243 @@ runJob(const Job &job, const RunOptions &opts)
         r.exitCode = ctl.exitCode();
         r.insts = ctl.tol().completedInsts();
         r.bbs = ctl.tol().completedBBs();
+        if (core) {
+            fillTimingResult(r, job, *core, *tstats);
+            r.sampledInsts = ctl.tol().completedInsts() - measureFrom;
+        }
         for (const auto &[name, c] : ctl.stats().counters())
             r.stats[name] = c.value();
+    } catch (const std::exception &e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    r.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return r;
+}
+
+/**
+ * SimPoint-sampled execution of one job:
+ *
+ *  1. a functional BBV-profiling Controller run over the whole
+ *     budget (tol.bbv_interval = opts.sampleInterval) supplies the
+ *     job's functional results (insts, bbs, exit code, stats) and
+ *     the phase profile;
+ *  2. pickSimPoints clusters the profile (seeded, deterministic);
+ *  3. a measurement pass walks the simpoints in ascending order,
+ *     fast-forwarding functionally (or restoring a per-simpoint
+ *     checkpoint from `checkpointDir`), quiescing, then running the
+ *     detailed timing + power models over just that interval.
+ *
+ * The runtime always quiesces at a sample start — saveCheckpoint
+ * does so implicitly, and the no-checkpoint path does so explicitly —
+ * so the measured window is bit-identical whether the fast-forward
+ * was simulated or restored, keeping results independent of the
+ * checkpoint-cache state and of the worker count.
+ *
+ * Whole-program estimates are weight-combined per-instruction rates:
+ * est_cycles = total_insts * Σ w_i · CPI_i, and likewise for energy.
+ */
+JobResult
+runSampledJob(const Job &job, const RunOptions &opts)
+{
+    JobResult r;
+    r.workload = job.workload;
+    r.configName = job.configName;
+    r.sampleMode = "simpoint";
+    auto t0 = std::chrono::steady_clock::now();
+
+    try {
+        // Sampled mode picks its own measurement regions; a skip
+        // prefix would make its rows cover a different region than
+        // full-mode rows of the same matrix. Refuse rather than
+        // silently produce apples-to-oranges estimates.
+        if (job.skip != 0)
+            throw std::runtime_error(
+                "sampled (simpoint) mode does not support a skip "
+                "prefix: simpoints cover the whole run");
+
+        // --- 1: BBV profiling (functional) --------------------------
+        Config pcfg = job.config;
+        pcfg.set("tol.bbv_interval", s64(opts.sampleInterval));
+        sampling::BbvProfile profile;
+        {
+            sim::Controller prof(pcfg);
+            prof.load(job.program);
+            prof.run(job.maxInsts);
+            r.finished = prof.finished();
+            r.exitCode = prof.exitCode();
+            r.insts = prof.tol().completedInsts();
+            r.bbs = prof.tol().completedBBs();
+            for (const auto &[name, c] : prof.stats().counters())
+                r.stats[name] = c.value();
+            profile = sampling::harvestBbv(prof.tol().profiler());
+        }
+
+        // --- 2: phase selection -------------------------------------
+        sampling::SimPointOptions so;
+        so.interval = opts.sampleInterval;
+        so.maxK = opts.sampleMaxK;
+        so.seed = opts.sampleSeed;
+        sampling::SimPointResult sp = sampling::pickSimPoints(profile, so);
+        r.simpoints = u32(sp.points.size());
+
+        // --- 3: detailed measurement over each simpoint -------------
+        if (opts.timing && !sp.points.empty()) {
+            std::optional<sim::Controller> holder;
+            holder.emplace(job.config);
+            holder->load(job.program);
+
+            // Every sample is measured from checkpoint state at
+            // (start - warmup): the image either comes from the
+            // cache directory or is created by walking forward and
+            // immediately restored in place. Measuring a *walked*
+            // runtime instead would make the estimate depend on
+            // whether the fast-forward was simulated or restored
+            // (walked state carries warm chain/IBTC microstate that
+            // a restore rebuilds lazily — inside the warm-up).
+            //
+            // `lastImage` is the most recent checkpoint (its position
+            // is <= every later point's target): when consecutive
+            // sample windows overlap their successors' warm-up
+            // leads, the walk resumes from it instead of
+            // instruction 0.
+            std::string lastImage;
+
+            double wSum = 0, wCpi = 0, wHpi = 0, wEpi = 0;
+            for (const sampling::SimPoint &p : sp.points) {
+                u64 ffTarget = p.startInst > opts.sampleWarmup
+                                   ? p.startInst - opts.sampleWarmup
+                                   : 0;
+                bool restored = false;
+                std::string path;
+                if (!opts.checkpointDir.empty()) {
+                    path = simpointCheckpointPath(opts.checkpointDir,
+                                                  job,
+                                                  opts.sampleInterval,
+                                                  opts.sampleWarmup,
+                                                  p.intervalIndex);
+                    std::ifstream in(path, std::ios::binary);
+                    if (in) {
+                        std::ostringstream buf;
+                        buf << in.rdbuf();
+                        std::string image = buf.str();
+                        try {
+                            std::istringstream is(image);
+                            holder->restoreCheckpoint(is);
+                            restored = true;
+                            r.checkpointHit = true;
+                            lastImage = std::move(image);
+                        } catch (const snapshot::SnapshotError &) {
+                            // A torn cache entry is a miss: rebuild
+                            // from the nearest good state below (the
+                            // in-memory lastImage when one exists,
+                            // else a fresh load) and overwrite the
+                            // entry.
+                            holder.emplace(job.config);
+                            if (lastImage.empty()) {
+                                holder->load(job.program);
+                            } else {
+                                std::istringstream is(lastImage);
+                                holder->restoreCheckpoint(is);
+                            }
+                        }
+                    }
+                }
+                sim::Controller &ctl = *holder;
+                if (!restored) {
+                    if (ctl.loaded() &&
+                        ctl.tol().completedInsts() > ffTarget) {
+                        // Overlap with the previous sample window:
+                        // back up to the last checkpoint.
+                        if (lastImage.empty()) {
+                            holder.emplace(job.config);
+                            holder->load(job.program);
+                        } else {
+                            std::istringstream is(lastImage);
+                            holder->restoreCheckpoint(is);
+                        }
+                    }
+                    u64 done = ctl.tol().completedInsts();
+                    if (ffTarget > done && !ctl.finished())
+                        ctl.run(ffTarget - done);
+                    std::ostringstream os;
+                    ctl.saveCheckpoint(os);
+                    std::string image = os.str();
+                    if (!path.empty() &&
+                        writeCheckpointBytes(opts.checkpointDir, path,
+                                             image))
+                        r.checkpointStored = true;
+                    std::istringstream is(image);
+                    ctl.restoreCheckpoint(is);
+                    lastImage = std::move(image);
+                }
+
+                // Warm-up: detailed models attached, stats discarded
+                // through the delta snapshot below.
+                StatGroup tstats("timing");
+                timing::InOrderCore core(job.config, tstats);
+                ctl.tol().setTraceSink(&core);
+                u64 warmFrom = ctl.tol().completedInsts();
+                if (p.startInst > warmFrom && !ctl.finished())
+                    ctl.run(p.startInst - warmFrom);
+
+                u64 at = ctl.tol().completedInsts();
+                Cycle cyc0 = core.cycles();
+                u64 hin0 = core.instructions();
+                std::map<std::string, u64> snap;
+                for (const auto &[name, c] : tstats.counters())
+                    snap[name] = c.value();
+
+                u64 end = std::min(p.startInst + profile.interval,
+                                   profile.totalInsts);
+                if (end > at && !ctl.finished())
+                    ctl.run(end - at);
+                ctl.tol().setTraceSink(nullptr);
+
+                u64 measured = ctl.tol().completedInsts() - at;
+                r.sampledInsts +=
+                    ctl.tol().completedInsts() - warmFrom;
+                if (measured == 0)
+                    continue; // window swallowed by quiesce overshoot
+
+                // Per-window deltas: cold-start effects stay in the
+                // warm-up, the estimate sees only the window.
+                StatGroup delta("timing-delta");
+                for (const auto &[name, c] : tstats.counters()) {
+                    auto it = snap.find(name);
+                    u64 before = it == snap.end() ? 0 : it->second;
+                    delta.counter(name).set(c.value() - before);
+                }
+                double cycles = double(core.cycles() - cyc0);
+                double hostInsts = double(core.instructions() - hin0);
+                power::PowerReport pr =
+                    power::PowerModel(job.config).analyze(delta);
+                wSum += p.weight;
+                wCpi += p.weight * (cycles / double(measured));
+                wHpi += p.weight * (hostInsts / double(measured));
+                wEpi += p.weight *
+                        (pr.totalEnergyJ / double(measured));
+            }
+
+            if (wSum > 0) {
+                double total = double(profile.totalInsts);
+                r.cycles = wCpi / wSum * total;
+                // IPC as the ratio of estimated totals (host insts /
+                // cycles), matching the full-run definition.
+                double hostInsts = wHpi / wSum * total;
+                r.ipc = r.cycles > 0 ? hostInsts / r.cycles : 0.0;
+                r.energyJ = wEpi / wSum * total;
+                double freq =
+                    job.config.getFloat("power.freq_ghz", 2.0);
+                double seconds = r.cycles / (freq * 1e9);
+                r.avgPowerW = seconds > 0 ? r.energyJ / seconds : 0.0;
+            }
+        }
+
+        r.ok = true;
     } catch (const std::exception &e) {
         r.ok = false;
         r.error = e.what();
@@ -397,20 +699,51 @@ statOr0(const JobResult &r, const std::string &name)
     return it == r.stats.end() ? 0 : it->second;
 }
 
+/** Deterministic fixed-precision rendering for report doubles. */
+std::string
+fmtF(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+/** cycles,ipc,energy_j,avg_w — shared by the CSV and JSON writers. */
+std::string
+timingCells(const JobResult &r, char sep)
+{
+    std::ostringstream os;
+    os << fmtF(r.cycles, 0) << sep << fmtF(r.ipc, 4) << sep
+       << fmtF(r.energyJ * 1e6, 3) /* µJ resolution, J units */
+       << "e-06" << sep << fmtF(r.avgPowerW, 4);
+    return os.str();
+}
+
 } // namespace
+
+std::string
+CampaignResult::csvHeader()
+{
+    std::string h = "workload,config,ok,finished,exit_code,insts,bbs"
+                    ",cycles,ipc,energy_j,avg_w"
+                    ",sample_mode,simpoints,sampled_insts";
+    for (const std::string &s : reportStats)
+        h += ',' + s;
+    h += ",checkpoint,error";
+    return h;
+}
 
 std::string
 CampaignResult::csv() const
 {
     std::ostringstream os;
-    os << "workload,config,ok,finished,exit_code,insts,bbs";
-    for (const std::string &s : reportStats)
-        os << ',' << s;
-    os << ",checkpoint,error\n";
+    os << csvHeader() << '\n';
     for (const JobResult &r : results) {
         os << r.workload << ',' << r.configName << ',' << (r.ok ? 1 : 0)
            << ',' << (r.finished ? 1 : 0) << ',' << r.exitCode << ','
-           << r.insts << ',' << r.bbs;
+           << r.insts << ',' << r.bbs << ',' << timingCells(r, ',')
+           << ',' << r.sampleMode << ',' << r.simpoints << ','
+           << r.sampledInsts;
         for (const std::string &s : reportStats)
             os << ',' << statOr0(r, s);
         os << ','
@@ -438,6 +771,13 @@ CampaignResult::json() const
            << ", \"finished\": " << (r.finished ? "true" : "false")
            << ", \"exit_code\": " << r.exitCode
            << ", \"insts\": " << r.insts << ", \"bbs\": " << r.bbs
+           << ", \"cycles\": " << fmtF(r.cycles, 0)
+           << ", \"ipc\": " << fmtF(r.ipc, 4)
+           << ", \"energy_j\": " << fmtF(r.energyJ * 1e6, 3) << "e-06"
+           << ", \"avg_w\": " << fmtF(r.avgPowerW, 4)
+           << ", \"sample_mode\": \"" << r.sampleMode
+           << "\", \"simpoints\": " << r.simpoints
+           << ", \"sampled_insts\": " << r.sampledInsts
            << ", \"checkpoint\": \""
            << (r.checkpointHit ? "hit"
                                : r.checkpointStored ? "stored" : "-")

@@ -15,6 +15,36 @@
  * keyed by (workload, config, skip), and later invocations of the
  * same cell restore it instead of re-simulating the prefix.
  *
+ * Timing/power: every job attaches the detailed timing model
+ * (timing::InOrderCore) and the power model over its measured region
+ * (everything after the skip prefix), so reports carry cycles, IPC,
+ * energy and average power for all run modes. RunOptions::timing
+ * turns this off for functional-only campaigns.
+ *
+ * Sampled runs (SampleMode::SimPoint) replace the full detailed run
+ * with the SimPoint pipeline (src/sampling/simpoint.hh): a functional
+ * BBV-profiling pass, seeded k-means phase selection, then detailed
+ * timing/power only over each representative interval, fast-forwarded
+ * through per-simpoint checkpoints (created in `checkpointDir` on
+ * first use, restored afterwards). The reported cycles/energy are
+ * weight-combined whole-program estimates; results are byte-identical
+ * across worker counts and checkpoint-cache states.
+ *
+ * Report schema (the column order is stable and covered by a
+ * regression test; new columns are only ever appended *within* their
+ * group, never reordered):
+ *
+ *   CSV:  workload,config,ok,finished,exit_code,insts,bbs,
+ *         cycles,ipc,energy_j,avg_w,
+ *         sample_mode,simpoints,sampled_insts,
+ *         <stat columns: tol.guest_im,tol.guest_bbm,tol.guest_sbm,
+ *          tol.translations_bb,tol.translations_sb,cc.evictions,
+ *          cc.flushes,sync.syscalls>,
+ *         checkpoint,error
+ *
+ *   JSON: an array of objects with the same fields in the same order
+ *         ("stats" is a nested object over the stat columns).
+ *
  * The pool itself is generic (std::function tasks), so other drivers
  * — darco_fuzz --jobs N — reuse it for their own fan-out.
  */
@@ -69,6 +99,19 @@ struct Job
     u64 skip = 0;           //!< checkpointable fast-forward prefix
 };
 
+/**
+ * How a job's detailed (timing/power) measurement is obtained.
+ * SimPoint mode picks its own measurement regions over the whole
+ * run, so it rejects jobs with a skip prefix (the job fails with a
+ * clear error instead of silently measuring a different region than
+ * a full-mode row of the same matrix).
+ */
+enum class SampleMode
+{
+    Full,     //!< detailed models over the whole measured region
+    SimPoint, //!< BBV profile + k-means + per-simpoint measurement
+};
+
 /** Per-job outcome + stats snapshot. */
 struct JobResult
 {
@@ -83,6 +126,19 @@ struct JobResult
     bool checkpointHit = false;    //!< prefix restored from cache
     bool checkpointStored = false; //!< prefix saved to cache
     double wallMs = 0;             //!< per-job wall clock (not compared)
+
+    // Timing/power over the measured region. In sampled mode these
+    // are weight-combined whole-program *estimates*; in full mode,
+    // direct measurements. Zero when RunOptions::timing is off.
+    double cycles = 0;   //!< total (estimated) core cycles
+    double ipc = 0;      //!< host-instruction IPC
+    double energyJ = 0;  //!< total (estimated) energy, joules
+    double avgPowerW = 0;
+
+    std::string sampleMode = "full"; //!< "full" | "simpoint"
+    u32 simpoints = 0;     //!< representative intervals measured
+    u64 sampledInsts = 0;  //!< guest insts under the detailed models
+
     std::map<std::string, u64> stats; //!< full counter snapshot
 };
 
@@ -92,6 +148,26 @@ struct RunOptions
     unsigned jobs = 1;
     /** Directory for fast-forward checkpoints; empty disables. */
     std::string checkpointDir;
+    /** Attach the timing + power models (cycles/ipc/energy columns). */
+    bool timing = true;
+    /** Full detailed run vs SimPoint-sampled estimation. */
+    SampleMode sampleMode = SampleMode::Full;
+    /** SimPoint knobs (sampled mode only). */
+    u64 sampleInterval = 100'000; //!< BBV interval (guest insts)
+    u32 sampleMaxK = 16;          //!< k-means sweep upper bound
+    u64 sampleSeed = 42;          //!< clustering/projection seed
+    /**
+     * Detailed (timing-model) warm-up ahead of each measured window:
+     * the core model is attached `sampleWarmup` guest instructions
+     * before the sample start and the window is measured as counter
+     * deltas, so cold caches / predictor state land in the warm-up,
+     * not the estimate. The software-layer (translation) state needs
+     * no such warm-up — the functional fast-forward runs through the
+     * Tol, so translations are naturally warm (cf. the Section VI-E
+     * methodology in sampling/warmup.hh, which exists because
+     * *checkpoint-free* sampling lacks exactly this property).
+     */
+    u64 sampleWarmup = 25'000;
 };
 
 /** Whole-campaign outcome. */
@@ -106,6 +182,12 @@ struct CampaignResult
     std::string csv() const;
     /** results as a JSON array of objects. */
     std::string json() const;
+
+    /**
+     * The exact CSV header line (no trailing newline). Pinned by a
+     * regression test: treat any change as a report-schema break.
+     */
+    static std::string csvHeader();
 };
 
 /**
@@ -137,6 +219,16 @@ presetConfigs(const std::vector<std::string> &names,
 
 /** The checkpoint-cache file for one job (diagnostics, tests). */
 std::string checkpointPath(const std::string &dir, const Job &job);
+
+/**
+ * The per-simpoint checkpoint file for one job's sampled run
+ * (diagnostics, tests). Keyed like checkpointPath plus the sampling
+ * interval, the timing warm-up length (the saved position is
+ * start - warmup), and the simpoint's interval index.
+ */
+std::string simpointCheckpointPath(const std::string &dir,
+                                   const Job &job, u64 interval,
+                                   u64 warmup, u32 interval_index);
 
 } // namespace darco::campaign
 

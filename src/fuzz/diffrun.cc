@@ -198,6 +198,21 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
                                         out.sbmInsts) +
                          " != retired " + std::to_string(out.insts));
 
+            // BBV conservation: with profiling enabled, every retired
+            // instruction must be attributed to exactly one BB in
+            // exactly one interval (sampled simulation is built on
+            // this accounting being airtight).
+            const tol::Profiler &prof = ctl.tol().profiler();
+            if (prof.bbvEnabled()) {
+                out.bbvChecked = true;
+                out.bbvIntervals = prof.bbvIntervals().size();
+                std::string bbv =
+                    prof.checkBbvInvariants(out.insts);
+                if (!bbv.empty())
+                    fail(cell.name,
+                         "BBV conservation broken: " + bbv);
+            }
+
             // Memory image: every page the co-designed side touched
             // must match the authoritative image bit-exactly. The scan
             // is deliberately one-sided (paper Section V-D): emulated

@@ -17,7 +17,12 @@
  * output, and the stats invariants (retired instructions and dynamic
  * basic blocks equal across all configs; IM+BBM+SBM mode counts sum
  * to the retired-instruction count — so e.g. an eviction storm with
- * cc.evictions > 0 must still show zero divergence). Hangs are caught
+ * cc.evictions > 0 must still show zero divergence). When a cell runs
+ * with BBV profiling enabled (tol.bbv_interval in the overrides), the
+ * oracle additionally enforces the BBV conservation invariant: every
+ * closed profiling interval sums to exactly the interval length and
+ * the per-interval counts total the retired-instruction count
+ * (Profiler::checkBbvInvariants). Hangs are caught
  * with an instruction budget derived from the golden run; divergence
  * exceptions thrown by the Controller's own validation are captured
  * as failures, and an optional lockstep replay (sim/debug.hh)
@@ -60,6 +65,8 @@ struct RunOutcome
     u64 evictions = 0;
     u64 flushes = 0;
     u64 imInsts = 0, bbmInsts = 0, sbmInsts = 0;
+    u64 bbvIntervals = 0; //!< closed BBV intervals (when profiling)
+    bool bbvChecked = false; //!< conservation invariant was evaluated
     std::string osOutput;
 };
 

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * SimPoint-style sampled simulation (Sherwood et al., ASPLOS'02),
+ * built on DARCO's BBV profiler and checkpoint infrastructure.
+ *
+ * Detailed (timing + power) simulation of a full workload is the cost
+ * the paper's evaluation methodology fights; sampled simulation runs
+ * the detailed models only over a handful of *representative*
+ * intervals and weight-combines their measurements into a
+ * whole-program estimate. The pipeline:
+ *
+ *  1. BBV profiling — a functional run with tol.bbv_interval set
+ *     collects one basic-block vector per fixed-length instruction
+ *     interval (tol::Profiler attributes every retired instruction to
+ *     the entry of the retiring region, so interval sums are exact);
+ *  2. projection — each BBV is frequency-normalized, randomly
+ *     projected to a low dimension (deterministic ±1 projection keyed
+ *     by (seed, bb entry, dim), independent of discovery order), and
+ *     L2-normalized;
+ *  3. clustering — seeded k-means (k-means++ initialization off a
+ *     fixed Rng stream, deterministic tie-breaking) swept over
+ *     k = 1..maxK and scored with the BIC; the smallest k within
+ *     bicTheta of the best score wins;
+ *  4. selection — per cluster, the interval closest to the centroid
+ *     becomes a simpoint, weighted by the cluster's *instruction*
+ *     share of the program (not interval count), so the final
+ *     partial interval contributes exactly its true fraction;
+ *  5. checkpointing — one Controller pass saves a checkpoint at each
+ *     simpoint's start (Controller::saveCheckpoint), so later
+ *     detailed runs fast-forward by restoring instead of simulating.
+ *
+ * Every stage is deterministic for a fixed seed: repeated runs, runs
+ * after a profiler snapshot round-trip, and runs on different worker
+ * counts all produce identical simpoints.
+ */
+
+#ifndef DARCO_SAMPLING_SIMPOINT_HH
+#define DARCO_SAMPLING_SIMPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "guest/program.hh"
+#include "tol/profiler.hh"
+
+namespace darco::sampling
+{
+
+/** A workload's interval-granular BBV profile. */
+struct BbvProfile
+{
+    u64 interval = 0;   //!< guest instructions per interval
+    u64 totalInsts = 0; //!< retired instructions covered
+    /** Closed intervals plus the final partial one (if non-empty). */
+    std::vector<tol::Profiler::BbvInterval> intervals;
+
+    std::size_t numIntervals() const { return intervals.size(); }
+};
+
+/**
+ * Read the collected profile out of a BBV-enabled Profiler
+ * (tol.bbv_interval must have been set on that run's config).
+ * Appends the open partial interval when non-empty.
+ */
+BbvProfile harvestBbv(const tol::Profiler &prof);
+
+/**
+ * Profile `prog` functionally: full run (standalone Tol, no timing)
+ * with BBV collection at `interval`, up to `max_insts`.
+ */
+BbvProfile collectBbvProfile(const guest::Program &prog,
+                             const Config &cfg, u64 interval,
+                             u64 max_insts = ~0ull);
+
+/** Clustering/selection knobs. */
+struct SimPointOptions
+{
+    u64 interval = 100'000; //!< BBV interval length (guest insts)
+    u32 maxK = 16;          //!< k-sweep upper bound
+    u32 projDim = 16;       //!< random-projection dimensionality
+    u32 kmeansIters = 64;   //!< Lloyd iteration cap
+    u64 seed = 42;          //!< Rng stream for init; projection key
+    /**
+     * k selection: smallest k whose BIC reaches
+     * bicMin + bicTheta * (bicMax - bicMin) over the sweep (the
+     * SimPoint "90% of best BIC" rule, rescaled so it is robust to
+     * negative scores).
+     */
+    double bicTheta = 0.9;
+};
+
+/** One representative interval. */
+struct SimPoint
+{
+    u32 intervalIndex = 0; //!< which profiling interval
+    u32 cluster = 0;
+    double weight = 0;     //!< cluster instruction share, sums to 1
+    u64 startInst = 0;     //!< intervalIndex * interval
+};
+
+/** Result of clustering + selection. */
+struct SimPointResult
+{
+    std::vector<SimPoint> points; //!< sorted by intervalIndex
+    u32 k = 0;                    //!< chosen cluster count
+    double bic = 0;               //!< score of the chosen k
+    std::vector<std::pair<u32, double>> bicSweep; //!< (k, BIC) tried
+    std::vector<u32> assignment;  //!< per-interval cluster id
+    u64 interval = 0;
+    u64 totalInsts = 0;
+};
+
+/**
+ * Project every interval's BBV: frequency-normalize, apply the
+ * deterministic ±1 random projection keyed by `seed`, L2-normalize.
+ */
+std::vector<std::vector<double>> projectBbvs(const BbvProfile &profile,
+                                             u32 dim, u64 seed);
+
+/** Plain k-means (k-means++ init off `rng`, deterministic ties). */
+struct KMeans
+{
+    std::vector<u32> assignment;
+    std::vector<std::vector<double>> centroids;
+    double sse = 0;
+};
+KMeans kmeans(const std::vector<std::vector<double>> &points, u32 k,
+              Rng &rng, u32 iters);
+
+/** BIC of a clustering (spherical-Gaussian likelihood, X-means). */
+double bicScore(const KMeans &km,
+                const std::vector<std::vector<double>> &points);
+
+/** The full pipeline stages 2-4 over a collected profile. */
+SimPointResult pickSimPoints(const BbvProfile &profile,
+                             const SimPointOptions &opts);
+
+/** One emitted simpoint checkpoint. */
+struct SimPointCheckpoint
+{
+    u32 intervalIndex = 0;
+    double weight = 0;
+    u64 startInst = 0;  //!< nominal sample start
+    u64 actualInst = 0; //!< saved position (quiesce may overshoot)
+    std::string image;  //!< serialized Controller checkpoint
+};
+
+/**
+ * Stage 5: one Controller pass over `prog` under `cfg`, saving a
+ * checkpoint at every simpoint start (ascending). The saved position
+ * can overshoot startInst by up to one region's remainder
+ * (Tol::quiesce); consumers measure from actualInst and shorten the
+ * window accordingly.
+ */
+std::vector<SimPointCheckpoint>
+emitCheckpoints(const guest::Program &prog, const Config &cfg,
+                const SimPointResult &sp);
+
+} // namespace darco::sampling
+
+#endif // DARCO_SAMPLING_SIMPOINT_HH

@@ -48,8 +48,12 @@ class SnapshotError : public std::runtime_error
 
 /** "DRC0" little-endian. */
 constexpr u32 snapshotMagic = 0x30435244u;
-/** Bump on any incompatible change to a section payload. */
-constexpr u32 snapshotVersion = 1;
+/**
+ * Bump on any incompatible change to a section payload.
+ * v2: Profiler BBV collection state + superblock construction
+ *     recipes in the `tol` section (SimPoint sampled simulation).
+ */
+constexpr u32 snapshotVersion = 2;
 
 /**
  * Checkpoint writer. Writes the header on construction; sections are

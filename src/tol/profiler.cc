@@ -1,12 +1,110 @@
 #include "tol/profiler.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
+#include "common/logging.hh"
 #include "snapshot/io.hh"
 
 namespace darco::tol
 {
+
+// ---------------------------------------------------------------------
+// BBV collection
+// ---------------------------------------------------------------------
+
+void
+Profiler::enableBbv(u64 interval_insts)
+{
+    darco_assert(interval_insts > 0, "BBV interval must be positive");
+    bbvInterval_ = interval_insts;
+}
+
+void
+Profiler::closeBbvInterval()
+{
+    BbvInterval iv;
+    iv.counts.assign(bbvCur_.begin(), bbvCur_.end());
+    std::sort(iv.counts.begin(), iv.counts.end());
+    iv.insts = bbvCurInsts_;
+    iv.overhead = bbvCurOverhead_;
+    bbvClosed_.push_back(std::move(iv));
+    bbvCur_.clear();
+    bbvCurInsts_ = 0;
+    bbvCurOverhead_ = 0;
+}
+
+void
+Profiler::recordBbvRetire(GAddr bb_entry, u64 insts)
+{
+    bbvTotal_ += insts;
+    while (insts > 0) {
+        u64 room = bbvInterval_ - bbvCurInsts_;
+        u64 take = std::min(insts, room);
+        bbvCur_[bb_entry] += take;
+        bbvCurInsts_ += take;
+        insts -= take;
+        if (bbvCurInsts_ == bbvInterval_)
+            closeBbvInterval();
+    }
+}
+
+void
+Profiler::recordBbvOverhead(u64 units)
+{
+    bbvCurOverhead_ += units;
+}
+
+Profiler::BbvInterval
+Profiler::bbvPartial() const
+{
+    BbvInterval iv;
+    iv.counts.assign(bbvCur_.begin(), bbvCur_.end());
+    std::sort(iv.counts.begin(), iv.counts.end());
+    iv.insts = bbvCurInsts_;
+    iv.overhead = bbvCurOverhead_;
+    return iv;
+}
+
+std::string
+Profiler::checkBbvInvariants(u64 retired_insts) const
+{
+    std::ostringstream os;
+    u64 sum = 0;
+    for (std::size_t i = 0; i < bbvClosed_.size(); ++i) {
+        const BbvInterval &iv = bbvClosed_[i];
+        u64 s = 0;
+        for (const auto &[_, n] : iv.counts)
+            s += n;
+        if (s != iv.insts || s != bbvInterval_) {
+            os << "interval " << i << " sums to " << s << " (recorded "
+               << iv.insts << ", interval length " << bbvInterval_
+               << ")";
+            return os.str();
+        }
+        sum += s;
+    }
+    u64 partial = 0;
+    for (const auto &[_, n] : bbvCur_)
+        partial += n;
+    if (partial != bbvCurInsts_) {
+        os << "partial interval sums to " << partial << " (recorded "
+           << bbvCurInsts_ << ")";
+        return os.str();
+    }
+    sum += partial;
+    if (sum != bbvTotal_ || sum != retired_insts) {
+        os << "BBV total " << sum << " (running total " << bbvTotal_
+           << ") != retired instructions " << retired_insts;
+        return os.str();
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
 
 void
 Profiler::save(snapshot::Serializer &s) const
@@ -36,6 +134,29 @@ Profiler::save(snapshot::Serializer &s) const
         s.w32(emu_.readLocal32(sl.fall));
     }
     s.w32(next_);
+
+    // BBV collection state. The open partial interval is serialized
+    // sorted so the byte stream stays deterministic.
+    s.w64(bbvInterval_);
+    s.w64(bbvTotal_);
+    s.w64(bbvClosed_.size());
+    for (const BbvInterval &iv : bbvClosed_) {
+        s.w64(iv.insts);
+        s.w64(iv.overhead);
+        s.w64(iv.counts.size());
+        for (const auto &[entry, n] : iv.counts) {
+            s.w32(entry);
+            s.w64(n);
+        }
+    }
+    BbvInterval part = bbvPartial();
+    s.w64(part.insts);
+    s.w64(part.overhead);
+    s.w64(part.counts.size());
+    for (const auto &[entry, n] : part.counts) {
+        s.w32(entry);
+        s.w64(n);
+    }
 }
 
 void
@@ -65,6 +186,31 @@ Profiler::restore(snapshot::Deserializer &d)
         slotMap_.emplace(entry, sl);
     }
     next_ = d.r32();
+
+    bbvInterval_ = d.r64();
+    bbvTotal_ = d.r64();
+    bbvClosed_.clear();
+    u64 nclosed = d.r64();
+    for (u64 i = 0; i < nclosed; ++i) {
+        BbvInterval iv;
+        iv.insts = d.r64();
+        iv.overhead = d.r64();
+        u64 ncounts = d.r64();
+        iv.counts.reserve(ncounts);
+        for (u64 k = 0; k < ncounts; ++k) {
+            GAddr entry = d.r32();
+            iv.counts.emplace_back(entry, d.r64());
+        }
+        bbvClosed_.push_back(std::move(iv));
+    }
+    bbvCur_.clear();
+    bbvCurInsts_ = d.r64();
+    bbvCurOverhead_ = d.r64();
+    u64 npart = d.r64();
+    for (u64 k = 0; k < npart; ++k) {
+        GAddr entry = d.r32();
+        bbvCur_[entry] = d.r64();
+    }
 }
 
 Profiler::Profiler(host::HostEmu &emu, u32 base)

@@ -64,6 +64,10 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     sched_ = cfg.getBool("tol.sched", true);
     opt_ = cfg.getBool("tol.opt", true);
     hostChunk_ = cfg.getUint("tol.host_chunk", 1u << 20);
+    u64 bbv_interval = cfg.getUint("tol.bbv_interval", 0);
+    bbvOn_ = bbv_interval != 0;
+    if (bbvOn_)
+        profiler_.enableBbv(bbv_interval);
     // Hidden fault-injection hook for the differential fuzzer's
     // self-test (see CodegenOptions::flipCondExits).
     flipCondExits_ = cfg.getBool("debug.flip_cond_exits", false);
@@ -208,6 +212,7 @@ Tol::onRetire(u32 exit_id, u64 host_insts)
         registry_.touch(d.chainedTo);
         cChainTouches_->inc();
     }
+    recordBbv(t.entry, d.instsRetired);
     completedInsts_ += d.instsRetired;
     completedBBs_ += d.bbsRetired;
     if (t.mode == RegionMode::BB) {
@@ -241,6 +246,9 @@ void
 Tol::handleSyscall()
 {
     stats_.counter("tol.syscalls").inc();
+    // The syscall instruction is its own dynamic BB; attribute it
+    // before the environment rewrites state_.pc.
+    recordBbv(state_.pc, 1);
     bool cont;
     if (env_) {
         cont = env_->syscall(completedInsts_);
@@ -280,7 +288,10 @@ Tol::interpretStep()
         }
     }
 
-    // Interpret one dynamic basic block.
+    // Interpret one dynamic basic block. Everything retired before
+    // the exit point is attributed to `entry` in the BBV (the syscall
+    // path attributes its own instruction in handleSyscall).
+    u64 bbvBefore = completedInsts_;
     for (;;) {
         GInst gi = fetchGuest(state_.pc);
         ExecOut out;
@@ -310,24 +321,30 @@ Tol::interpretStep()
             if (gi.isCti()) {
                 ++completedBBs_;
                 cBbIm_->inc();
+                recordBbv(entry, completedInsts_ - bbvBefore);
                 return;
             }
             // Hand over early if translated code exists for the next
             // instruction (e.g. the tail after a REP boundary).
             if (registry_.lookup(state_.pc) !=
-                TranslationRegistry::npos)
+                TranslationRegistry::npos) {
+                recordBbv(entry, completedInsts_ - bbvBefore);
                 return;
+            }
             break;
 
           case ExecStatus::Syscall:
+            recordBbv(entry, completedInsts_ - bbvBefore);
             handleSyscall();
             return;
 
           case ExecStatus::Halt:
+            recordBbv(entry, completedInsts_ - bbvBefore);
             finished_ = true;
             return;
 
           case ExecStatus::Fault:
+            recordBbv(entry, completedInsts_ - bbvBefore);
             throw GuestFault{state_.pc, out.faultMsg};
 
           default:
@@ -360,6 +377,12 @@ u32
 Tol::install(Region &region, RegionMode mode, bool profile,
              GAddr prof_bb, u32 pinned_tid)
 {
+    // BBV overhead dimension: everything this installation charges
+    // (optimization passes, codegen, evictions) is software-layer
+    // activity of the open profiling interval. Suppressed during
+    // checkpoint-restore replay, whose charges are overwritten by the
+    // restored cost/stats sections anyway.
+    u64 bbvCost0 = bbvOn_ && !inRestore_ ? cost_.totalAll() : 0;
     u64 pass_work = 0;
     if (opt_) {
         if (mode == RegionMode::BB) {
@@ -468,6 +491,8 @@ Tol::install(Region &region, RegionMode mode, bool profile,
             cost_.chargeSBTranslation(guest_insts, pass_work, need);
             stats_.counter("tol.translations_sb").inc();
         }
+        if (bbvOn_ && !inRestore_)
+            profiler_.recordBbvOverhead(cost_.totalAll() - bbvCost0);
         return tid;
     }
     panic("unreachable");
@@ -522,11 +547,13 @@ Tol::translateBB(BBInfo &bb)
 std::vector<PathElem>
 Tol::collectSBPath(GAddr start, bool use_asserts,
                    std::optional<TripCheck> &trip,
-                   std::optional<Frontend::EndSpec> &end)
+                   std::optional<Frontend::EndSpec> &end,
+                   std::vector<std::pair<GAddr, u8>> &steps)
 {
     std::vector<PathElem> path;
     trip.reset();
     end.reset();
+    steps.clear();
 
     // Single-BB counted-loop unrolling: "dec r; jccne back-to-entry".
     BBInfo &first = getBB(start);
@@ -554,6 +581,7 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
                     back.disp = u + 1 < unrollFactor_
                                     ? BranchDisp::ElideTaken
                                     : BranchDisp::Final;
+                    steps.emplace_back(start, u8(back.disp));
                     path.push_back(back);
                 }
                 stats_.counter("tol.unrolled_loops").inc();
@@ -578,6 +606,7 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
             for (const PathElem &e : bb.elems)
                 path.push_back(e);
             end = Frontend::EndSpec{tol::ExitKind::Interp, bb.endPc};
+            steps.emplace_back(cur, stepWholeBB);
             return path;
         }
 
@@ -595,6 +624,7 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
             GAddr target = li.target(last.pc);
             if (bbCache_.count(target)) {
                 last.disp = BranchDisp::ElideTaken;
+                steps.emplace_back(cur, u8(last.disp));
                 path.push_back(last);
                 cur = target;
                 continue;
@@ -622,6 +652,7 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
                                         ? BranchDisp::ExitNotTaken
                                         : BranchDisp::ExitTaken;
                     }
+                    steps.emplace_back(cur, u8(last.disp));
                     path.push_back(last);
                     cur = next;
                     continue;
@@ -631,6 +662,7 @@ Tol::collectSBPath(GAddr start, bool use_asserts,
 
         // Terminate the superblock with this CTI.
         last.disp = BranchDisp::Final;
+        steps.emplace_back(cur, u8(last.disp));
         path.push_back(last);
         return path;
     }
@@ -644,11 +676,78 @@ Tol::buildSuperblock(GAddr entry)
     SBFlags flags = sbFlags_[entry];
     std::optional<TripCheck> trip;
     std::optional<Frontend::EndSpec> end;
+    std::vector<std::pair<GAddr, u8>> steps;
     std::vector<PathElem> path = collectSBPath(
-        entry, useAsserts_ && !flags.noAsserts, trip, end);
+        entry, useAsserts_ && !flags.noAsserts, trip, end, steps);
     if (path.empty())
         return;
 
+    // Record the recipe so checkpoint restore can rebuild this exact
+    // region (recreations overwrite it with their new shape).
+    SBRecipe rc;
+    rc.hasTrip = trip.has_value();
+    if (trip) {
+        rc.tripReg = trip->reg;
+        rc.tripFactor = trip->factor;
+    }
+    rc.hasEnd = end.has_value();
+    if (end) {
+        rc.endKind = u8(end->kind);
+        rc.endTarget = end->target;
+    }
+    rc.steps = std::move(steps);
+    sbRecipes_[entry] = std::move(rc);
+
+    installSuperblock(entry, path, trip, end);
+}
+
+void
+Tol::replaySuperblock(GAddr entry)
+{
+    if (!sbmEnabled_)
+        return;
+    auto it = sbRecipes_.find(entry);
+    if (it == sbRecipes_.end()) {
+        // Defensive: every saved SB should carry a recipe (snapshot
+        // v2+); fall back to a fresh build from restored counters.
+        buildSuperblock(entry);
+        return;
+    }
+    const SBRecipe &rc = it->second;
+    std::optional<TripCheck> trip;
+    if (rc.hasTrip)
+        trip = TripCheck{rc.tripReg, rc.tripFactor};
+    std::optional<Frontend::EndSpec> end;
+    if (rc.hasEnd)
+        end = Frontend::EndSpec{tol::ExitKind(rc.endKind),
+                                rc.endTarget};
+
+    std::vector<PathElem> path;
+    for (const auto &[bbe, code] : rc.steps) {
+        BBInfo &bb = getBB(bbe);
+        if (code == stepWholeBB) {
+            for (const PathElem &e : bb.elems)
+                path.push_back(e);
+        } else {
+            darco_assert(!bb.elems.empty() && bb.endsWithCti,
+                         "SB recipe step does not match decoded BB");
+            for (std::size_t k = 0; k + 1 < bb.elems.size(); ++k)
+                path.push_back(bb.elems[k]);
+            PathElem last = bb.elems.back();
+            last.disp = BranchDisp(code);
+            path.push_back(last);
+        }
+    }
+    if (path.empty())
+        return;
+    installSuperblock(entry, path, trip, end);
+}
+
+void
+Tol::installSuperblock(GAddr entry, std::vector<PathElem> &path,
+                       const std::optional<TripCheck> &trip,
+                       const std::optional<Frontend::EndSpec> &end)
+{
     Region region =
         frontend_.build(entry, RegionMode::SB, path, trip, end);
 
@@ -961,6 +1060,33 @@ Tol::save(snapshot::Serializer &s) const
         s.wbool(f.noSpec);
     }
 
+    // Superblock recipes: restore rebuilds each SB from its recorded
+    // path instead of re-deriving it from (end-state) edge counters,
+    // keeping restored translations structurally identical.
+    std::vector<std::pair<GAddr, const SBRecipe *>> recipes;
+    recipes.reserve(sbRecipes_.size());
+    for (const auto &[entry, rc] : sbRecipes_)
+        recipes.emplace_back(entry, &rc);
+    std::sort(recipes.begin(), recipes.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    s.w64(recipes.size());
+    for (const auto &[entry, rc] : recipes) {
+        s.w32(entry);
+        s.wbool(rc->hasTrip);
+        s.w8(rc->tripReg);
+        s.w32(rc->tripFactor);
+        s.wbool(rc->hasEnd);
+        s.w8(rc->endKind);
+        s.w32(rc->endTarget);
+        s.w64(rc->steps.size());
+        for (const auto &[bbe, code] : rc->steps) {
+            s.w32(bbe);
+            s.w8(code);
+        }
+    }
+
     // Live translations in installation (tid) order: enough metadata
     // to retranslate each region from the restored memory image.
     std::vector<u32> live;
@@ -984,6 +1110,16 @@ Tol::save(snapshot::Serializer &s) const
 void
 Tol::restore(snapshot::Deserializer &d)
 {
+    // Exception-safe: a SnapshotError mid-restore must not leave the
+    // replay suppression stuck on (it would silently disable BBV
+    // overhead recording for the rest of the runtime's life).
+    struct RestoreGuard
+    {
+        bool &flag;
+        explicit RestoreGuard(bool &f) : flag(f) { flag = true; }
+        ~RestoreGuard() { flag = false; }
+    } guard(inRestore_);
+
     completedInsts_ = d.r64();
     completedBBs_ = d.r64();
     finished_ = d.rbool();
@@ -1007,6 +1143,25 @@ Tol::restore(snapshot::Deserializer &d)
         sbFlags_[entry] = f;
     }
 
+    u64 nrecipes = d.r64();
+    for (u64 i = 0; i < nrecipes; ++i) {
+        GAddr entry = d.r32();
+        SBRecipe rc;
+        rc.hasTrip = d.rbool();
+        rc.tripReg = d.r8();
+        rc.tripFactor = d.r32();
+        rc.hasEnd = d.rbool();
+        rc.endKind = d.r8();
+        rc.endTarget = d.r32();
+        u64 nsteps = d.r64();
+        rc.steps.reserve(nsteps);
+        for (u64 k = 0; k < nsteps; ++k) {
+            GAddr bbe = d.r32();
+            rc.steps.emplace_back(bbe, d.r8());
+        }
+        sbRecipes_[entry] = std::move(rc);
+    }
+
     // Re-materialize host code: replay installation in tid order.
     // The BB/SB builders run against the restored memory image and
     // profile counters, so regenerated code is deterministic; the
@@ -1025,7 +1180,7 @@ Tol::restore(snapshot::Deserializer &d)
                 registry_.lookup(entry) == TranslationRegistry::npos)
                 translateBB(bb);
         } else {
-            buildSuperblock(entry);
+            replaySuperblock(entry);
             u32 tid = registry_.lookup(entry);
             if (tid != TranslationRegistry::npos &&
                 registry_.get(tid).mode == RegionMode::SB) {

@@ -92,6 +92,8 @@ struct BBInfo
  *   tol.sched (true)
  *   tol.opt (true)
  *   tol.fuse_flags (true)
+ *   tol.bbv_interval (0)       BBV profiling interval in guest insts
+ *                              (0 disables; see Profiler BBV hooks)
  *   cc.capacity_words (1<<22)
  *   cc.policy ("evict")        full cache: "evict" cold regions one
  *                              at a time, or "flush" everything
@@ -196,18 +198,57 @@ class Tol : public host::RetireSink
     BBInfo &getBB(GAddr entry);
 
     // --- execution ---------------------------------------------------------
+    /** BBV attribution of `insts` retired insts to region `entry`. */
+    void
+    recordBbv(GAddr entry, u64 insts)
+    {
+        if (bbvOn_ && insts)
+            profiler_.recordBbvRetire(entry, insts);
+    }
     void interpretStep();
     void executeTranslation(u32 tid, u32 host_pc, bool resuming);
     void handleSyscall();
     void servicePageMiss(GAddr page);
 
     // --- translation -----------------------------------------------------
+    /**
+     * Construction recipe of a superblock: the exact BB sequence and
+     * branch dispositions it was built from. Checkpoint restore
+     * replays from the recipe so the rebuilt region is structurally
+     * identical to the saved one — re-deriving the path from profile
+     * counters would use their *end-state* values and pick different
+     * speculation/unrolling decisions than the original
+     * promotion-time build, changing the restored run's host
+     * instruction stream (and thus its timing) persistently.
+     */
+    struct SBRecipe
+    {
+        bool hasTrip = false;
+        u8 tripReg = 0;
+        u32 tripFactor = 0;
+        bool hasEnd = false;
+        u8 endKind = 0;
+        GAddr endTarget = 0;
+        /** (BB entry, terminator BranchDisp; stepWholeBB = all of the
+         *  BB's instructions, region then ends via the end spec). */
+        std::vector<std::pair<GAddr, u8>> steps;
+    };
+    static constexpr u8 stepWholeBB = 0xff;
+
     void translateBB(BBInfo &bb);
     void buildSuperblock(GAddr entry);
+    /** Rebuild an SB from its recipe (checkpoint-restore replay). */
+    void replaySuperblock(GAddr entry);
+    /** Shared tail: frontend build + invalidate/retain + install. */
+    void installSuperblock(GAddr entry, std::vector<PathElem> &path,
+                           const std::optional<TripCheck> &trip,
+                           const std::optional<Frontend::EndSpec> &end);
     std::vector<PathElem> collectSBPath(GAddr start, bool use_asserts,
                                         std::optional<TripCheck> &trip,
                                         std::optional<Frontend::EndSpec>
-                                            &end);
+                                            &end,
+                                        std::vector<std::pair<GAddr, u8>>
+                                            &steps);
     u32 install(Region &region, RegionMode mode, bool profile,
                 GAddr prof_bb,
                 u32 pinned_tid = TranslationRegistry::npos);
@@ -235,6 +276,7 @@ class Tol : public host::RetireSink
     bool finished_ = false;
     bool forceInterp_ = false;
     bool initCharged_ = false;
+    bool inRestore_ = false; //!< suppress BBV hooks during replay
 
     // Resume state for guest-budget pauses inside a region.
     bool inRegionResume_ = false;
@@ -254,6 +296,7 @@ class Tol : public host::RetireSink
         u32 residualBb = ~0u; //!< retained BB for unrolled residuals
     };
     std::unordered_map<GAddr, SBFlags> sbFlags_;
+    std::unordered_map<GAddr, SBRecipe> sbRecipes_;
 
     std::unordered_map<u64, u32> fpPoolMap_;
 
@@ -273,6 +316,7 @@ class Tol : public host::RetireSink
     u32 unrollFactor_;
     bool useAsserts_;
     bool bbmEnabled_, sbmEnabled_, chaining_, specMem_, sched_, opt_;
+    bool bbvOn_; //!< tol.bbv_interval != 0
     bool flipCondExits_; //!< hidden fault injection (fuzzer self-test)
     bool ccEvict_; //!< cc.policy == "evict"
     u64 hostChunk_;

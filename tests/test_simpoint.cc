@@ -1,0 +1,534 @@
+/**
+ * @file
+ * SimPoint sampled-simulation tests.
+ *
+ * - BBV conservation: per-interval instruction counts sum exactly to
+ *   the retired-instruction count, on synth workloads and (as a
+ *   fuzz-labeled shard, see CMakeLists.txt) across random programs
+ *   through the differential oracle;
+ * - seeded determinism: identical clusters/representatives across
+ *   repeated k-means runs and after a checkpoint round-trip of the
+ *   profiler state;
+ * - the accuracy harness: on >= 3 synth workloads, sampled
+ *   cycles/energy estimates must land within SIMPOINT_ERROR_BOUND of
+ *   the full detailed run (the bound documented in DESIGN.md);
+ * - campaign determinism: sampled jobs=N byte-identical to jobs=1,
+ *   and independent of the checkpoint-cache state;
+ * - report schema: the CSV/JSON column order is pinned, and the
+ *   timing/power columns are populated for the interp/fullopt
+ *   presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "fuzz/diffrun.hh"
+#include "fuzz/generator.hh"
+#include "sampling/simpoint.hh"
+#include "sim/controller.hh"
+#include "workloads/suite.hh"
+#include "workloads/synth.hh"
+
+using namespace darco;
+
+namespace
+{
+
+/**
+ * The documented relative-error bound of sampled estimates vs the
+ * full detailed run (DESIGN.md "Error-bound methodology"). Observed
+ * worst case on the suite is ~10% (433.milc energy); 15% leaves
+ * headroom without hiding regressions of the kind the harness is
+ * meant to catch (cold-start bias, misweighted clusters, overshoot
+ * accounting), which show up as tens of percent.
+ */
+constexpr double SIMPOINT_ERROR_BOUND = 0.15;
+
+/** A small phase-rich workload (IM warm-up, loops, cold diamonds). */
+guest::Program
+phasedWorkload(const std::string &name, u64 seed, u32 outer = 300)
+{
+    workloads::WorkloadParams p;
+    p.name = name;
+    p.seed = seed;
+    p.numBlocks = 32;
+    p.outerIters = outer;
+    p.fpFrac = seed % 2 ? 0.25 : 0.0;
+    p.loopFrac = 0.10;
+    return workloads::synthesize(p);
+}
+
+campaign::RunOptions
+sampledOpts(u64 interval, unsigned jobs = 1)
+{
+    campaign::RunOptions o;
+    o.jobs = jobs;
+    o.sampleMode = campaign::SampleMode::SimPoint;
+    o.sampleInterval = interval;
+    return o;
+}
+
+/** Relative error |a-b| / |b|. */
+double
+relErr(double a, double b)
+{
+    return b != 0 ? std::fabs(a - b) / std::fabs(b) : std::fabs(a);
+}
+
+/** A synthetic three-phase BBV profile (no simulation needed). */
+sampling::BbvProfile
+syntheticProfile()
+{
+    sampling::BbvProfile p;
+    p.interval = 1000;
+    // Phases: BBs {0x100,0x140} / {0x200,0x240} / {0x300}; 8
+    // intervals each, plus a short partial tail.
+    auto mk = [&](GAddr a, GAddr b, u64 insts) {
+        tol::Profiler::BbvInterval iv;
+        iv.counts.emplace_back(a, insts / 2);
+        iv.counts.emplace_back(b, insts - insts / 2);
+        iv.insts = insts;
+        return iv;
+    };
+    for (int i = 0; i < 8; ++i)
+        p.intervals.push_back(mk(0x100, 0x140, 1000));
+    for (int i = 0; i < 8; ++i)
+        p.intervals.push_back(mk(0x200, 0x240, 1000));
+    for (int i = 0; i < 8; ++i)
+        p.intervals.push_back(mk(0x300, 0x300, 1000));
+    p.intervals.push_back(mk(0x300, 0x300, 400));
+    p.totalInsts = 24 * 1000 + 400;
+    return p;
+}
+
+void
+expectSameSimPoints(const sampling::SimPointResult &a,
+                    const sampling::SimPointResult &b)
+{
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.assignment, b.assignment);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].intervalIndex, b.points[i].intervalIndex);
+        EXPECT_EQ(a.points[i].cluster, b.points[i].cluster);
+        EXPECT_DOUBLE_EQ(a.points[i].weight, b.points[i].weight);
+        EXPECT_EQ(a.points[i].startInst, b.points[i].startInst);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// BBV conservation
+// ---------------------------------------------------------------------
+
+TEST(Bbv, ConservationOnSynthWorkloads)
+{
+    for (u64 seed : {3ull, 4ull}) {
+        Config cfg;
+        cfg.parseLine("tol.bbv_interval=8192");
+        cfg.parseLine("tol.bb_threshold=4");
+        cfg.parseLine("tol.sb_threshold=12");
+        cfg.parseLine("tol.min_edge_total=8");
+        sim::Controller ctl(cfg);
+        ctl.load(phasedWorkload("bbv-cons", seed));
+        ctl.run();
+        ASSERT_TRUE(ctl.finished());
+
+        const tol::Profiler &prof = ctl.tol().profiler();
+        ASSERT_TRUE(prof.bbvEnabled());
+        EXPECT_GT(prof.bbvIntervals().size(), 4u);
+        EXPECT_EQ(prof.checkBbvInvariants(
+                      ctl.tol().completedInsts()),
+                  "");
+    }
+}
+
+TEST(Bbv, DisabledByDefaultCostsNothing)
+{
+    sim::Controller ctl{Config()};
+    ctl.load(phasedWorkload("bbv-off", 5, 60));
+    ctl.run();
+    EXPECT_FALSE(ctl.tol().profiler().bbvEnabled());
+    EXPECT_TRUE(ctl.tol().profiler().bbvIntervals().empty());
+}
+
+// ---------------------------------------------------------------------
+// Seeded determinism
+// ---------------------------------------------------------------------
+
+TEST(KMeans, SeededDeterminism)
+{
+    sampling::BbvProfile profile = syntheticProfile();
+    sampling::SimPointOptions so;
+    so.interval = profile.interval;
+    so.seed = 1234;
+
+    sampling::SimPointResult a = sampling::pickSimPoints(profile, so);
+    for (int rep = 0; rep < 3; ++rep) {
+        sampling::SimPointResult b =
+            sampling::pickSimPoints(profile, so);
+        expectSameSimPoints(a, b);
+    }
+
+    // The raw clusterer is deterministic for a fixed Rng stream too.
+    auto pts = sampling::projectBbvs(profile, 16, so.seed);
+    Rng r1(99), r2(99);
+    sampling::KMeans k1 = sampling::kmeans(pts, 3, r1, 64);
+    sampling::KMeans k2 = sampling::kmeans(pts, 3, r2, 64);
+    EXPECT_EQ(k1.assignment, k2.assignment);
+    EXPECT_EQ(k1.centroids, k2.centroids);
+    EXPECT_DOUBLE_EQ(k1.sse, k2.sse);
+}
+
+TEST(KMeans, RecoversSyntheticPhases)
+{
+    sampling::BbvProfile profile = syntheticProfile();
+    sampling::SimPointOptions so;
+    so.interval = profile.interval;
+    sampling::SimPointResult r = sampling::pickSimPoints(profile, so);
+
+    ASSERT_GE(r.k, 3u);
+    // Every interval of one synthetic phase must share a cluster.
+    ASSERT_EQ(r.assignment.size(), 25u);
+    for (int phase = 0; phase < 3; ++phase) {
+        u32 c = r.assignment[phase * 8];
+        for (int i = 1; i < 8; ++i)
+            EXPECT_EQ(r.assignment[phase * 8 + i], c)
+                << "phase " << phase << " interval " << i;
+    }
+    // Weights are instruction shares and sum to 1.
+    double wsum = 0;
+    for (const sampling::SimPoint &p : r.points)
+        wsum += p.weight;
+    EXPECT_NEAR(wsum, 1.0, 1e-9);
+}
+
+TEST(Bbv, SnapshotRoundTripPreservesProfileAndSimPoints)
+{
+    Config cfg;
+    cfg.parseLine("tol.bbv_interval=4096");
+    cfg.parseLine("tol.bb_threshold=4");
+    cfg.parseLine("tol.sb_threshold=12");
+    cfg.parseLine("tol.min_edge_total=8");
+    guest::Program prog = phasedWorkload("bbv-snap", 7);
+
+    // Uninterrupted run.
+    sim::Controller a(cfg);
+    a.load(prog);
+    a.run();
+    ASSERT_TRUE(a.finished());
+    sampling::BbvProfile pa = sampling::harvestBbv(a.tol().profiler());
+
+    // Checkpoint mid-run, restore into a fresh controller, finish.
+    sim::Controller b1(cfg);
+    b1.load(prog);
+    b1.run(pa.totalInsts / 2);
+    std::stringstream img;
+    b1.saveCheckpoint(img);
+
+    sim::Controller b2(cfg);
+    b2.restoreCheckpoint(img);
+    b2.run();
+    ASSERT_TRUE(b2.finished());
+    sampling::BbvProfile pb = sampling::harvestBbv(b2.tol().profiler());
+
+    ASSERT_EQ(pa.totalInsts, pb.totalInsts);
+    ASSERT_EQ(pa.numIntervals(), pb.numIntervals());
+    for (std::size_t i = 0; i < pa.numIntervals(); ++i) {
+        EXPECT_EQ(pa.intervals[i].counts, pb.intervals[i].counts)
+            << "interval " << i;
+        EXPECT_EQ(pa.intervals[i].insts, pb.intervals[i].insts);
+        EXPECT_EQ(pa.intervals[i].overhead, pb.intervals[i].overhead)
+            << "interval " << i;
+    }
+
+    sampling::SimPointOptions so;
+    so.interval = 4096;
+    expectSameSimPoints(sampling::pickSimPoints(pa, so),
+                        sampling::pickSimPoints(pb, so));
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint emission
+// ---------------------------------------------------------------------
+
+TEST(SimPoint, EmitsOneCheckpointPerPoint)
+{
+    Config cfg;
+    cfg.parseLine("tol.bb_threshold=4");
+    cfg.parseLine("tol.sb_threshold=12");
+    cfg.parseLine("tol.min_edge_total=8");
+    guest::Program prog = phasedWorkload("sp-emit", 9);
+
+    sampling::BbvProfile profile =
+        sampling::collectBbvProfile(prog, cfg, 10'000);
+    ASSERT_GT(profile.numIntervals(), 3u);
+    sampling::SimPointOptions so;
+    so.interval = 10'000;
+    sampling::SimPointResult sp = sampling::pickSimPoints(profile, so);
+    ASSERT_FALSE(sp.points.empty());
+
+    auto ckpts = sampling::emitCheckpoints(prog, cfg, sp);
+    ASSERT_EQ(ckpts.size(), sp.points.size());
+    for (std::size_t i = 0; i < ckpts.size(); ++i) {
+        EXPECT_EQ(ckpts[i].intervalIndex, sp.points[i].intervalIndex);
+        EXPECT_FALSE(ckpts[i].image.empty());
+        EXPECT_GE(ckpts[i].actualInst, ckpts[i].startInst);
+
+        // Each image restores into a controller at the saved point.
+        sim::Controller ctl(cfg);
+        std::istringstream is(ckpts[i].image);
+        ctl.restoreCheckpoint(is);
+        EXPECT_EQ(ctl.tol().completedInsts(), ckpts[i].actualInst);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The accuracy harness
+// ---------------------------------------------------------------------
+
+TEST(Accuracy, SampledEstimatesWithinBoundOfFullRun)
+{
+    // Three structurally different suite workloads: branchy integer
+    // (bzip2), memory-bound pointer chasing (mcf), FP streaming with
+    // unrolled loops (lbm).
+    auto suite = workloads::paperSuite(0.1);
+    std::vector<std::pair<std::string, guest::Program>> wls;
+    for (const char *name : {"401.bzip2", "429.mcf", "470.lbm"}) {
+        const workloads::Benchmark *b =
+            workloads::findBenchmark(suite, name);
+        ASSERT_NE(b, nullptr) << name;
+        wls.emplace_back(name, workloads::synthesize(b->params));
+    }
+    auto cfgs = campaign::presetConfigs({"fullopt"});
+    std::vector<campaign::Job> jobs =
+        campaign::expandMatrix(wls, cfgs, ~0ull, 0);
+
+    campaign::RunOptions full;
+    full.jobs = 2;
+    campaign::CampaignResult fr = campaign::runCampaign(jobs, full);
+
+    campaign::CampaignResult sr =
+        campaign::runCampaign(jobs, sampledOpts(50'000, 2));
+
+    ASSERT_EQ(fr.results.size(), sr.results.size());
+    for (std::size_t i = 0; i < fr.results.size(); ++i) {
+        const campaign::JobResult &f = fr.results[i];
+        const campaign::JobResult &s = sr.results[i];
+        ASSERT_TRUE(f.ok) << f.workload << ": " << f.error;
+        ASSERT_TRUE(s.ok) << s.workload << ": " << s.error;
+        // The functional results must be exact, not estimates.
+        EXPECT_EQ(f.insts, s.insts) << f.workload;
+        EXPECT_EQ(f.exitCode, s.exitCode);
+        ASSERT_GT(f.cycles, 0.0);
+        ASSERT_GT(f.energyJ, 0.0);
+        EXPECT_GT(s.simpoints, 0u);
+        // The point of sampling: detailed simulation over a strict
+        // subset of the program. Meaningful once the workload has
+        // more intervals than the clusterer can pick as simpoints
+        // (short workloads may sample everything, paying warm-up on
+        // top).
+        if (f.insts / 50'000 >= 20) {
+            EXPECT_LT(s.sampledInsts, f.sampledInsts) << f.workload;
+        }
+
+        EXPECT_LE(relErr(s.cycles, f.cycles), SIMPOINT_ERROR_BOUND)
+            << f.workload << ": sampled " << s.cycles << " vs full "
+            << f.cycles;
+        EXPECT_LE(relErr(s.energyJ, f.energyJ), SIMPOINT_ERROR_BOUND)
+            << f.workload << ": sampled " << s.energyJ << " vs full "
+            << f.energyJ;
+        EXPECT_LE(relErr(s.ipc, f.ipc), SIMPOINT_ERROR_BOUND)
+            << f.workload;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign determinism
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::vector<campaign::Job>
+sampledMatrix()
+{
+    std::vector<std::pair<std::string, guest::Program>> wls = {
+        {"wl-a", phasedWorkload("wl-a", 11)},
+        {"wl-b", phasedWorkload("wl-b", 12)},
+    };
+    std::vector<std::string> extra = {"tol.bb_threshold=4",
+                                      "tol.sb_threshold=12",
+                                      "tol.min_edge_total=8"};
+    return campaign::expandMatrix(
+        wls, campaign::presetConfigs({"interp", "fullopt"}, extra),
+        ~0ull, 0);
+}
+
+std::string
+scratchDir()
+{
+    const ::testing::TestInfo *ti =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string dir = std::string(::testing::TempDir()) + "darco-" +
+                      ti->test_suite_name() + "-" + ti->name();
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(SampledCampaign, WorkerCountIsByteIdentical)
+{
+    std::vector<campaign::Job> jobs = sampledMatrix();
+    campaign::CampaignResult a =
+        campaign::runCampaign(jobs, sampledOpts(10'000, 1));
+    campaign::CampaignResult b =
+        campaign::runCampaign(jobs, sampledOpts(10'000, 3));
+    for (const campaign::JobResult &r : a.results)
+        EXPECT_TRUE(r.ok) << r.workload << "/" << r.configName << ": "
+                          << r.error;
+    EXPECT_EQ(a.csv(), b.csv());
+    EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(SampledCampaign, SkipPrefixIsRejectedNotSilentlyIgnored)
+{
+    std::vector<std::pair<std::string, guest::Program>> wls = {
+        {"wl-skip", phasedWorkload("wl-skip", 13, 120)},
+    };
+    std::vector<campaign::Job> jobs = campaign::expandMatrix(
+        wls, campaign::presetConfigs({"fullopt"}), ~0ull, 20'000);
+    campaign::CampaignResult res =
+        campaign::runCampaign(jobs, sampledOpts(10'000));
+    ASSERT_EQ(res.results.size(), 1u);
+    EXPECT_FALSE(res.results[0].ok);
+    EXPECT_NE(res.results[0].error.find("skip"), std::string::npos)
+        << res.results[0].error;
+}
+
+TEST(SampledCampaign, CheckpointCacheDoesNotChangeEstimates)
+{
+    std::string dir = scratchDir();
+    std::vector<campaign::Job> jobs = sampledMatrix();
+
+    campaign::RunOptions opts = sampledOpts(10'000, 2);
+    opts.checkpointDir = dir;
+    campaign::CampaignResult cold = campaign::runCampaign(jobs, opts);
+    campaign::CampaignResult warm = campaign::runCampaign(jobs, opts);
+    campaign::CampaignResult none =
+        campaign::runCampaign(jobs, sampledOpts(10'000, 2));
+
+    ASSERT_EQ(cold.results.size(), warm.results.size());
+    for (std::size_t i = 0; i < cold.results.size(); ++i) {
+        const campaign::JobResult &c = cold.results[i];
+        const campaign::JobResult &w = warm.results[i];
+        const campaign::JobResult &n = none.results[i];
+        ASSERT_TRUE(c.ok) << c.error;
+        EXPECT_TRUE(c.checkpointStored) << c.workload;
+        EXPECT_TRUE(w.checkpointHit) << w.workload;
+        for (const campaign::JobResult *x : {&w, &n}) {
+            EXPECT_DOUBLE_EQ(c.cycles, x->cycles) << c.workload;
+            EXPECT_DOUBLE_EQ(c.ipc, x->ipc) << c.workload;
+            EXPECT_DOUBLE_EQ(c.energyJ, x->energyJ) << c.workload;
+            EXPECT_EQ(c.sampledInsts, x->sampledInsts);
+            EXPECT_EQ(c.simpoints, x->simpoints);
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------
+
+TEST(Report, ColumnOrderIsStableAndDocumented)
+{
+    // Pinned: changing this header is a report-schema break. Keep in
+    // sync with the schema documented in campaign.hh and README.md.
+    EXPECT_EQ(campaign::CampaignResult::csvHeader(),
+              "workload,config,ok,finished,exit_code,insts,bbs"
+              ",cycles,ipc,energy_j,avg_w"
+              ",sample_mode,simpoints,sampled_insts"
+              ",tol.guest_im,tol.guest_bbm,tol.guest_sbm"
+              ",tol.translations_bb,tol.translations_sb"
+              ",cc.evictions,cc.flushes,sync.syscalls"
+              ",checkpoint,error");
+}
+
+TEST(Report, TimingPowerColumnsPopulatedForPresets)
+{
+    std::vector<std::pair<std::string, guest::Program>> wls = {
+        {"wl-r", phasedWorkload("wl-r", 31, 120)},
+    };
+    std::vector<std::string> extra = {"tol.bb_threshold=4",
+                                      "tol.sb_threshold=12",
+                                      "tol.min_edge_total=8"};
+    std::vector<campaign::Job> jobs = campaign::expandMatrix(
+        wls, campaign::presetConfigs({"interp", "fullopt"}, extra),
+        ~0ull, 0);
+    campaign::RunOptions opts;
+    opts.jobs = 2;
+    campaign::CampaignResult res = campaign::runCampaign(jobs, opts);
+
+    std::string csv = res.csv();
+    EXPECT_EQ(csv.substr(0, csv.find('\n')),
+              campaign::CampaignResult::csvHeader());
+    for (const campaign::JobResult &r : res.results) {
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.sampleMode, "full");
+        EXPECT_GT(r.cycles, 0.0) << r.configName;
+        EXPECT_GT(r.ipc, 0.0) << r.configName;
+        EXPECT_GT(r.energyJ, 0.0) << r.configName;
+        EXPECT_GT(r.avgPowerW, 0.0) << r.configName;
+        EXPECT_EQ(r.sampledInsts, r.insts) << r.configName;
+    }
+    // interp must burn more cycles than the optimizing default.
+    EXPECT_GT(res.results[0].cycles, res.results[1].cycles);
+
+    std::string json = res.json();
+    for (const char *key :
+         {"\"cycles\": ", "\"ipc\": ", "\"energy_j\": ",
+          "\"avg_w\": ", "\"sample_mode\": ", "\"simpoints\": ",
+          "\"sampled_insts\": "}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+
+    // --no-timing zeroes the timing columns but keeps the schema.
+    campaign::RunOptions off;
+    off.jobs = 1;
+    off.timing = false;
+    campaign::CampaignResult res2 = campaign::runCampaign(jobs, off);
+    EXPECT_TRUE(res2.results[0].ok);
+    EXPECT_EQ(res2.results[0].cycles, 0.0);
+    EXPECT_EQ(res2.csv().substr(0, res2.csv().find('\n')),
+              campaign::CampaignResult::csvHeader());
+}
+
+// ---------------------------------------------------------------------
+// Fuzz-labeled shard: BBV conservation through the oracle
+// ---------------------------------------------------------------------
+
+TEST(BbvFuzzShard, ConservationAcrossRandomPrograms)
+{
+    // The oracle itself enforces Profiler::checkBbvInvariants when a
+    // cell runs with BBV profiling (see fuzz/diffrun.cc); this shard
+    // drives it across random programs with profiling forced on.
+    fuzz::DiffOptions opts;
+    opts.extra = {"tol.bbv_interval=2048"};
+    for (u64 seed = 500; seed < 516; ++seed) {
+        fuzz::GenParams gp;
+        gp.seed = seed;
+        guest::Program prog = fuzz::generate(gp);
+        fuzz::DiffResult res = fuzz::diffRun(prog, seed, opts);
+        EXPECT_TRUE(res.ok) << "seed " << seed << "\n" << res.report();
+        for (const fuzz::RunOutcome &run : res.runs) {
+            EXPECT_TRUE(run.bbvChecked) << run.config;
+        }
+    }
+}

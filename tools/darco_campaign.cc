@@ -9,7 +9,17 @@
  *   darco_campaign --jobs 4
  *   darco_campaign --workloads 401.bzip2,429.mcf --configs fullopt,interp
  *   darco_campaign --jobs 8 --skip 200000 --checkpoint-dir ckpt
+ *   darco_campaign --sample-mode simpoint --interval 100000 --max-k 8
  *   darco_campaign --list
+ *
+ * Every job runs the detailed timing + power models (cycles, IPC,
+ * energy, average power columns); --no-timing turns them off. With
+ * --sample-mode simpoint the detailed models run only over
+ * SimPoint-selected representative intervals and the report carries
+ * weight-combined whole-program estimates (see src/sampling/
+ * simpoint.hh); --checkpoint-dir additionally caches one checkpoint
+ * per simpoint, so repeated sampled campaigns skip the functional
+ * fast-forward.
  *
  * Exit code: 0 when every job succeeded, 1 on any job failure, 2 on
  * usage errors.
@@ -49,6 +59,12 @@ struct Options
     std::string jsonPath;
     bool list = false;
     bool quiet = false;
+    bool timing = true;
+    campaign::SampleMode sampleMode = campaign::SampleMode::Full;
+    u64 interval = 100'000;
+    u64 maxK = 16;
+    u64 sampleSeed = 42;
+    u64 sampleWarmup = 25'000;
 };
 
 void
@@ -64,7 +80,17 @@ usage(const char *argv0)
         "0.25)\n"
         "  --max-insts N       per-job guest-instruction budget\n"
         "  --skip N            checkpointable fast-forward prefix\n"
-        "  --checkpoint-dir D  create/reuse prefix checkpoints in D\n"
+        "  --checkpoint-dir D  create/reuse prefix (and simpoint)\n"
+        "                      checkpoints in D\n"
+        "  --sample-mode M     full (default) | simpoint\n"
+        "  --interval N        BBV interval, guest insts (default "
+        "100000)\n"
+        "  --max-k K           k-means sweep upper bound (default 16)\n"
+        "  --sample-seed S     clustering/projection seed (default "
+        "42)\n"
+        "  --sample-warmup N   timing warm-up before each sample "
+        "(default 25000)\n"
+        "  --no-timing         skip the timing/power models\n"
         "  --csv PATH          write the CSV report here\n"
         "  --json PATH         write the JSON report here\n"
         "  --list              list known workloads and presets\n"
@@ -148,6 +174,34 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.jsonPath = v;
+        } else if (a == "--sample-mode") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::string(v) == "full")
+                o.sampleMode = campaign::SampleMode::Full;
+            else if (std::string(v) == "simpoint")
+                o.sampleMode = campaign::SampleMode::SimPoint;
+            else
+                return false;
+        } else if (a == "--interval") {
+            const char *v = next();
+            if (!v || !number(v, o.interval) || o.interval == 0)
+                return false;
+        } else if (a == "--max-k") {
+            const char *v = next();
+            if (!v || !number(v, o.maxK) || o.maxK == 0)
+                return false;
+        } else if (a == "--sample-seed") {
+            const char *v = next();
+            if (!v || !number(v, o.sampleSeed))
+                return false;
+        } else if (a == "--sample-warmup") {
+            const char *v = next();
+            if (!v || !number(v, o.sampleWarmup))
+                return false;
+        } else if (a == "--no-timing") {
+            o.timing = false;
         } else if (a == "-c") {
             const char *v = next();
             if (!v)
@@ -186,6 +240,12 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    if (o.sampleMode == campaign::SampleMode::SimPoint && o.skip > 0) {
+        std::fprintf(stderr,
+                     "--skip cannot be combined with --sample-mode "
+                     "simpoint (simpoints cover the whole run)\n");
+        return 2;
+    }
 
     std::vector<workloads::Benchmark> suite =
         workloads::paperSuite(o.scale);
@@ -220,6 +280,12 @@ main(int argc, char **argv)
         campaign::RunOptions ropts;
         ropts.jobs = o.jobs;
         ropts.checkpointDir = o.checkpointDir;
+        ropts.timing = o.timing;
+        ropts.sampleMode = o.sampleMode;
+        ropts.sampleInterval = o.interval;
+        ropts.sampleMaxK = unsigned(o.maxK);
+        ropts.sampleSeed = o.sampleSeed;
+        ropts.sampleWarmup = o.sampleWarmup;
 
         campaign::CampaignResult res =
             campaign::runCampaign(jobs, ropts);

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * darco_simpoint: SimPoint profiling driver.
+ *
+ * Runs the sampling pipeline's offline stages for one workload and
+ * one config: BBV profiling (functional run with tol.bbv_interval),
+ * the seeded k-means sweep with BIC scoring, and representative-
+ * interval selection. Prints the BIC sweep and the simpoint table
+ * (interval index, start instruction, cluster, weight) and can
+ * optionally:
+ *
+ *   --ckpt-dir D   emit one Controller checkpoint per simpoint into D
+ *                  (standalone images at each simpoint's start, for
+ *                  Controller::restoreCheckpoint in scripts/tools —
+ *                  NOT the campaign's cache: darco_campaign manages
+ *                  its own per-simpoint files, keyed by job identity
+ *                  and saved a warm-up lead before each sample)
+ *   --csv PATH     dump the per-interval cluster assignment
+ *
+ *   darco_simpoint --workload 401.bzip2 --interval 100000 --max-k 8
+ *   darco_simpoint --workload 470.lbm --scale 0.5 --ckpt-dir ckpt
+ *
+ * Exit code: 0 on success, 2 on usage errors or failures.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sampling/simpoint.hh"
+#include "sim/controller.hh"
+#include "workloads/suite.hh"
+#include "workloads/synth.hh"
+
+using namespace darco;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "401.bzip2";
+    double scale = 0.25;
+    u64 interval = 100'000;
+    u64 maxK = 16;
+    u64 seed = 42;
+    u64 maxInsts = ~0ull;
+    std::vector<std::string> extra;
+    std::string ckptDir;
+    std::string csvPath;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workload NAME   paper-suite workload (default 401.bzip2)\n"
+        "  --scale S         workload dynamic-length scale (default "
+        "0.25)\n"
+        "  --interval N      BBV interval, guest insts (default "
+        "100000)\n"
+        "  --max-k K         k-means sweep upper bound (default 16)\n"
+        "  --seed S          clustering/projection seed (default 42)\n"
+        "  --max-insts N     profiling budget\n"
+        "  --ckpt-dir D      save one checkpoint per simpoint into D\n"
+        "  --csv PATH        per-interval cluster assignment dump\n"
+        "  -c key=value      config override (repeatable)\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    auto number = [](const char *v, u64 &out) {
+        char *end = nullptr;
+        out = std::strtoull(v, &end, 0);
+        return *v != '\0' && end && *end == '\0';
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--workload") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.workload = v;
+        } else if (a == "--scale") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.scale = std::atof(v);
+            if (o.scale <= 0)
+                return false;
+        } else if (a == "--interval") {
+            const char *v = next();
+            if (!v || !number(v, o.interval) || o.interval == 0)
+                return false;
+        } else if (a == "--max-k") {
+            const char *v = next();
+            if (!v || !number(v, o.maxK) || o.maxK == 0)
+                return false;
+        } else if (a == "--seed") {
+            const char *v = next();
+            if (!v || !number(v, o.seed))
+                return false;
+        } else if (a == "--max-insts") {
+            const char *v = next();
+            if (!v || !number(v, o.maxInsts))
+                return false;
+        } else if (a == "--ckpt-dir") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.ckptDir = v;
+        } else if (a == "--csv") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.csvPath = v;
+        } else if (a == "-c") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.extra.push_back(v);
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    try {
+        std::vector<workloads::Benchmark> suite =
+            workloads::paperSuite(o.scale);
+        const workloads::Benchmark *b =
+            workloads::findBenchmark(suite, o.workload);
+        if (!b) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         o.workload.c_str());
+            return 2;
+        }
+        guest::Program prog = workloads::synthesize(b->params);
+        Config cfg(o.extra);
+
+        sampling::BbvProfile profile = sampling::collectBbvProfile(
+            prog, cfg, o.interval, o.maxInsts);
+        std::printf("%s: %llu insts, %zu intervals of %llu\n",
+                    o.workload.c_str(),
+                    (unsigned long long)profile.totalInsts,
+                    profile.numIntervals(),
+                    (unsigned long long)profile.interval);
+
+        sampling::SimPointOptions so;
+        so.interval = o.interval;
+        so.maxK = unsigned(o.maxK);
+        so.seed = o.seed;
+        sampling::SimPointResult sp =
+            sampling::pickSimPoints(profile, so);
+
+        std::printf("BIC sweep:");
+        for (const auto &[k, bic] : sp.bicSweep)
+            std::printf(" k=%u:%.1f", k, bic);
+        std::printf("\nchosen k=%u (BIC %.1f)\n", sp.k, sp.bic);
+
+        std::printf("%-10s %-14s %-8s %s\n", "interval", "start_inst",
+                    "cluster", "weight");
+        for (const sampling::SimPoint &p : sp.points)
+            std::printf("%-10u %-14llu %-8u %.4f\n", p.intervalIndex,
+                        (unsigned long long)p.startInst, p.cluster,
+                        p.weight);
+
+        if (!o.csvPath.empty()) {
+            std::ofstream f(o.csvPath);
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             o.csvPath.c_str());
+                return 2;
+            }
+            f << "interval,start_inst,insts,cluster\n";
+            for (std::size_t i = 0; i < sp.assignment.size(); ++i)
+                f << i << ',' << i * profile.interval << ','
+                  << profile.intervals[i].insts << ','
+                  << sp.assignment[i] << '\n';
+        }
+
+        if (!o.ckptDir.empty()) {
+            std::vector<sampling::SimPointCheckpoint> ckpts =
+                sampling::emitCheckpoints(prog, cfg, sp);
+            std::filesystem::create_directories(o.ckptDir);
+            for (const sampling::SimPointCheckpoint &c : ckpts) {
+                std::string path = o.ckptDir + "/" + o.workload +
+                                   "-sp" +
+                                   std::to_string(c.intervalIndex) +
+                                   ".ckpt";
+                std::ofstream f(path, std::ios::binary);
+                if (!f) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 path.c_str());
+                    return 2;
+                }
+                f << c.image;
+                std::printf("checkpoint: %s (start %llu, saved at "
+                            "%llu, weight %.4f)\n",
+                            path.c_str(),
+                            (unsigned long long)c.startInst,
+                            (unsigned long long)c.actualInst,
+                            c.weight);
+            }
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "darco_simpoint: %s\n", e.what());
+        return 2;
+    }
+}
