@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/schema.hh"
 #include "power/power.hh"
 #include "sampling/simpoint.hh"
 #include "sim/controller.hh"
@@ -111,6 +112,12 @@ expandMatrix(const std::vector<std::pair<std::string,
              const std::vector<std::pair<std::string, Config>> &configs,
              u64 max_insts, u64 skip)
 {
+    // Fail the whole campaign now, naming the offending variant, so
+    // a typo'd sweep key can never burn a matrix worth of simulation
+    // on the default experiment.
+    for (const auto &[cname, cfg] : configs)
+        conf::schema().validate(cfg, "campaign config '" + cname + "'");
+
     std::vector<Job> jobs;
     jobs.reserve(workloads.size() * configs.size());
     for (const auto &[wname, prog] : workloads) {
@@ -169,7 +176,13 @@ presetConfigs(const std::vector<std::string> &names,
 namespace
 {
 
-/** FNV-1a over the job identity (program bytes, config, skip). */
+/**
+ * FNV-1a over the job identity (program bytes, config, skip). The
+ * config contribution is the schema-normalized execution-relevant
+ * effective map, so jobs differing only cosmetically (validation
+ * toggles, timing/power parameters) share one functional-prefix
+ * checkpoint — matching what restoreCheckpoint accepts.
+ */
 u64
 jobKeyHash(const Job &job)
 {
@@ -189,7 +202,7 @@ jobKeyHash(const Job &job)
     mix(job.program.code.data(), job.program.code.size());
     mix(job.program.data.data(), job.program.data.size());
     mix(&job.program.entry, sizeof(job.program.entry));
-    for (const auto &[k, v] : job.config.entries()) {
+    for (const auto &[k, v] : conf::schema().executionRelevant(job.config)) {
         mixStr(k);
         mixStr(v);
     }
@@ -307,6 +320,7 @@ runJob(const Job &job, const RunOptions &opts)
     JobResult r;
     r.workload = job.workload;
     r.configName = job.configName;
+    r.effectiveConfig = conf::schema().effective(job.config);
     auto t0 = std::chrono::steady_clock::now();
 
     try {
@@ -430,6 +444,7 @@ runSampledJob(const Job &job, const RunOptions &opts)
     r.workload = job.workload;
     r.configName = job.configName;
     r.sampleMode = "simpoint";
+    r.effectiveConfig = conf::schema().effective(job.config);
     auto t0 = std::chrono::steady_clock::now();
 
     try {
@@ -614,7 +629,7 @@ runSampledJob(const Job &job, const RunOptions &opts)
                 r.ipc = r.cycles > 0 ? hostInsts / r.cycles : 0.0;
                 r.energyJ = wEpi / wSum * total;
                 double freq =
-                    job.config.getFloat("power.freq_ghz", 2.0);
+                    conf::getFloat(job.config, "power.freq_ghz");
                 double seconds = r.cycles / (freq * 1e9);
                 r.avgPowerW = seconds > 0 ? r.energyJ / seconds : 0.0;
             }
@@ -719,6 +734,19 @@ timingCells(const JobResult &r, char sep)
     return os.str();
 }
 
+/** The full effective config as one CSV cell ("k=v;k=v;..."). */
+std::string
+effectiveConfigCell(const JobResult &r)
+{
+    std::string out;
+    for (const auto &[k, v] : r.effectiveConfig) {
+        if (!out.empty())
+            out += ';';
+        out += k + '=' + v;
+    }
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -729,7 +757,7 @@ CampaignResult::csvHeader()
                     ",sample_mode,simpoints,sampled_insts";
     for (const std::string &s : reportStats)
         h += ',' + s;
-    h += ",checkpoint,error";
+    h += ",effective_config,checkpoint,error";
     return h;
 }
 
@@ -746,7 +774,7 @@ CampaignResult::csv() const
            << r.sampledInsts;
         for (const std::string &s : reportStats)
             os << ',' << statOr0(r, s);
-        os << ','
+        os << ',' << effectiveConfigCell(r) << ','
            << (r.checkpointHit ? "hit"
                                : r.checkpointStored ? "stored" : "-");
         std::string err = r.error;
@@ -786,6 +814,13 @@ CampaignResult::json() const
         for (const std::string &s : reportStats) {
             os << (first ? "" : ", ") << '"' << s
                << "\": " << statOr0(r, s);
+            first = false;
+        }
+        os << "}, \"effective_config\": {";
+        first = true;
+        for (const auto &[k, v] : r.effectiveConfig) {
+            os << (first ? "" : ", ") << '"' << jsonEscape(k)
+               << "\": \"" << jsonEscape(v) << '"';
             first = false;
         }
         os << "}, \"error\": \"" << jsonEscape(r.error) << "\"}"

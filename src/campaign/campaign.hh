@@ -40,10 +40,20 @@
  *         <stat columns: tol.guest_im,tol.guest_bbm,tol.guest_sbm,
  *          tol.translations_bb,tol.translations_sb,cc.evictions,
  *          cc.flushes,sync.syscalls>,
- *         checkpoint,error
+ *         effective_config,checkpoint,error
  *
  *   JSON: an array of objects with the same fields in the same order
- *         ("stats" is a nested object over the stat columns).
+ *         ("stats" is a nested object over the stat columns;
+ *         "effective_config" is a nested object too).
+ *
+ * effective_config is the job's full default-resolved configuration
+ * (every schema parameter mapped to its canonical value, see
+ * docs/CONFIG.md), rendered as semicolon-joined key=value pairs in
+ * the CSV — a row is reproducible from the report alone, without
+ * knowing which build defaults it ran against. Job configs are
+ * schema-validated when the matrix is expanded: a misspelled or
+ * out-of-range key fails fast (with a did-you-mean suggestion), not
+ * after hours of simulation.
  *
  * The pool itself is generic (std::function tasks), so other drivers
  * — darco_fuzz --jobs N — reuse it for their own fan-out.
@@ -140,6 +150,12 @@ struct JobResult
     u64 sampledInsts = 0;  //!< guest insts under the detailed models
 
     std::map<std::string, u64> stats; //!< full counter snapshot
+
+    /**
+     * The full effective (default-resolved, schema-normalized)
+     * config the job ran under; populated for failed jobs too.
+     */
+    std::map<std::string, std::string> effectiveConfig;
 };
 
 /** Execution knobs. */
@@ -200,7 +216,10 @@ CampaignResult runCampaign(const std::vector<Job> &jobs,
 
 /**
  * Expand a workload×config matrix into jobs (row-major: all configs
- * of workload 0, then workload 1, ...).
+ * of workload 0, then workload 1, ...). Every config is validated
+ * against the parameter schema up front: unknown keys (with a
+ * nearest-match suggestion), out-of-range values and bad enum
+ * strings raise FatalError before any job runs.
  */
 std::vector<Job>
 expandMatrix(const std::vector<std::pair<std::string,

@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -66,10 +67,14 @@ Config::getInt(const std::string &key, s64 def) const
     if (it == store_.end())
         return def;
     char *end = nullptr;
+    errno = 0;
     s64 v = std::strtoll(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0')
         fatal("config key '", key, "' has non-integer value '",
               it->second, "'");
+    if (errno == ERANGE)
+        fatal("config key '", key, "' value '", it->second,
+              "' overflows a 64-bit signed integer");
     return v;
 }
 
@@ -79,11 +84,20 @@ Config::getUint(const std::string &key, u64 def) const
     auto it = store_.find(key);
     if (it == store_.end())
         return def;
+    // strtoull silently negates negative input ("-5" parses as
+    // 18446744073709551611); an unsigned key must reject it instead.
+    if (it->second.find('-') != std::string::npos)
+        fatal("config key '", key, "' has negative value '", it->second,
+              "' for an unsigned parameter");
     char *end = nullptr;
+    errno = 0;
     u64 v = std::strtoull(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0')
         fatal("config key '", key, "' has non-integer value '",
               it->second, "'");
+    if (errno == ERANGE)
+        fatal("config key '", key, "' value '", it->second,
+              "' overflows a 64-bit unsigned integer");
     return v;
 }
 

@@ -19,11 +19,21 @@
 namespace darco
 {
 
+namespace conf
+{
+class ConfigSchema;
+}
+
 /**
  * Flat configuration dictionary with typed getters.
  *
- * Unknown keys fall back to caller-provided defaults; malformed values
- * raise fatal() since they are user errors.
+ * This is the transport layer only: it knows nothing about which keys
+ * exist. Components read their parameters through the schema-bound
+ * accessors in common/schema.hh (darco::conf), which resolve defaults
+ * from the central parameter registry — raw getters with inline
+ * defaults are reserved for Config's own machinery (a CI lint
+ * enforces this). Malformed values raise fatal() since they are user
+ * errors.
  */
 class Config
 {
@@ -53,6 +63,15 @@ class Config
 
     /** Merge another config on top of this one (other wins). */
     void merge(const Config &other);
+
+    /**
+     * Validate every entry against a parameter schema: unknown keys
+     * (with a nearest-match suggestion), out-of-range values and bad
+     * enum strings raise fatal(). Convenience for
+     * schema.validate(cfg, context).
+     */
+    void validate(const conf::ConfigSchema &schema,
+                  const std::string &context = "") const;
 
     /** All key/value pairs in sorted order (for dumping). */
     const std::map<std::string, std::string> &entries() const

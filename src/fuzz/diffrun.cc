@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/schema.hh"
 #include "guest/semantics.hh"
 #include "sim/controller.hh"
 #include "sim/debug.hh"
@@ -30,6 +31,22 @@ defaultMatrix()
          {"cc.capacity_words=768", "cc.policy=evict",
           "tol.max_sb_insts=120"}},
     };
+}
+
+std::vector<DiffConfig>
+randomMatrix(u64 seed, unsigned n)
+{
+    std::vector<DiffConfig> matrix = defaultMatrix();
+    for (unsigned k = 0; k < n; ++k) {
+        DiffConfig cell;
+        cell.name = "rand" + std::to_string(k);
+        // Decorrelate the cell stream from the program-generator
+        // stream (both are seeded from the same sweep seed).
+        cell.overrides =
+            conf::schema().randomOverrides(seed * 131 + k + 1);
+        matrix.push_back(std::move(cell));
+    }
+    return matrix;
 }
 
 Config

@@ -52,6 +52,14 @@ struct DiffConfig
 /** The standard four-config cross-validation matrix. */
 std::vector<DiffConfig> defaultMatrix();
 
+/**
+ * The standard matrix plus `n` random cells ("rand0".."rand<n-1>"),
+ * each drawn from the schema's declared fuzz ranges/domains
+ * (deterministic in `seed`): every config is valid by construction,
+ * widening coverage beyond the four hand-written presets.
+ */
+std::vector<DiffConfig> randomMatrix(u64 seed, unsigned n);
+
 /** Per-config execution record. */
 struct RunOutcome
 {

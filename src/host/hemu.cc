@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/schema.hh"
 #include "guest/semantics.hh"
 
 namespace darco::host
@@ -148,9 +149,9 @@ HostEmu::HostEmu(CodeCache &cache, guest::PagedMemory &guest_mem,
                  const Config &cfg)
     : cache_(cache),
       mem_(guest_mem),
-      ibtc_(u32(cfg.getUint("hemu.ibtc_entries", 512))),
-      localMem_(cfg.getUint("hemu.local_mem_bytes", 1u << 20), 0),
-      ibtcHitCost_(u32(cfg.getUint("hemu.ibtc_hit_cost", 6)))
+      ibtc_(u32(conf::getUint(cfg, "hemu.ibtc_entries"))),
+      localMem_(conf::getUint(cfg, "hemu.local_mem_bytes"), 0),
+      ibtcHitCost_(u32(conf::getUint(cfg, "hemu.ibtc_hit_cost")))
 {
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/schema.hh"
+
 namespace darco::power
 {
 
@@ -17,21 +19,21 @@ PowerReport::toString() const
 }
 
 PowerModel::PowerModel(const Config &cfg)
-    : eFrontend_(cfg.getFloat("power.e_frontend", 0.022)),
-      eIssue_(cfg.getFloat("power.e_issue", 0.014)),
-      eAlu_(cfg.getFloat("power.e_alu", 0.028)),
-      eMul_(cfg.getFloat("power.e_mul", 0.10)),
-      eDiv_(cfg.getFloat("power.e_div", 0.24)),
-      eFp_(cfg.getFloat("power.e_fp", 0.12)),
-      eMemPort_(cfg.getFloat("power.e_mem_port", 0.02)),
-      eL1_(cfg.getFloat("power.e_l1", 0.075)),
-      eL2_(cfg.getFloat("power.e_l2", 0.34)),
-      eDram_(cfg.getFloat("power.e_dram", 7.5)),
-      eTlb_(cfg.getFloat("power.e_tlb", 0.004)),
-      eBpred_(cfg.getFloat("power.e_bpred", 0.0035)),
-      ePrefetch_(cfg.getFloat("power.e_prefetch", 0.075)),
-      leakageW_(cfg.getFloat("power.leakage_w", 0.25)),
-      freqGhz_(cfg.getFloat("power.freq_ghz", 2.0))
+    : eFrontend_(conf::getFloat(cfg, "power.e_frontend")),
+      eIssue_(conf::getFloat(cfg, "power.e_issue")),
+      eAlu_(conf::getFloat(cfg, "power.e_alu")),
+      eMul_(conf::getFloat(cfg, "power.e_mul")),
+      eDiv_(conf::getFloat(cfg, "power.e_div")),
+      eFp_(conf::getFloat(cfg, "power.e_fp")),
+      eMemPort_(conf::getFloat(cfg, "power.e_mem_port")),
+      eL1_(conf::getFloat(cfg, "power.e_l1")),
+      eL2_(conf::getFloat(cfg, "power.e_l2")),
+      eDram_(conf::getFloat(cfg, "power.e_dram")),
+      eTlb_(conf::getFloat(cfg, "power.e_tlb")),
+      eBpred_(conf::getFloat(cfg, "power.e_bpred")),
+      ePrefetch_(conf::getFloat(cfg, "power.e_prefetch")),
+      leakageW_(conf::getFloat(cfg, "power.leakage_w")),
+      freqGhz_(conf::getFloat(cfg, "power.freq_ghz"))
 {
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/schema.hh"
 #include "timing/core.hh"
 #include "tol/tol.hh"
 #include "xemu/ref_component.hh"
@@ -76,7 +77,7 @@ FastForwardCheckpoint
 makeFastForwardCheckpoint(const Program &prog, const Config &cfg,
                           u64 ff_point)
 {
-    xemu::RefComponent ref(cfg.getUint("seed", 1));
+    xemu::RefComponent ref(conf::getUint(cfg, "seed"));
     ref.load(prog);
     ref.runUntilInstCount(ff_point);
     FastForwardCheckpoint ckpt;
@@ -99,7 +100,7 @@ runSample(const Program &prog, const Config &cfg,
     // Functional fast-forward in the reference component (the cheap
     // part of sampled simulation) — from a shared checkpoint when one
     // covers this run's fast-forward point.
-    xemu::RefComponent ref(cfg.getUint("seed", 1));
+    xemu::RefComponent ref(conf::getUint(cfg, "seed"));
     if (ckpt && ckpt->valid() && ckpt->ffPoint <= ff) {
         std::istringstream is(ckpt->image);
         xemu::restoreRefSnapshot(is, ref);

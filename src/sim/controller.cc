@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/schema.hh"
 #include "snapshot/io.hh"
 
 namespace darco::sim
@@ -11,13 +12,32 @@ namespace darco::sim
 
 using namespace guest;
 
+namespace
+{
+
+/**
+ * Validation choke point: every key must be declared, in range, and
+ * inside its enum domain before anything reads it — a typo'd sweep
+ * key ("tol.sb_treshold") must never silently run the default
+ * experiment. Runs in a member-initializer so it precedes every
+ * schema-bound read in the initializer list.
+ */
+const Config &
+validated(const Config &cfg)
+{
+    cfg.validate(conf::schema(), "controller");
+    return cfg;
+}
+
+} // namespace
+
 Controller::Controller(const Config &cfg)
-    : cfg_(cfg),
+    : cfg_(validated(cfg)),
       stats_("darco"),
-      ref_(cfg.getUint("seed", 1)),
-      validateSyscalls_(cfg.getBool("sync.validate_syscalls", true)),
-      validateEnd_(cfg.getBool("sync.validate_end", true)),
-      validateMemory_(cfg.getBool("sync.validate_memory", true))
+      ref_(conf::getUint(cfg_, "seed")),
+      validateSyscalls_(conf::getBool(cfg_, "sync.validate_syscalls")),
+      validateEnd_(conf::getBool(cfg_, "sync.validate_end")),
+      validateMemory_(conf::getBool(cfg_, "sync.validate_memory"))
 {
     // The co-designed component is built lazily in load(): it holds a
     // reference to the emulated memory, which load() replaces, so an
@@ -166,11 +186,19 @@ Controller::saveCheckpoint(std::ostream &os)
 
     snapshot::Serializer s(os);
 
-    // Config snapshot: restore refuses a mismatch, since the replayed
-    // translations (and the Tol rebuilt around them) depend on it.
+    // Config snapshot: the schema-normalized effective values of the
+    // *execution-relevant* parameters only. Restore refuses a
+    // mismatch on any of them (the replayed translations depend on
+    // them), but measurement/validation parameters — sync toggles,
+    // timing and power models — may differ freely, so e.g. a
+    // checkpoint taken with validation on restores into a campaign
+    // running with it off. Default-resolved comparison also makes
+    // "explicitly set to the default" equal to "unset".
     s.beginSection("cfg");
-    s.w64(cfg_.entries().size());
-    for (const auto &[k, v] : cfg_.entries()) {
+    std::map<std::string, std::string> exec =
+        conf::schema().executionRelevant(cfg_);
+    s.w64(exec.size());
+    for (const auto &[k, v] : exec) {
         s.wstr(k);
         s.wstr(v);
     }
@@ -204,22 +232,41 @@ Controller::restoreCheckpoint(std::istream &is)
 {
     snapshot::Deserializer d(is);
 
+    // Schema-aware compatibility check: compare the checkpoint's
+    // execution-relevant effective config against ours, parameter by
+    // parameter, and name the exact offender on refusal. Cosmetic
+    // differences (sync/timing/power parameters) never appear here.
     d.expectSection("cfg");
+    std::map<std::string, std::string> mine =
+        conf::schema().executionRelevant(cfg_);
     u64 ncfg = d.r64();
-    if (ncfg != cfg_.entries().size())
-        throw snapshot::SnapshotError(
-            "config mismatch: checkpoint has " + std::to_string(ncfg) +
-            " keys, controller has " +
-            std::to_string(cfg_.entries().size()));
+    std::map<std::string, std::string> theirs;
     for (u64 i = 0; i < ncfg; ++i) {
         std::string k = d.rstr();
         std::string v = d.rstr();
-        if (!cfg_.has(k) || cfg_.getString(k) != v)
-            throw snapshot::SnapshotError(
-                "config mismatch at key '" + k + "' (checkpoint '" + v +
-                "' vs controller '" + cfg_.getString(k) + "')");
+        theirs[k] = std::move(v);
     }
     d.endSection();
+    for (const auto &[k, v] : theirs) {
+        auto it = mine.find(k);
+        if (it == mine.end())
+            throw snapshot::SnapshotError(
+                "checkpoint execution-relevant parameter '" + k +
+                "' (value '" + v + "') is not declared in this "
+                "build's schema");
+        if (it->second != v)
+            throw snapshot::SnapshotError(
+                "config mismatch at execution-relevant parameter '" +
+                k + "': checkpoint '" + v + "' vs controller '" +
+                it->second + "'");
+    }
+    for (const auto &[k, v] : mine) {
+        if (!theirs.count(k))
+            throw snapshot::SnapshotError(
+                "execution-relevant parameter '" + k +
+                "' (controller value '" + v +
+                "') is missing from the checkpoint");
+    }
 
     d.expectSection("ref");
     ref_.restore(d);

@@ -51,11 +51,13 @@ class DivergenceError : public std::runtime_error
 /**
  * The DARCO controller.
  *
- * Config keys:
- *   sync.validate_syscalls (true)   compare register state at syscalls
- *   sync.validate_end (true)        full compare at end of application
- *   sync.validate_memory (true)     include resident pages at the end
- *   + all Tol/HostEmu/CostModel keys (forwarded)
+ * Configuration: every parameter (the sync.* validation toggles, all
+ * forwarded Tol/HostEmu/CostModel/timing/power keys) is declared in
+ * the central schema (src/common/schema.cc); see the generated
+ * reference in docs/CONFIG.md or `darco_campaign --list-config`. The
+ * constructor validates the whole Config against that schema:
+ * unknown keys (with a nearest-match suggestion), out-of-range
+ * values and bad enum strings raise FatalError.
  */
 class Controller : public tol::Tol::Env
 {
@@ -123,9 +125,12 @@ class Controller : public tol::Tol::Env
     /**
      * Restore a checkpoint written by saveCheckpoint(). Works on a
      * fresh Controller (no load() needed — the memory images carry
-     * the program). The Controller must have been constructed with
-     * the exact Config the checkpoint was saved under; a mismatch
-     * (or a bad magic/version/truncated stream) throws
+     * the program). The Controller's *execution-relevant* effective
+     * config (see docs/CONFIG.md) must match the checkpoint's
+     * exactly; parameters that only affect measurement or validation
+     * (sync.*, core.*, power.*, ...) may differ freely. A mismatch
+     * is refused naming the offending parameter and both values;
+     * bad magic/version/truncated streams also throw
      * snapshot::SnapshotError.
      */
     void restoreCheckpoint(std::istream &is);

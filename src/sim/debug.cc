@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/schema.hh"
 #include "guest/semantics.hh"
 #include "xemu/ref_component.hh"
 
@@ -15,7 +16,8 @@ findFirstDivergence(const Program &prog, const Config &cfg,
                     u64 max_insts,
                     const std::function<void(tol::Tol &, u64)> &sabotage)
 {
-    xemu::RefComponent ref(cfg.getUint("seed", 1));
+    conf::schema().validate(cfg, "divergence debugger");
+    xemu::RefComponent ref(conf::getUint(cfg, "seed"));
     ref.load(prog);
 
     // Standalone co-designed rig (zero-fill memory): the debugger

@@ -52,8 +52,11 @@ constexpr u32 snapshotMagic = 0x30435244u;
  * Bump on any incompatible change to a section payload.
  * v2: Profiler BBV collection state + superblock construction
  *     recipes in the `tol` section (SimPoint sampled simulation).
+ * v3: `cfg` section stores the schema-normalized effective values of
+ *     execution-relevant parameters only (see docs/CONFIG.md), not
+ *     the raw key/value store.
  */
-constexpr u32 snapshotVersion = 2;
+constexpr u32 snapshotVersion = 3;
 
 /**
  * Checkpoint writer. Writes the header on construction; sections are

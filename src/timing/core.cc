@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/schema.hh"
+
 namespace darco::timing
 {
 
@@ -12,56 +14,56 @@ using host::noReg;
 InOrderCore::InOrderCore(const Config &cfg, StatGroup &stats)
     : stats_(stats)
 {
-    issueWidth_ = u32(cfg.getUint("core.issue_width", 2));
-    fetchWidth_ = u32(cfg.getUint("core.fetch_width", 4));
-    iqSize_ = u32(cfg.getUint("core.iq_size", 16));
-    frontendDepth_ = u32(cfg.getUint("core.frontend_depth", 4));
-    latAlu_ = cfg.getUint("core.lat_alu", 1);
-    latMul_ = cfg.getUint("core.lat_mul", 3);
-    latDiv_ = cfg.getUint("core.lat_div", 12);
-    latFp_ = cfg.getUint("core.lat_fp", 4);
-    latFpDiv_ = cfg.getUint("core.lat_fpdiv", 12);
-    latBranch_ = cfg.getUint("core.lat_branch", 1);
+    issueWidth_ = u32(conf::getUint(cfg, "core.issue_width"));
+    fetchWidth_ = u32(conf::getUint(cfg, "core.fetch_width"));
+    iqSize_ = u32(conf::getUint(cfg, "core.iq_size"));
+    frontendDepth_ = u32(conf::getUint(cfg, "core.frontend_depth"));
+    latAlu_ = conf::getUint(cfg, "core.lat_alu");
+    latMul_ = conf::getUint(cfg, "core.lat_mul");
+    latDiv_ = conf::getUint(cfg, "core.lat_div");
+    latFp_ = conf::getUint(cfg, "core.lat_fp");
+    latFpDiv_ = conf::getUint(cfg, "core.lat_fpdiv");
+    latBranch_ = conf::getUint(cfg, "core.lat_branch");
 
-    u32 line = u32(cfg.getUint("cache.line", 64));
+    u32 line = u32(conf::getUint(cfg, "cache.line"));
     l2_ = std::make_unique<Cache>(
-        "l2", u32(cfg.getUint("l2.size", 262144)),
-        u32(cfg.getUint("l2.assoc", 8)), line,
-        cfg.getUint("l2.lat", 12), cfg.getUint("mem.lat", 120), nullptr,
+        "l2", u32(conf::getUint(cfg, "l2.size")),
+        u32(conf::getUint(cfg, "l2.assoc")), line,
+        conf::getUint(cfg, "l2.lat"), conf::getUint(cfg, "mem.lat"), nullptr,
         stats);
     l1i_ = std::make_unique<Cache>(
-        "l1i", u32(cfg.getUint("l1i.size", 32768)),
-        u32(cfg.getUint("l1i.assoc", 4)), line,
-        cfg.getUint("l1i.lat", 1), 0, l2_.get(), stats);
+        "l1i", u32(conf::getUint(cfg, "l1i.size")),
+        u32(conf::getUint(cfg, "l1i.assoc")), line,
+        conf::getUint(cfg, "l1i.lat"), 0, l2_.get(), stats);
     l1d_ = std::make_unique<Cache>(
-        "l1d", u32(cfg.getUint("l1d.size", 32768)),
-        u32(cfg.getUint("l1d.assoc", 4)), line,
-        cfg.getUint("l1d.lat", 2), 0, l2_.get(), stats);
+        "l1d", u32(conf::getUint(cfg, "l1d.size")),
+        u32(conf::getUint(cfg, "l1d.assoc")), line,
+        conf::getUint(cfg, "l1d.lat"), 0, l2_.get(), stats);
     itlb_ = std::make_unique<Tlb>(
-        "itlb", u32(cfg.getUint("tlb.l1_entries", 32)),
-        u32(cfg.getUint("tlb.l2_entries", 256)),
-        cfg.getUint("tlb.l2_lat", 4), cfg.getUint("tlb.walk_lat", 40),
+        "itlb", u32(conf::getUint(cfg, "tlb.l1_entries")),
+        u32(conf::getUint(cfg, "tlb.l2_entries")),
+        conf::getUint(cfg, "tlb.l2_lat"), conf::getUint(cfg, "tlb.walk_lat"),
         stats);
     dtlb_ = std::make_unique<Tlb>(
-        "dtlb", u32(cfg.getUint("tlb.l1_entries", 32)),
-        u32(cfg.getUint("tlb.l2_entries", 256)),
-        cfg.getUint("tlb.l2_lat", 4), cfg.getUint("tlb.walk_lat", 40),
+        "dtlb", u32(conf::getUint(cfg, "tlb.l1_entries")),
+        u32(conf::getUint(cfg, "tlb.l2_entries")),
+        conf::getUint(cfg, "tlb.l2_lat"), conf::getUint(cfg, "tlb.walk_lat"),
         stats);
     gshare_ = std::make_unique<Gshare>(
-        u32(cfg.getUint("bpred.entries", 4096)),
-        u32(cfg.getUint("bpred.history", 8)), stats);
-    btb_ = std::make_unique<Btb>(u32(cfg.getUint("btb.entries", 1024)),
+        u32(conf::getUint(cfg, "bpred.entries")),
+        u32(conf::getUint(cfg, "bpred.history")), stats);
+    btb_ = std::make_unique<Btb>(u32(conf::getUint(cfg, "btb.entries")),
                                  stats);
     prefetcher_ = std::make_unique<StridePrefetcher>(
-        u32(cfg.getUint("prefetch.entries", 64)),
-        u32(cfg.getUint("prefetch.degree", 2)),
-        cfg.getBool("prefetch.enable", true) ? l1d_.get() : nullptr,
+        u32(conf::getUint(cfg, "prefetch.entries")),
+        u32(conf::getUint(cfg, "prefetch.degree")),
+        conf::getBool(cfg, "prefetch.enable") ? l1d_.get() : nullptr,
         stats);
 
-    aluPool_.assign(cfg.getUint("core.num_alu", 2), 0);
-    complexPool_.assign(cfg.getUint("core.num_complex", 1), 0);
-    fpPool_.assign(cfg.getUint("core.num_fp", 1), 0);
-    memPool_.assign(cfg.getUint("core.num_mem_ports", 1), 0);
+    aluPool_.assign(conf::getUint(cfg, "core.num_alu"), 0);
+    complexPool_.assign(conf::getUint(cfg, "core.num_complex"), 0);
+    fpPool_.assign(conf::getUint(cfg, "core.num_fp"), 0);
+    memPool_.assign(conf::getUint(cfg, "core.num_mem_ports"), 0);
     iqRing_.assign(iqSize_, 0);
 
     cCycles_ = &stats.counter("core.cycles");

@@ -1,5 +1,6 @@
 #include "tol/cost_model.hh"
 
+#include "common/schema.hh"
 #include "snapshot/io.hh"
 
 namespace darco::tol
@@ -32,20 +33,20 @@ overheadName(Overhead c)
 
 CostModel::CostModel(const Config &cfg, StatGroup &stats)
     : stats_(stats),
-      cInterpInst_(cfg.getUint("cost.interp_inst", 20)),
-      cInterpDispatch_(cfg.getUint("cost.interp_dispatch", 9)),
-      cBbFixed_(cfg.getUint("cost.bb_fixed", 180)),
-      cBbGuestInst_(cfg.getUint("cost.bb_guest_inst", 70)),
-      cSbFixed_(cfg.getUint("cost.sb_fixed", 700)),
-      cSbWorkUnit_(cfg.getUint("cost.sb_work_unit", 9)),
-      cPrologue_(cfg.getUint("cost.prologue", 14)),
-      cChain_(cfg.getUint("cost.chain", 30)),
-      cLookup_(cfg.getUint("cost.lookup", 15)),
-      cDispatch_(cfg.getUint("cost.dispatch", 9)),
-      cInit_(cfg.getUint("cost.init", 40000)),
-      cWordEmit_(cfg.getUint("cost.word_emit", 4)),
-      cEvict_(cfg.getUint("cost.evict", 150)),
-      cUnchain_(cfg.getUint("cost.unchain", 24))
+      cInterpInst_(conf::getUint(cfg, "cost.interp_inst")),
+      cInterpDispatch_(conf::getUint(cfg, "cost.interp_dispatch")),
+      cBbFixed_(conf::getUint(cfg, "cost.bb_fixed")),
+      cBbGuestInst_(conf::getUint(cfg, "cost.bb_guest_inst")),
+      cSbFixed_(conf::getUint(cfg, "cost.sb_fixed")),
+      cSbWorkUnit_(conf::getUint(cfg, "cost.sb_work_unit")),
+      cPrologue_(conf::getUint(cfg, "cost.prologue")),
+      cChain_(conf::getUint(cfg, "cost.chain")),
+      cLookup_(conf::getUint(cfg, "cost.lookup")),
+      cDispatch_(conf::getUint(cfg, "cost.dispatch")),
+      cInit_(conf::getUint(cfg, "cost.init")),
+      cWordEmit_(conf::getUint(cfg, "cost.word_emit")),
+      cEvict_(conf::getUint(cfg, "cost.evict")),
+      cUnchain_(conf::getUint(cfg, "cost.unchain"))
 {
 }
 

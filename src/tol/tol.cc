@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/schema.hh"
 #include "guest/semantics.hh"
 #include "snapshot/io.hh"
 #include "tol/codegen.hh"
@@ -32,50 +33,47 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     : mem_(mem),
       cfg_(cfg),
       stats_(stats),
-      cache_(u32(cfg.getUint("cc.capacity_words", 1u << 22))),
+      cache_(u32(conf::getUint(cfg, "cc.capacity_words"))),
       emu_(cache_, mem, cfg),
       profiler_(emu_, profBase),
       registry_(cache_, emu_.ibtc(), stats),
       cost_(cfg, stats),
-      frontend_(FrontendOptions{cfg.getBool("tol.fuse_flags", true)}),
-      localOs_(cfg.getUint("seed", 1))
+      frontend_(FrontendOptions{conf::getBool(cfg, "tol.fuse_flags")}),
+      localOs_(conf::getUint(cfg, "seed"))
 {
     emu_.setRetireSink(this);
 
-    bbThreshold_ = u32(cfg.getUint("tol.bb_threshold", 10));
-    sbThreshold_ = u32(cfg.getUint("tol.sb_threshold", 50));
+    bbThreshold_ = u32(conf::getUint(cfg, "tol.bb_threshold"));
+    sbThreshold_ = u32(conf::getUint(cfg, "tol.sb_threshold"));
     baseBbThreshold_ = bbThreshold_;
     baseSbThreshold_ = sbThreshold_;
-    biasThreshold_ = cfg.getFloat("tol.bias_threshold", 0.85);
-    cumThreshold_ = cfg.getFloat("tol.cum_threshold", 0.40);
-    minEdgeTotal_ = u32(cfg.getUint("tol.min_edge_total", 16));
-    maxSbInsts_ = u32(cfg.getUint("tol.max_sb_insts", 200));
-    maxSbBbs_ = u32(cfg.getUint("tol.max_sb_bbs", 16));
-    maxBbInsts_ = u32(cfg.getUint("tol.max_bb_insts", 128));
-    maxAssertFails_ = u32(cfg.getUint("tol.max_assert_fails", 6));
-    maxAliasFails_ = u32(cfg.getUint("tol.max_alias_fails", 6));
-    unroll_ = cfg.getBool("tol.unroll", true);
-    unrollFactor_ = u32(cfg.getUint("tol.unroll_factor", 4));
-    useAsserts_ = cfg.getBool("tol.asserts", true);
-    bbmEnabled_ = cfg.getBool("tol.enable_bbm", true);
-    sbmEnabled_ = cfg.getBool("tol.enable_sbm", true);
-    chaining_ = cfg.getBool("tol.chaining", true);
-    specMem_ = cfg.getBool("tol.spec_mem", true);
-    sched_ = cfg.getBool("tol.sched", true);
-    opt_ = cfg.getBool("tol.opt", true);
-    hostChunk_ = cfg.getUint("tol.host_chunk", 1u << 20);
-    u64 bbv_interval = cfg.getUint("tol.bbv_interval", 0);
+    biasThreshold_ = conf::getFloat(cfg, "tol.bias_threshold");
+    cumThreshold_ = conf::getFloat(cfg, "tol.cum_threshold");
+    minEdgeTotal_ = u32(conf::getUint(cfg, "tol.min_edge_total"));
+    maxSbInsts_ = u32(conf::getUint(cfg, "tol.max_sb_insts"));
+    maxSbBbs_ = u32(conf::getUint(cfg, "tol.max_sb_bbs"));
+    maxBbInsts_ = u32(conf::getUint(cfg, "tol.max_bb_insts"));
+    maxAssertFails_ = u32(conf::getUint(cfg, "tol.max_assert_fails"));
+    maxAliasFails_ = u32(conf::getUint(cfg, "tol.max_alias_fails"));
+    unroll_ = conf::getBool(cfg, "tol.unroll");
+    unrollFactor_ = u32(conf::getUint(cfg, "tol.unroll_factor"));
+    useAsserts_ = conf::getBool(cfg, "tol.asserts");
+    bbmEnabled_ = conf::getBool(cfg, "tol.enable_bbm");
+    sbmEnabled_ = conf::getBool(cfg, "tol.enable_sbm");
+    chaining_ = conf::getBool(cfg, "tol.chaining");
+    specMem_ = conf::getBool(cfg, "tol.spec_mem");
+    sched_ = conf::getBool(cfg, "tol.sched");
+    opt_ = conf::getBool(cfg, "tol.opt");
+    hostChunk_ = conf::getUint(cfg, "tol.host_chunk");
+    u64 bbv_interval = conf::getUint(cfg, "tol.bbv_interval");
     bbvOn_ = bbv_interval != 0;
     if (bbvOn_)
         profiler_.enableBbv(bbv_interval);
     // Hidden fault-injection hook for the differential fuzzer's
     // self-test (see CodegenOptions::flipCondExits).
-    flipCondExits_ = cfg.getBool("debug.flip_cond_exits", false);
+    flipCondExits_ = conf::getBool(cfg, "debug.flip_cond_exits");
 
-    std::string policy = cfg.getString("cc.policy", "evict");
-    darco_assert(policy == "evict" || policy == "flush",
-                 "cc.policy must be 'evict' or 'flush'");
-    ccEvict_ = policy == "evict";
+    ccEvict_ = conf::getEnum(cfg, "cc.policy") == "evict";
     // The classic policy never reclaims invalidated regions: they
     // stay as dead occupancy until the next full flush.
     registry_.setReclaimOnInvalidate(ccEvict_);

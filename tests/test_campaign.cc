@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "campaign/campaign.hh"
+#include "common/logging.hh"
 #include "workloads/synth.hh"
 
 using namespace darco;
@@ -239,23 +240,50 @@ TEST(Campaign, ReportsCoverEveryJob)
     EXPECT_NE(json.find("\"insts\": "), std::string::npos);
 }
 
-TEST(Campaign, JobFailureIsCapturedNotThrown)
+TEST(Campaign, InvalidConfigIsRejectedAtMatrixExpansion)
 {
     std::vector<std::pair<std::string, guest::Program>> wls = {
         {"wl-f", smallWorkload("wl-f", 41)},
     };
-    // An invalid cc.policy makes the Controller's Tol constructor
-    // panic; the pool must capture that per-job.
+    // Schema validation happens when the matrix is expanded, naming
+    // the config variant and the offending key — a bad sweep fails
+    // before any simulation runs.
     Config bad;
     bad.parseLine("cc.policy=bogus");
     std::vector<std::pair<std::string, Config>> cfgs = {
         {"bad", bad},
         {"good", Config{}},
     };
-    std::vector<Job> jobs = expandMatrix(wls, cfgs, ~0ull, 0);
+    try {
+        expandMatrix(wls, cfgs, ~0ull, 0);
+        FAIL() << "expandMatrix accepted an invalid config";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("cc.policy"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("'bad'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Campaign, JobFailureIsCapturedNotThrown)
+{
+    // A job built outside expandMatrix (bypassing up-front
+    // validation) still fails per-job, not per-campaign: the
+    // Controller's own schema validation throws and the pool
+    // captures it.
+    Job badJob;
+    badJob.workload = "wl-f";
+    badJob.configName = "bad";
+    badJob.program = smallWorkload("wl-f", 41);
+    badJob.config.parseLine("cc.policy=bogus");
+    Job goodJob = badJob;
+    goodJob.configName = "good";
+    goodJob.config = Config{};
     RunOptions opts;
     opts.jobs = 2;
-    CampaignResult res = runCampaign(jobs, opts);
+    CampaignResult res = runCampaign({badJob, goodJob}, opts);
     ASSERT_EQ(res.results.size(), 2u);
     EXPECT_FALSE(res.results[0].ok);
     EXPECT_NE(res.results[0].error.find("cc.policy"),

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "common/bitutil.hh"
@@ -186,4 +187,41 @@ TEST(Logging, AssertMacro)
 {
     EXPECT_NO_THROW(darco_assert(1 + 1 == 2));
     EXPECT_THROW(darco_assert(1 == 2, "context"), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Config parse hardening (schema PR satellite): strtoull silently
+// wrapped negative input and neither integer parser checked ERANGE.
+// ---------------------------------------------------------------------
+
+TEST(ConfigParse, NegativeUnsignedIsRejectedNotWrapped)
+{
+    Config c;
+    c.parseLine("k=-5");
+    // Before the fix strtoull silently wrapped to 2^64-5.
+    EXPECT_THROW(c.getUint("k", 0), FatalError);
+}
+
+TEST(ConfigParse, OverflowedLiteralsAreRejectedNotClamped)
+{
+    Config c;
+    c.parseLine("u=99999999999999999999999999");
+    EXPECT_THROW(c.getUint("u", 0), FatalError);
+    Config d;
+    d.parseLine("i=99999999999999999999999999");
+    EXPECT_THROW(d.getInt("i", 0), FatalError);
+    Config e;
+    e.parseLine("i=-99999999999999999999999999");
+    EXPECT_THROW(e.getInt("i", 0), FatalError);
+}
+
+TEST(ConfigParse, BoundaryValuesStillParse)
+{
+    Config c;
+    c.parseLine("u=18446744073709551615"); // 2^64-1
+    EXPECT_EQ(c.getUint("u", 0), ~0ull);
+    c.parseLine("i=-9223372036854775808"); // s64 min
+    EXPECT_EQ(c.getInt("i", 0), INT64_MIN);
+    c.parseLine("hex=0x1000");
+    EXPECT_EQ(c.getUint("hex", 0), 4096u);
 }

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "common/schema.hh"
 #include "tol/tol.hh"
 #include "workloads/synth.hh"
 #include "xemu/ref_component.hh"
@@ -131,7 +132,7 @@ TEST_P(Differential, CoDesignedMatchesReference)
     // The point of the exercise: the optimized path must actually be
     // exercised, not accidentally interpreted (unless the config
     // deliberately disables SBM).
-    if (cfg.getBool("tol.enable_sbm", true))
+    if (conf::getBool(cfg, "tol.enable_sbm"))
         EXPECT_GT(stats.value("tol.guest_sbm"), 0u);
 }
 

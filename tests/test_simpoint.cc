@@ -458,7 +458,7 @@ TEST(Report, ColumnOrderIsStableAndDocumented)
               ",tol.guest_im,tol.guest_bbm,tol.guest_sbm"
               ",tol.translations_bb,tol.translations_sb"
               ",cc.evictions,cc.flushes,sync.syscalls"
-              ",checkpoint,error");
+              ",effective_config,checkpoint,error");
 }
 
 TEST(Report, TimingPowerColumnsPopulatedForPresets)

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+#
+# Config-defaults lint: fail when any raw Config getter call carrying
+# an inline default — cfg.get{Bool,Int,Uint,Float,String}(key, def) —
+# appears outside the schema/config layer. All defaults live in the
+# parameter schema (src/common/schema.cc); components read through
+# the schema-bound accessors (conf::getUint & friends), so a default
+# can never fork between call sites again.
+#
+# Allowed exceptions:
+#   src/common/config.cc    the raw store's own machinery
+#   src/common/schema.cc    the schema layer (resolves defaults)
+#   tests/test_common.cc    unit tests of the raw Config API itself
+#
+# Usage: check_config_defaults.sh [repo-root]
+set -u
+root="${1:-.}"
+
+bad=0
+while IFS= read -r f; do
+    case "$f" in
+        */src/common/config.cc | */src/common/schema.cc | \
+            */tests/test_common.cc)
+            continue
+            ;;
+    esac
+    # -z treats the file as one NUL-record so the match survives a
+    # line break between the key and the default argument.
+    if grep -qzE '\.get(Bool|Int|Uint|Float|String)\([^)]*,' "$f"; then
+        echo "lint: raw Config getter with an inline default in $f" >&2
+        echo "      (declare the parameter in src/common/schema.cc" >&2
+        echo "       and read it via conf::get*)" >&2
+        grep -nE '\.get(Bool|Int|Uint|Float|String)\(' "$f" >&2 || true
+        bad=1
+    fi
+done < <(find "$root/src" "$root/tools" "$root/tests" "$root/bench" \
+    "$root/examples" \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) \
+    2>/dev/null)
+
+if [ "$bad" -ne 0 ]; then
+    echo "config-defaults lint FAILED" >&2
+    exit 1
+fi
+echo "config-defaults lint OK"

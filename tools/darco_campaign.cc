@@ -35,6 +35,7 @@
 
 #include "campaign/campaign.hh"
 #include "common/logging.hh"
+#include "common/schema.hh"
 #include "workloads/suite.hh"
 #include "workloads/synth.hh"
 
@@ -58,6 +59,7 @@ struct Options
     std::string csvPath;
     std::string jsonPath;
     bool list = false;
+    bool listConfig = false;
     bool quiet = false;
     bool timing = true;
     campaign::SampleMode sampleMode = campaign::SampleMode::Full;
@@ -94,6 +96,8 @@ usage(const char *argv0)
         "  --csv PATH          write the CSV report here\n"
         "  --json PATH         write the JSON report here\n"
         "  --list              list known workloads and presets\n"
+        "  --list-config       print the generated parameter "
+        "reference\n"
         "  -c key=value        extra config override (repeatable)\n"
         "  -q                  suppress the stdout CSV\n",
         argv0);
@@ -209,6 +213,8 @@ parseArgs(int argc, char **argv, Options &o)
             o.extra.push_back(v);
         } else if (a == "--list") {
             o.list = true;
+        } else if (a == "--list-config") {
+            o.listConfig = true;
         } else if (a == "-q") {
             o.quiet = true;
         } else {
@@ -239,6 +245,10 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, o)) {
         usage(argv[0]);
         return 2;
+    }
+    if (o.listConfig) {
+        std::fputs(conf::schema().referenceMarkdown().c_str(), stdout);
+        return 0;
     }
     if (o.sampleMode == campaign::SampleMode::SimPoint && o.skip > 0) {
         std::fprintf(stderr,

@@ -12,6 +12,8 @@
  *   darco_fuzz --seed-base 1000 --seeds 64
  *   darco_fuzz --replay fuzz-out/seed7.gisa
  *   darco_fuzz --seeds 16 -c debug.flip_cond_exits=true   # self-test
+ *   darco_fuzz --seeds 64 --rand-config 2 # + 2 random schema-drawn
+ *                                         #   configs per seed
  *
  * With --jobs N the seed sweep fans out on the campaign thread pool
  * (one isolated differential run per seed); reporting and failure
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "common/schema.hh"
 #include "fuzz/diffrun.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/shrink.hh"
@@ -47,6 +50,8 @@ struct Options
     u64 seeds = 16;
     u64 seedBase = 1;
     unsigned jobs = 1;
+    unsigned randConfigs = 0;
+    bool listConfig = false;
     std::string outDir = "fuzz-out";
     std::string replay;
     bool verbose = false;
@@ -65,7 +70,10 @@ usage(const char *argv0)
         "  --jobs N          run seeds on N worker threads (default 1)\n"
         "  --out DIR         failure-dump directory (default fuzz-out)\n"
         "  --replay FILE     re-run one .gisa case instead of fuzzing\n"
+        "  --rand-config N   add N random valid configs (drawn from\n"
+        "                    the schema's fuzz ranges) to the matrix\n"
         "  --no-minimize     skip delta debugging on failures\n"
+        "  --list-config     print the generated parameter reference\n"
         "  -c key=value      extra config override (repeatable)\n"
         "  -v                per-seed config matrix detail\n",
         argv0);
@@ -108,8 +116,16 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.replay = v;
+        } else if (a == "--rand-config") {
+            const char *v = next();
+            u64 n = 0;
+            if (!v || !number(v, n) || n > 64)
+                return false;
+            o.randConfigs = unsigned(n);
         } else if (a == "--no-minimize") {
             o.noMinimize = true;
+        } else if (a == "--list-config") {
+            o.listConfig = true;
         } else if (a == "-c") {
             const char *v = next();
             if (!v)
@@ -178,6 +194,8 @@ replayCase(const Options &o)
     u64 seed = 1;
     if (prog.name.rfind("fuzz", 0) == 0 && prog.name.size() > 4)
         seed = std::strtoull(prog.name.c_str() + 4, nullptr, 10);
+    if (o.randConfigs)
+        dopts.matrix = fuzz::randomMatrix(seed, o.randConfigs);
 
     fuzz::DiffResult r = fuzz::diffRun(prog, seed, dopts);
     std::printf("%s (%zu static insts)\n%s", prog.name.c_str(),
@@ -193,6 +211,18 @@ main(int argc, char **argv)
     Options o;
     if (!parseArgs(argc, argv, o)) {
         usage(argv[0]);
+        return 2;
+    }
+    if (o.listConfig) {
+        std::fputs(conf::schema().referenceMarkdown().c_str(), stdout);
+        return 0;
+    }
+    // Validate -c overrides against the schema before any run: a
+    // typo'd key must fail the sweep, not silently run defaults.
+    try {
+        conf::schema().validate(Config(o.extra), "darco_fuzz -c");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 2;
     }
     if (!o.replay.empty())
@@ -213,8 +243,11 @@ main(int argc, char **argv)
             fuzz::GenParams gp;
             gp.seed = s;
             specs[i] = fuzz::makeSpec(gp);
+            fuzz::DiffOptions d = dopts;
+            if (o.randConfigs)
+                d.matrix = fuzz::randomMatrix(s, o.randConfigs);
             results[i] =
-                fuzz::diffRun(fuzz::build(specs[i]), s, dopts);
+                fuzz::diffRun(fuzz::build(specs[i]), s, d);
         });
     }
     campaign::Pool(o.jobs).run(std::move(tasks));
@@ -244,6 +277,8 @@ main(int argc, char **argv)
         }
 
         fuzz::DiffOptions mopts = dopts;
+        if (o.randConfigs)
+            mopts.matrix = fuzz::randomMatrix(s, o.randConfigs);
         mopts.pinpoint = false; // fast trials while reducing
         fuzz::ShrinkResult sr = fuzz::shrink(spec, mopts);
         std::printf(

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/schema.hh"
 #include "sampling/simpoint.hh"
 #include "sim/controller.hh"
 #include "workloads/suite.hh"
@@ -53,6 +54,7 @@ struct Options
     std::vector<std::string> extra;
     std::string ckptDir;
     std::string csvPath;
+    bool listConfig = false;
 };
 
 void
@@ -71,6 +73,8 @@ usage(const char *argv0)
         "  --max-insts N     profiling budget\n"
         "  --ckpt-dir D      save one checkpoint per simpoint into D\n"
         "  --csv PATH        per-interval cluster assignment dump\n"
+        "  --list-config     print the generated parameter "
+        "reference\n"
         "  -c key=value      config override (repeatable)\n",
         argv0);
 }
@@ -131,6 +135,8 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.extra.push_back(v);
+        } else if (a == "--list-config") {
+            o.listConfig = true;
         } else {
             return false;
         }
@@ -149,6 +155,11 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (o.listConfig) {
+        std::fputs(conf::schema().referenceMarkdown().c_str(), stdout);
+        return 0;
+    }
+
     try {
         std::vector<workloads::Benchmark> suite =
             workloads::paperSuite(o.scale);
@@ -161,6 +172,7 @@ main(int argc, char **argv)
         }
         guest::Program prog = workloads::synthesize(b->params);
         Config cfg(o.extra);
+        conf::schema().validate(cfg, "darco_simpoint -c");
 
         sampling::BbvProfile profile = sampling::collectBbvProfile(
             prog, cfg, o.interval, o.maxInsts);
