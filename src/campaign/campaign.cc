@@ -158,9 +158,12 @@ presetConfigs(const std::vector<std::string> &names,
             cfg.parseLine("cc.capacity_words=768");
             cfg.parseLine("cc.policy=evict");
             cfg.parseLine("tol.max_sb_insts=120");
+        } else if (name == "async") {
+            cfg.parseLine("tol.async.threads=2");
+            cfg.parseLine("tol.async.vthreads=2");
         } else {
             fatal("unknown config preset '", name,
-                  "' (expected interp|noopt|fullopt|tinycc)");
+                  "' (expected interp|noopt|fullopt|tinycc|async)");
         }
         for (const std::string &kv : extra)
             cfg.parseLine(kv);

@@ -447,6 +447,26 @@ ConfigSchema::ConfigSchema()
              "(0 disables BBV collection)")
         .fuzz(u64(512), u64(8192));
 
+    // --- TOL: asynchronous translation pipeline ------------------------
+    declUint("tol.async.threads", 0, 0, 64,
+             "background translator worker threads (0 = translate "
+             "synchronously on the guest critical path); simulated "
+             "results are identical for any value >= 1")
+        .fuzz(u64(1), u64(4));
+    declUint("tol.async.vthreads", 1, 1, 64,
+             "modeled concurrent translator threads: divides the "
+             "virtual translation-completion latency and overlaps the "
+             "concurrent-translator cost category in the timing core")
+        .fuzz(u64(1), u64(4));
+    declUint("tol.async.queue", 16, 1, 4096,
+             "bounded translation-request queue depth; a full queue "
+             "forces a synchronous fallback translation")
+        .fuzz(u64(1), u64(32));
+    declUint("tol.async.rate", 8, 1, 1u << 20,
+             "modeled translator throughput in host instructions per "
+             "retired guest instruction, per modeled thread")
+        .fuzz(u64(2), u64(16));
+
     // --- code cache ----------------------------------------------------
     declUint("cc.capacity_words", 1u << 22, 256, 1u << 28,
              "code-cache capacity in host words")

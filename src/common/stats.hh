@@ -11,6 +11,7 @@
 #ifndef DARCO_COMMON_STATS_HH
 #define DARCO_COMMON_STATS_HH
 
+#include <atomic>
 #include <map>
 #include <ostream>
 #include <string>
@@ -21,19 +22,33 @@
 namespace darco
 {
 
-/** A single named 64-bit counter. */
+/**
+ * A single named 64-bit counter.
+ *
+ * Updates are relaxed atomics so components shared across threads
+ * (the translation registry under the async translator, code-cache
+ * eviction bookkeeping) can bump counters without data races; no
+ * ordering is implied between counters.
+ */
 class Counter
 {
   public:
     Counter() = default;
+    Counter(const Counter &o) : value_(o.value()) {}
+    Counter &
+    operator=(const Counter &o)
+    {
+        value_.store(o.value(), std::memory_order_relaxed);
+        return *this;
+    }
 
-    void inc(u64 by = 1) { value_ += by; }
-    void set(u64 v) { value_ = v; }
-    void reset() { value_ = 0; }
-    u64 value() const { return value_; }
+    void inc(u64 by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+    void set(u64 v) { value_.store(v, std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+    u64 value() const { return value_.load(std::memory_order_relaxed); }
 
   private:
-    u64 value_ = 0;
+    std::atomic<u64> value_{0};
 };
 
 /** Simple fixed-bucket histogram over u64 samples. */

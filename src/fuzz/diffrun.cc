@@ -30,6 +30,9 @@ defaultMatrix()
         {"tinycc",
          {"cc.capacity_words=768", "cc.policy=evict",
           "tol.max_sb_insts=120"}},
+        // Background translation with modeled concurrency: must be
+        // architecturally identical to fullopt, only timing differs.
+        {"async", {"tol.async.threads=2", "tol.async.vthreads=2"}},
     };
 }
 

@@ -67,6 +67,16 @@ class TraceSink
   public:
     virtual ~TraceSink() = default;
     virtual void record(const InstRecord &rec) = 0;
+
+    /**
+     * Account host instructions executed by a concurrent translator
+     * thread. Unlike record(), these do not join the core's dynamic
+     * stream — they run on spare hardware off the guest critical
+     * path; a timing model overlaps them (e.g. cycles = max(main,
+     * translator/threads)) instead of serializing them. Default: no
+     * timing model attached, drop on the floor.
+     */
+    virtual void recordConcurrent(u64 host_insts) { (void)host_insts; }
 };
 
 /** Map a host opcode to its execution class. */

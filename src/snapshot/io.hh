@@ -55,8 +55,11 @@ constexpr u32 snapshotMagic = 0x30435244u;
  * v3: `cfg` section stores the schema-normalized effective values of
  *     execution-relevant parameters only (see docs/CONFIG.md), not
  *     the raw key/value store.
+ * v4: `tol` section carries in-flight asynchronous translation jobs
+ *     (entry, virtual enqueue/completion points, SB recipes) and the
+ *     cost model gains the concurrent_translator overhead category.
  */
-constexpr u32 snapshotVersion = 3;
+constexpr u32 snapshotVersion = 4;
 
 /**
  * Checkpoint writer. Writes the header on construction; sections are

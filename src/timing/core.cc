@@ -66,6 +66,12 @@ InOrderCore::InOrderCore(const Config &cfg, StatGroup &stats)
     memPool_.assign(conf::getUint(cfg, "core.num_mem_ports"), 0);
     iqRing_.assign(iqSize_, 0);
 
+    // Concurrent translator threads modeled for the overlap (the
+    // async pipeline's virtual-time schedule uses the same knob).
+    vthreads_ = u32(conf::getUint(cfg, "tol.async.vthreads"));
+    if (vthreads_ == 0)
+        vthreads_ = 1;
+
     cCycles_ = &stats.counter("core.cycles");
     cInsts_ = &stats.counter("core.instructions");
     cAluOps_ = &stats.counter("core.alu_ops");
@@ -75,6 +81,15 @@ InOrderCore::InOrderCore(const Config &cfg, StatGroup &stats)
     cMemOps_ = &stats.counter("core.mem_ops");
     cBranches_ = &stats.counter("core.branches");
     cFetchStallCycles_ = &stats.counter("core.fetch_stall_cycles");
+    cTranslatorInsts_ = &stats.counter("core.translator_insts");
+}
+
+void
+InOrderCore::recordConcurrent(u64 host_insts)
+{
+    translatorInsts_ += host_insts;
+    cTranslatorInsts_->inc(host_insts);
+    cCycles_->set(cycles());
 }
 
 Cycle
@@ -222,7 +237,10 @@ InOrderCore::record(const InstRecord &rec)
 Cycle
 InOrderCore::cycles() const
 {
-    return lastRetire_;
+    // Translator threads run on spare hardware at ~1 IPC each; the
+    // run ends when both the main core and the translators finish.
+    Cycle translator = (translatorInsts_ + vthreads_ - 1) / vthreads_;
+    return std::max(lastRetire_, translator);
 }
 
 } // namespace darco::timing

@@ -58,8 +58,15 @@ class InOrderCore : public host::TraceSink
 
     // TraceSink
     void record(const host::InstRecord &rec) override;
+    void recordConcurrent(u64 host_insts) override;
 
-    /** Total cycles including pipeline drain. */
+    /**
+     * Total cycles including pipeline drain. Concurrent-translator
+     * work is overlapped, not serialized: the modeled translator
+     * threads (`tol.async.vthreads`) retire roughly one instruction
+     * per cycle each, so the run takes
+     * max(main-core cycles, translator insts / vthreads).
+     */
     Cycle cycles() const;
     u64 instructions() const { return instructions_; }
     double ipc() const
@@ -107,6 +114,10 @@ class InOrderCore : public host::TraceSink
 
     u64 instructions_ = 0;
 
+    // Concurrent-translator overlap model.
+    u64 translatorInsts_ = 0;
+    u32 vthreads_ = 1;
+
     // Event counters for the power model.
     Counter *cCycles_;
     Counter *cInsts_;
@@ -117,6 +128,7 @@ class InOrderCore : public host::TraceSink
     Counter *cMemOps_;
     Counter *cBranches_;
     Counter *cFetchStallCycles_;
+    Counter *cTranslatorInsts_;
 };
 
 } // namespace darco::timing

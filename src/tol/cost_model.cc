@@ -27,6 +27,7 @@ overheadName(Overhead c)
       case Overhead::Chaining: return "chaining";
       case Overhead::Lookup: return "code_cache_lookup";
       case Overhead::Other: return "others";
+      case Overhead::ConcTranslator: return "concurrent_translator";
       default: return "?";
     }
 }
@@ -55,7 +56,14 @@ CostModel::charge(Overhead cat, u64 n)
 {
     totals_[unsigned(cat)] += n;
     stats_.counter(std::string("tol.ov_") + overheadName(cat)).inc(n);
-    if (sink_)
+    if (!sink_)
+        return;
+    // Critical-path charges join the core's dynamic stream; work on a
+    // concurrent translator thread is reported out-of-band so the
+    // timing model can overlap it with guest execution.
+    if (cat == Overhead::ConcTranslator)
+        sink_->recordConcurrent(n);
+    else
         synthesize(n);
 }
 
@@ -119,6 +127,35 @@ CostModel::chargeSBTranslation(u64 guest_insts, u64 pass_work,
 }
 
 void
+CostModel::chargeBBTranslationConc(u64 guest_insts, u64 host_words)
+{
+    charge(Overhead::ConcTranslator,
+           cBbFixed_ + cBbGuestInst_ * guest_insts +
+               cWordEmit_ * host_words);
+}
+
+void
+CostModel::chargeSBTranslationConc(u64 guest_insts, u64 pass_work,
+                                   u64 host_words)
+{
+    charge(Overhead::ConcTranslator,
+           cSbFixed_ + cBbGuestInst_ * guest_insts +
+               cSbWorkUnit_ * pass_work + cWordEmit_ * host_words);
+}
+
+u64
+CostModel::estBBCost(u64 guest_insts) const
+{
+    return cBbFixed_ + cBbGuestInst_ * guest_insts;
+}
+
+u64
+CostModel::estSBCost(u64 path_guest_insts) const
+{
+    return cSbFixed_ + cBbGuestInst_ * path_guest_insts;
+}
+
+void
 CostModel::chargePrologue()
 {
     charge(Overhead::Prologue, cPrologue_);
@@ -161,6 +198,12 @@ CostModel::totalAll() const
     for (u64 v : totals_)
         t += v;
     return t;
+}
+
+u64
+CostModel::totalCritical() const
+{
+    return totalAll() - totals_[unsigned(Overhead::ConcTranslator)];
 }
 
 void

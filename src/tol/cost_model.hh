@@ -35,7 +35,15 @@ class Deserializer;
 namespace darco::tol
 {
 
-/** The paper's seven overhead categories (Fig. 7). */
+/**
+ * The paper's seven overhead categories (Fig. 7), plus the
+ * concurrent-translator category introduced by the async pipeline:
+ * translation work that has been moved off the guest critical path
+ * onto a background translator thread. ConcTranslator charges are
+ * *not* synthesized into the core's dynamic stream — the timing
+ * model overlaps them (TraceSink::recordConcurrent) — and they are
+ * excluded from totalCritical().
+ */
 enum class Overhead : u8
 {
     Interp,
@@ -45,8 +53,12 @@ enum class Overhead : u8
     Chaining,
     Lookup,
     Other,
+    ConcTranslator,
     NumCats,
 };
+
+/** Number of categories that sit on the guest critical path. */
+constexpr unsigned numCriticalOverheads = unsigned(Overhead::ConcTranslator);
 
 const char *overheadName(Overhead c);
 
@@ -81,6 +93,19 @@ class CostModel
     void chargeBBTranslation(u64 guest_insts, u64 host_words);
     void chargeSBTranslation(u64 guest_insts, u64 pass_work,
                              u64 host_words);
+    /** Same work, charged to the concurrent-translator category
+     *  (async pipeline: off the guest critical path). */
+    void chargeBBTranslationConc(u64 guest_insts, u64 host_words);
+    void chargeSBTranslationConc(u64 guest_insts, u64 pass_work,
+                                 u64 host_words);
+    /**
+     * Enqueue-time latency estimates for the async completion
+     * schedule. Host-word terms are excluded: the emitted word count
+     * is unknown until codegen, and the completion point must be a
+     * pure function of enqueue-time inputs.
+     */
+    u64 estBBCost(u64 guest_insts) const;
+    u64 estSBCost(u64 path_guest_insts) const;
     void chargePrologue();
     void chargeChainAttempt();
     void chargeLookup();
@@ -92,6 +117,9 @@ class CostModel
 
     u64 total(Overhead cat) const { return totals_[unsigned(cat)]; }
     u64 totalAll() const;
+    /** All categories except ConcTranslator: overhead that actually
+     *  delays the guest. */
+    u64 totalCritical() const;
 
     /** Checkpoint hooks: the per-category accumulated totals. */
     void save(snapshot::Serializer &s) const;

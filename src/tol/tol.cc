@@ -64,7 +64,18 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     specMem_ = conf::getBool(cfg, "tol.spec_mem");
     sched_ = conf::getBool(cfg, "tol.sched");
     opt_ = conf::getBool(cfg, "tol.opt");
+    fuseFlags_ = conf::getBool(cfg, "tol.fuse_flags");
     hostChunk_ = conf::getUint(cfg, "tol.host_chunk");
+
+    u32 async_threads = u32(conf::getUint(cfg, "tol.async.threads"));
+    asyncVthreads_ =
+        std::max<u32>(1, u32(conf::getUint(cfg, "tol.async.vthreads")));
+    asyncRate_ = std::max<u64>(1, conf::getUint(cfg, "tol.async.rate"));
+    if (async_threads > 0 && bbmEnabled_) {
+        async_ = std::make_unique<AsyncTranslator>(
+            async_threads, u32(conf::getUint(cfg, "tol.async.queue")),
+            [this](TranslationJob &j) { prepareJob(j); });
+    }
     u64 bbv_interval = conf::getUint(cfg, "tol.bbv_interval");
     bbvOn_ = bbv_interval != 0;
     if (bbvOn_)
@@ -278,11 +289,17 @@ Tol::interpretStep()
     BBInfo &bb = getBB(entry);
 
     if (bbmEnabled_ && bb.translatable &&
-        registry_.lookup(entry) == TranslationRegistry::npos) {
+        registry_.lookup(entry) == TranslationRegistry::npos &&
+        !(async_ && async_->pendingFor(entry))) {
         u32 c = profiler_.bumpIm(entry);
         if (c >= bbThreshold_) {
-            translateBB(bb);
-            return; // next dispatch enters the fresh translation
+            // Async: hand the hot BB to a background translator and
+            // keep interpreting it — IM covers the virtual completion
+            // window. A full queue falls back to the inline path.
+            if (!async_ || !enqueueBBAsync(bb)) {
+                translateBB(bb);
+                return; // next dispatch enters the fresh translation
+            }
         }
     }
 
@@ -371,18 +388,22 @@ Tol::evictFor(u32 need, u32 pinned_tid)
     }
 }
 
-u32
-Tol::install(Region &region, RegionMode mode, bool profile,
-             GAddr prof_bb, u32 pinned_tid)
+namespace
 {
-    // BBV overhead dimension: everything this installation charges
-    // (optimization passes, codegen, evictions) is software-layer
-    // activity of the open profiling interval. Suppressed during
-    // checkpoint-restore replay, whose charges are overwritten by the
-    // restored cost/stats sections anyway.
-    u64 bbvCost0 = bbvOn_ && !inRestore_ ? cost_.totalAll() : 0;
-    u64 pass_work = 0;
-    if (opt_) {
+
+/**
+ * The pure middle of a translation: optimization passes, scheduling,
+ * verification preconditions. Touches only the region and its
+ * explicit inputs, so it runs identically on the main thread (inline
+ * path) and on async translator workers.
+ */
+void
+prepareRegionWork(Region &region, RegionMode mode, bool opt, bool sched,
+                  bool spec_ok, u64 &pass_work, u32 &spec_loads)
+{
+    pass_work = 0;
+    spec_loads = 0;
+    if (opt) {
         if (mode == RegionMode::BB) {
             pass_work += foldConstants(region) + region.items.size();
             pass_work += eliminateDeadCode(region) + region.items.size();
@@ -396,19 +417,50 @@ Tol::install(Region &region, RegionMode mode, bool profile,
             pass_work += eliminateDeadCode(region) + region.items.size();
         }
     }
-    u32 spec_loads = 0;
-    if (mode == RegionMode::SB && sched_) {
+    if (mode == RegionMode::SB && sched) {
         SchedOptions so;
-        so.speculateMem = specMem_ && !sbFlags_[region.entryPc].noSpec;
+        so.speculateMem = spec_ok;
         spec_loads = scheduleRegion(region, so);
         pass_work += region.items.size() * 2; // DDG + scan
-        stats_.counter("tol.spec_loads").inc(spec_loads);
     }
+}
+
+} // namespace
+
+u32
+Tol::install(Region &region, RegionMode mode, bool profile,
+             GAddr prof_bb, u32 pinned_tid)
+{
+    u64 pass_work = 0;
+    u32 spec_loads = 0;
+    bool spec_ok = mode == RegionMode::SB && sched_
+                       ? specMem_ && !sbFlags_[region.entryPc].noSpec
+                       : false;
+    prepareRegionWork(region, mode, opt_, sched_, spec_ok, pass_work,
+                      spec_loads);
 
     std::string err = verifyRegion(region);
     darco_assert(err.empty(), "optimized region invalid: ", err);
 
     Allocation alloc = allocateRegisters(region);
+    return installPrepared(region, alloc, mode, profile, prof_bb,
+                           pinned_tid, pass_work, spec_loads, false);
+}
+
+u32
+Tol::installPrepared(Region &region, const Allocation &alloc,
+                     RegionMode mode, bool profile, GAddr prof_bb,
+                     u32 pinned_tid, u64 pass_work, u32 spec_loads,
+                     bool conc)
+{
+    // BBV overhead dimension: everything this installation charges
+    // (codegen, evictions, the translation itself) is software-layer
+    // activity of the open profiling interval. Suppressed during
+    // checkpoint-restore replay, whose charges are overwritten by the
+    // restored cost/stats sections anyway.
+    u64 bbvCost0 = bbvOn_ && !inRestore_ ? cost_.totalAll() : 0;
+    if (mode == RegionMode::SB && sched_)
+        stats_.counter("tol.spec_loads").inc(spec_loads);
     stats_.counter("tol.spills").inc(alloc.spillCount);
 
     // Two attempts: when the code cache cannot fit the region even
@@ -483,10 +535,17 @@ Tol::install(Region &region, RegionMode mode, bool profile,
         u64 guest_insts =
             region.exits[region.finalExit].instsRetired;
         if (mode == RegionMode::BB) {
-            cost_.chargeBBTranslation(guest_insts, need);
+            if (conc)
+                cost_.chargeBBTranslationConc(guest_insts, need);
+            else
+                cost_.chargeBBTranslation(guest_insts, need);
             stats_.counter("tol.translations_bb").inc();
         } else {
-            cost_.chargeSBTranslation(guest_insts, pass_work, need);
+            if (conc)
+                cost_.chargeSBTranslationConc(guest_insts, pass_work,
+                                              need);
+            else
+                cost_.chargeSBTranslation(guest_insts, pass_work, need);
             stats_.counter("tol.translations_sb").inc();
         }
         if (bbvOn_ && !inRestore_)
@@ -711,11 +770,22 @@ Tol::replaySuperblock(GAddr entry)
         buildSuperblock(entry);
         return;
     }
-    const SBRecipe &rc = it->second;
     std::optional<TripCheck> trip;
+    std::optional<Frontend::EndSpec> end;
+    std::vector<PathElem> path = pathFromRecipe(it->second, trip, end);
+    if (path.empty())
+        return;
+    installSuperblock(entry, path, trip, end);
+}
+
+std::vector<PathElem>
+Tol::pathFromRecipe(const SBRecipe &rc, std::optional<TripCheck> &trip,
+                    std::optional<Frontend::EndSpec> &end)
+{
+    trip.reset();
+    end.reset();
     if (rc.hasTrip)
         trip = TripCheck{rc.tripReg, rc.tripFactor};
-    std::optional<Frontend::EndSpec> end;
     if (rc.hasEnd)
         end = Frontend::EndSpec{tol::ExitKind(rc.endKind),
                                 rc.endTarget};
@@ -736,9 +806,7 @@ Tol::replaySuperblock(GAddr entry)
             path.push_back(last);
         }
     }
-    if (path.empty())
-        return;
-    installSuperblock(entry, path, trip, end);
+    return path;
 }
 
 void
@@ -749,6 +817,28 @@ Tol::installSuperblock(GAddr entry, std::vector<PathElem> &path,
     Region region =
         frontend_.build(entry, RegionMode::SB, path, trip, end);
 
+    u64 pass_work = 0;
+    u32 spec_loads = 0;
+    bool spec_ok = false;
+    if (sched_)
+        spec_ok = specMem_ && !sbFlags_[entry].noSpec;
+    prepareRegionWork(region, RegionMode::SB, opt_, sched_, spec_ok,
+                      pass_work, spec_loads);
+    std::string err = verifyRegion(region);
+    darco_assert(err.empty(), "optimized region invalid: ", err);
+    Allocation alloc = allocateRegisters(region);
+
+    finishSuperblockInstall(entry, region, alloc, trip, pass_work,
+                            spec_loads, path.size(), false);
+}
+
+void
+Tol::finishSuperblockInstall(GAddr entry, Region &region,
+                             const Allocation &alloc,
+                             const std::optional<TripCheck> &trip,
+                             u64 pass_work, u32 spec_loads,
+                             std::size_t path_len, bool conc)
+{
     // Replace the BB translation for this entry (paper: "the previous
     // entry in the code cache ... is invalidated"). For unrolled
     // loops the BB translation is kept alive but unmapped: it becomes
@@ -777,7 +867,8 @@ Tol::installSuperblock(GAddr entry, std::vector<PathElem> &path,
     }
 
     u32 sb_tid =
-        install(region, RegionMode::SB, false, entry, bb_tid);
+        installPrepared(region, alloc, RegionMode::SB, false, entry,
+                        bb_tid, pass_work, spec_loads, conc);
 
     // The install may have fallen back to a full flush, which kills
     // the retained BB (eviction cannot: it is pinned). Re-read the
@@ -799,7 +890,154 @@ Tol::installSuperblock(GAddr entry, std::vector<PathElem> &path,
         }
     }
     stats_.histogram("tol.sb_path_len", {2, 4, 8, 16, 32, 64, 128})
-        .sample(path.size());
+        .sample(path_len);
+}
+
+// ---------------------------------------------------------------------
+// Asynchronous translation pipeline
+// ---------------------------------------------------------------------
+
+u64
+Tol::asyncLatency(u64 est_cost) const
+{
+    // est_cost modeled translator host insts, retired at
+    // `rate * vthreads` per guest instruction the main core retires.
+    u64 div = asyncRate_ * asyncVthreads_;
+    return std::max<u64>(1, (est_cost + div - 1) / div);
+}
+
+void
+Tol::prepareJob(TranslationJob &job) const
+{
+    // Worker-thread context: only the job and immutable configuration
+    // may be touched. A job-local Frontend keeps build state private.
+    Frontend fe(FrontendOptions{fuseFlags_});
+    RegionMode mode = job.kind == TranslationJob::Kind::BB
+                          ? RegionMode::BB
+                          : RegionMode::SB;
+    job.region = fe.build(job.entry, mode, job.path, job.trip, job.end);
+    prepareRegionWork(job.region, mode, opt_, sched_, job.specOk,
+                      job.passWork, job.specLoads);
+    job.verifyError = verifyRegion(job.region);
+    if (job.verifyError.empty())
+        job.alloc = allocateRegisters(job.region);
+}
+
+bool
+Tol::enqueueBBAsync(const BBInfo &bb)
+{
+    if (async_->full()) {
+        stats_.counter("tol.async.queue_full").inc();
+        stats_.counter("tol.async.sync_fallbacks").inc();
+        return false;
+    }
+    auto job = std::make_unique<TranslationJob>();
+    job->kind = TranslationJob::Kind::BB;
+    job->entry = bb.entry;
+    job->path = bb.elems;
+    if (!bb.endsWithCti)
+        job->end = Frontend::EndSpec{tol::ExitKind::Interp, bb.endPc};
+    job->profile = sbmEnabled_;
+    job->estCost = cost_.estBBCost(bb.elems.size());
+    job->enqueuedAt = completedInsts_;
+    job->completesAt = completedInsts_ + asyncLatency(job->estCost);
+    async_->enqueue(std::move(job));
+    stats_.counter("tol.async.enqueued_bb").inc();
+    return true;
+}
+
+bool
+Tol::enqueueSBAsync(GAddr entry)
+{
+    if (!sbmEnabled_)
+        return true; // nothing to build
+    // Evict + re-promote can re-fire the promotion for an entry whose
+    // superblock is already in flight; one build is enough.
+    if (async_->pendingFor(entry))
+        return true;
+    if (async_->full()) {
+        stats_.counter("tol.async.queue_full").inc();
+        stats_.counter("tol.async.sync_fallbacks").inc();
+        return false;
+    }
+    // The path is collected *now*, at the deterministic promotion
+    // point, from the same profile state the synchronous build would
+    // see; only the install moves into the future.
+    SBFlags flags = sbFlags_[entry];
+    std::optional<TripCheck> trip;
+    std::optional<Frontend::EndSpec> end;
+    std::vector<std::pair<GAddr, u8>> steps;
+    std::vector<PathElem> path = collectSBPath(
+        entry, useAsserts_ && !flags.noAsserts, trip, end, steps);
+    if (path.empty())
+        return true;
+
+    auto job = std::make_unique<TranslationJob>();
+    job->kind = TranslationJob::Kind::SB;
+    job->entry = entry;
+    job->path = std::move(path);
+    job->trip = trip;
+    job->end = end;
+    job->specOk = sched_ && specMem_ && !flags.noSpec;
+    job->recipe.hasTrip = trip.has_value();
+    if (trip) {
+        job->recipe.tripReg = trip->reg;
+        job->recipe.tripFactor = trip->factor;
+    }
+    job->recipe.hasEnd = end.has_value();
+    if (end) {
+        job->recipe.endKind = u8(end->kind);
+        job->recipe.endTarget = end->target;
+    }
+    job->recipe.steps = std::move(steps);
+    job->estCost = cost_.estSBCost(job->path.size());
+    job->enqueuedAt = completedInsts_;
+    job->completesAt = completedInsts_ + asyncLatency(job->estCost);
+    async_->enqueue(std::move(job));
+    stats_.counter("tol.async.enqueued_sb").inc();
+    return true;
+}
+
+void
+Tol::pumpAsyncPublishes()
+{
+    auto due = async_->takeDue(completedInsts_);
+    for (auto &job : due)
+        publishJob(*job);
+}
+
+void
+Tol::publishJob(TranslationJob &job)
+{
+    darco_assert(job.verifyError.empty(),
+                 "async-prepared region invalid: ", job.verifyError);
+    if (job.kind == TranslationJob::Kind::BB) {
+        // The entry may have gained a translation inside the window
+        // (inline fallback under backpressure); never shadow it.
+        if (registry_.lookup(job.entry) != TranslationRegistry::npos) {
+            stats_.counter("tol.async.dropped_stale").inc();
+            return;
+        }
+        installPrepared(job.region, job.alloc, RegionMode::BB,
+                        job.profile, job.entry,
+                        TranslationRegistry::npos, job.passWork,
+                        job.specLoads, true);
+        stats_.counter("tol.async.published_bb").inc();
+    } else {
+        // A recreation in the window would have installed a fresh SB;
+        // do not resurrect the older build over it.
+        u32 prev = registry_.lookup(job.entry);
+        if (prev != TranslationRegistry::npos &&
+            registry_.get(prev).mode == RegionMode::SB) {
+            stats_.counter("tol.async.dropped_stale").inc();
+            return;
+        }
+        sbRecipes_[job.entry] = job.recipe;
+        finishSuperblockInstall(job.entry, job.region, job.alloc,
+                                job.trip, job.passWork, job.specLoads,
+                                job.path.size(), true);
+        stats_.counter("tol.async.published_sb").inc();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -837,7 +1075,12 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             if (ge.promote) {
                 emu_.storeGuestState(state_);
                 state_.pc = ge.promoteTarget;
-                buildSuperblock(ge.promoteTarget);
+                // Async: queue the SB build (path collected now, at
+                // the deterministic promotion point) and keep running
+                // the stale BB translation until the publish; a full
+                // queue falls back to the inline build.
+                if (!async_ || !enqueueSBAsync(ge.promoteTarget))
+                    buildSuperblock(ge.promoteTarget);
                 return;
             }
             const ExitDesc &d =
@@ -978,6 +1221,13 @@ Tol::run(u64 max_guest_insts)
     while (!finished_) {
         if (completedInsts_ >= runTarget_)
             return RunResult::Budget;
+        // Publish async translations that completed (in virtual time)
+        // by now. Not while a budget pause left a region mid-flight:
+        // a publish can evict the very region about to be resumed,
+        // and an uninterrupted run would only publish after the
+        // region finished anyway.
+        if (async_ && !inRegionResume_)
+            pumpAsyncPublishes();
         cost_.chargeDispatch();
 
         if (inRegionResume_) {
@@ -1007,12 +1257,18 @@ Tol::run(u64 max_guest_insts)
 void
 Tol::quiesce()
 {
-    if (!inRegionResume_)
-        return;
-    runTarget_ = ~0ull;
-    executeTranslation(0, resumeHostPc_, true);
-    darco_assert(!inRegionResume_,
-                 "quiesce left mid-region resume state");
+    if (inRegionResume_) {
+        runTarget_ = ~0ull;
+        executeTranslation(0, resumeHostPc_, true);
+        darco_assert(!inRegionResume_,
+                     "quiesce left mid-region resume state");
+    }
+    // Wall-clock quiesce of the translator pool: wait until every
+    // in-flight job is prepared. Publishes nothing — the jobs stay
+    // pending with their virtual completion points intact, and save()
+    // serializes them so the restored run publishes identically.
+    if (async_)
+        async_->drain();
 }
 
 void
@@ -1102,6 +1358,39 @@ Tol::save(snapshot::Serializer &s) const
         s.w32(t.aliasFails);
     }
 
+    // In-flight async translations (snapshot v4): inputs plus the
+    // preserved virtual completion point, in seq order, so the
+    // restored run re-prepares identical artifacts and publishes them
+    // at identical virtual times. BB jobs re-derive their path from
+    // the (already saved) discovered-BB set; SB jobs carry their
+    // recipe. Empty when the async pipeline is off.
+    std::vector<const TranslationJob *> jobs;
+    if (async_) {
+        async_->forEachPending(
+            [&](const TranslationJob &j) { jobs.push_back(&j); });
+    }
+    s.w64(jobs.size());
+    for (const TranslationJob *j : jobs) {
+        s.w8(u8(j->kind));
+        s.w32(j->entry);
+        s.w64(j->enqueuedAt);
+        s.w64(j->completesAt);
+        if (j->kind == TranslationJob::Kind::SB) {
+            const SBRecipe &rc = j->recipe;
+            s.wbool(rc.hasTrip);
+            s.w8(rc.tripReg);
+            s.w32(rc.tripFactor);
+            s.wbool(rc.hasEnd);
+            s.w8(rc.endKind);
+            s.w32(rc.endTarget);
+            s.w64(rc.steps.size());
+            for (const auto &[bbe, code] : rc.steps) {
+                s.w32(bbe);
+                s.w8(code);
+            }
+        }
+    }
+
     cost_.save(s);
 }
 
@@ -1186,6 +1475,57 @@ Tol::restore(snapshot::Deserializer &d)
                 registry_.get(tid).aliasFails = alias_fails;
             }
         }
+    }
+
+    // Re-enqueue in-flight async translations in original seq order;
+    // preserved completion points keep the publish schedule (and its
+    // tie-breaking) bit-identical to the uninterrupted run.
+    u64 npend = d.r64();
+    if (npend != 0 && !async_) {
+        throw snapshot::SnapshotError(
+            "checkpoint holds in-flight async translations but the "
+            "async pipeline is disabled");
+    }
+    for (u64 i = 0; i < npend; ++i) {
+        auto kind = TranslationJob::Kind(d.r8());
+        auto job = std::make_unique<TranslationJob>();
+        job->kind = kind;
+        job->entry = d.r32();
+        job->enqueuedAt = d.r64();
+        job->completesAt = d.r64();
+        if (kind == TranslationJob::Kind::BB) {
+            BBInfo &bb = getBB(job->entry);
+            job->path = bb.elems;
+            if (!bb.endsWithCti)
+                job->end =
+                    Frontend::EndSpec{tol::ExitKind::Interp, bb.endPc};
+            job->profile = sbmEnabled_;
+            job->estCost = cost_.estBBCost(bb.elems.size());
+        } else {
+            SBRecipe rc;
+            rc.hasTrip = d.rbool();
+            rc.tripReg = d.r8();
+            rc.tripFactor = d.r32();
+            rc.hasEnd = d.rbool();
+            rc.endKind = d.r8();
+            rc.endTarget = d.r32();
+            u64 nsteps = d.r64();
+            rc.steps.reserve(nsteps);
+            for (u64 k = 0; k < nsteps; ++k) {
+                GAddr bbe = d.r32();
+                rc.steps.emplace_back(bbe, d.r8());
+            }
+            std::optional<TripCheck> trip;
+            std::optional<Frontend::EndSpec> end;
+            job->path = pathFromRecipe(rc, trip, end);
+            job->trip = trip;
+            job->end = end;
+            job->specOk =
+                sched_ && specMem_ && !sbFlags_[job->entry].noSpec;
+            job->estCost = cost_.estSBCost(job->path.size());
+            job->recipe = std::move(rc);
+        }
+        async_->enqueue(std::move(job));
     }
 
     cost_.restore(d);

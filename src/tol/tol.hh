@@ -44,6 +44,7 @@
 #include "guest/state.hh"
 #include "host/code_cache.hh"
 #include "host/hemu.hh"
+#include "tol/async.hh"
 #include "tol/cost_model.hh"
 #include "tol/frontend.hh"
 #include "tol/profiler.hh"
@@ -94,6 +95,14 @@ struct BBInfo
  *   tol.fuse_flags (true)
  *   tol.bbv_interval (0)       BBV profiling interval in guest insts
  *                              (0 disables; see Profiler BBV hooks)
+ *   tol.async.threads (0)      background translator workers
+ *                              (0 = translate synchronously inline)
+ *   tol.async.vthreads (1)     modeled concurrent translator threads
+ *                              (virtual-time completion divisor)
+ *   tol.async.queue (16)       bounded queue capacity (full queue
+ *                              falls back to inline translation)
+ *   tol.async.rate (8)         modeled translator host insts retired
+ *                              per guest instruction
  *   cc.capacity_words (1<<22)
  *   cc.policy ("evict")        full cache: "evict" cold regions one
  *                              at a time, or "flush" everything
@@ -192,6 +201,15 @@ class Tol : public host::RetireSink
     }
     const Translation *translationFor(GAddr pc) const;
 
+    /** Async pipeline on (tol.async.threads >= 1)? */
+    bool asyncEnabled() const { return async_ != nullptr; }
+    /** In-flight (enqueued, unpublished) async translations. */
+    std::size_t
+    asyncPending() const
+    {
+        return async_ ? async_->pendingCount() : 0;
+    }
+
   private:
     // --- decode / BB cache ------------------------------------------------
     guest::GInst fetchGuest(GAddr pc);
@@ -211,29 +229,8 @@ class Tol : public host::RetireSink
     void servicePageMiss(GAddr page);
 
     // --- translation -----------------------------------------------------
-    /**
-     * Construction recipe of a superblock: the exact BB sequence and
-     * branch dispositions it was built from. Checkpoint restore
-     * replays from the recipe so the rebuilt region is structurally
-     * identical to the saved one — re-deriving the path from profile
-     * counters would use their *end-state* values and pick different
-     * speculation/unrolling decisions than the original
-     * promotion-time build, changing the restored run's host
-     * instruction stream (and thus its timing) persistently.
-     */
-    struct SBRecipe
-    {
-        bool hasTrip = false;
-        u8 tripReg = 0;
-        u32 tripFactor = 0;
-        bool hasEnd = false;
-        u8 endKind = 0;
-        GAddr endTarget = 0;
-        /** (BB entry, terminator BranchDisp; stepWholeBB = all of the
-         *  BB's instructions, region then ends via the end spec). */
-        std::vector<std::pair<GAddr, u8>> steps;
-    };
-    static constexpr u8 stepWholeBB = 0xff;
+    // (SBRecipe — the superblock construction record checkpoint
+    // restore and async SB jobs replay from — lives in tol/async.hh.)
 
     void translateBB(BBInfo &bb);
     void buildSuperblock(GAddr entry);
@@ -249,9 +246,44 @@ class Tol : public host::RetireSink
                                             &end,
                                         std::vector<std::pair<GAddr, u8>>
                                             &steps);
+    /** Reconstruct an SB build's inputs from its recipe. */
+    std::vector<PathElem> pathFromRecipe(const SBRecipe &rc,
+                                         std::optional<TripCheck> &trip,
+                                         std::optional<Frontend::EndSpec>
+                                             &end);
     u32 install(Region &region, RegionMode mode, bool profile,
                 GAddr prof_bb,
                 u32 pinned_tid = TranslationRegistry::npos);
+    /**
+     * Install tail shared by the synchronous path and the async
+     * publish: codegen, capacity policy, registry/cost bookkeeping.
+     * `conc` charges the translation to the concurrent-translator
+     * overhead category instead of the critical-path one.
+     */
+    u32 installPrepared(Region &region, const Allocation &alloc,
+                        RegionMode mode, bool profile, GAddr prof_bb,
+                        u32 pinned_tid, u64 pass_work, u32 spec_loads,
+                        bool conc);
+    /** Superblock install tail (previous-translation replacement,
+     *  residual-BB retention/chaining), shared with async publish. */
+    void finishSuperblockInstall(GAddr entry, Region &region,
+                                 const Allocation &alloc,
+                                 const std::optional<TripCheck> &trip,
+                                 u64 pass_work, u32 spec_loads,
+                                 std::size_t path_len, bool conc);
+
+    // --- async pipeline ---------------------------------------------------
+    /** Worker-thread callback: the pure part of a translation. */
+    void prepareJob(TranslationJob &job) const;
+    /** Virtual-time latency of a modeled translation. */
+    u64 asyncLatency(u64 est_cost) const;
+    /** @return false when the queue is full (caller translates
+     *  inline); true when enqueued or already pending. */
+    bool enqueueBBAsync(const BBInfo &bb);
+    bool enqueueSBAsync(GAddr entry);
+    /** Publish every job due at the current virtual time. */
+    void pumpAsyncPublishes();
+    void publishJob(TranslationJob &job);
     /** Evict cold regions until `need` contiguous words fit. */
     void evictFor(u32 need, u32 pinned_tid);
     void flushAll();
@@ -316,10 +348,22 @@ class Tol : public host::RetireSink
     u32 unrollFactor_;
     bool useAsserts_;
     bool bbmEnabled_, sbmEnabled_, chaining_, specMem_, sched_, opt_;
+    bool fuseFlags_;
     bool bbvOn_; //!< tol.bbv_interval != 0
     bool flipCondExits_; //!< hidden fault injection (fuzzer self-test)
     bool ccEvict_; //!< cc.policy == "evict"
     u64 hostChunk_;
+
+    // Async pipeline configuration (tol.async.*).
+    u32 asyncVthreads_ = 1;
+    u64 asyncRate_ = 8;
+
+    /**
+     * The background translator pool; null when tol.async.threads=0
+     * (the legacy synchronous path). Declared last so its destructor
+     * joins the workers before anything they read is torn down.
+     */
+    std::unique_ptr<AsyncTranslator> async_;
 };
 
 } // namespace darco::tol

@@ -146,6 +146,82 @@ TEST(SnapshotRoundTrip, TinyccEvictionStorm)
     roundTrip("tinycc");
 }
 
+TEST(SnapshotRoundTrip, AsyncTranslationsInFlight)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg("fullopt");
+    cfg.parseLine("tol.async.threads=2");
+    cfg.parseLine("tol.async.vthreads=2");
+    // Slow modeled translator: long completion windows, so a budget
+    // boundary reliably lands with translations still in flight.
+    cfg.parseLine("tol.async.rate=1");
+
+    sim::Controller full(cfg);
+    full.load(prog);
+    full.run();
+    ASSERT_TRUE(full.finished());
+
+    // Advance in small steps until the queue is non-empty, then
+    // checkpoint with translations in flight.
+    sim::Controller part(cfg);
+    part.load(prog);
+    u64 budget = 0;
+    while (!part.finished() && part.tol().asyncPending() == 0) {
+        budget += 500;
+        part.run(budget);
+    }
+    ASSERT_FALSE(part.finished());
+    ASSERT_GT(part.tol().asyncPending(), 0u);
+    std::stringstream img;
+    part.saveCheckpoint(img);
+    // saveCheckpoint quiesces (drains workers) but publishes nothing:
+    // the jobs are still pending and must have been serialized.
+    ASSERT_GT(part.tol().asyncPending(), 0u);
+
+    sim::Controller resumed(cfg);
+    img.seekg(0);
+    resumed.restoreCheckpoint(img);
+    EXPECT_EQ(resumed.tol().asyncPending(), part.tol().asyncPending());
+    resumed.run();
+    ASSERT_TRUE(resumed.finished());
+
+    EXPECT_TRUE(resumed.tol().state() == full.tol().state())
+        << full.tol().state().diff(resumed.tol().state());
+    EXPECT_EQ(resumed.exitCode(), full.exitCode());
+    EXPECT_EQ(resumed.tol().completedInsts(),
+              full.tol().completedInsts());
+    EXPECT_EQ(resumed.tol().completedBBs(), full.tol().completedBBs());
+    expectSameMemory(resumed.ref(), full.ref());
+    EXPECT_TRUE(resumed.registry().checkInvariants().empty());
+}
+
+TEST(SnapshotRejection, AsyncJobsNeedAsyncPipeline)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg("fullopt");
+    cfg.parseLine("tol.async.threads=2");
+    cfg.parseLine("tol.async.rate=1");
+
+    sim::Controller part(cfg);
+    part.load(prog);
+    u64 budget = 0;
+    while (!part.finished() && part.tol().asyncPending() == 0) {
+        budget += 500;
+        part.run(budget);
+    }
+    ASSERT_GT(part.tol().asyncPending(), 0u);
+    std::stringstream img;
+    part.saveCheckpoint(img);
+
+    // tol.async.threads is execution-relevant, so the schema-level
+    // config compatibility check refuses the restore before the tol
+    // section's own in-flight-jobs guard is ever reached.
+    Config other = makeCfg("fullopt");
+    sim::Controller ctl(other);
+    img.seekg(0);
+    EXPECT_THROW(ctl.restoreCheckpoint(img), SnapshotError);
+}
+
 TEST(SnapshotRoundTrip, RestoredStatsMatchSavePoint)
 {
     guest::Program prog = workload();

@@ -77,7 +77,8 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "  --jobs N            worker threads (default: hw cores)\n"
         "  --workloads a,b,c   paper-suite workload names\n"
-        "  --configs c1,c2     presets: interp|noopt|fullopt|tinycc\n"
+        "  --configs c1,c2     presets: "
+        "interp|noopt|fullopt|tinycc|async\n"
         "  --scale S           workload dynamic-length scale (default "
         "0.25)\n"
         "  --max-insts N       per-job guest-instruction budget\n"
@@ -265,7 +266,7 @@ main(int argc, char **argv)
         for (const auto &b : suite)
             std::printf("  %-18s [%s]\n", b.params.name.c_str(),
                         workloads::suiteGroupName(b.group));
-        std::printf("config presets: interp noopt fullopt tinycc\n");
+        std::printf("config presets: interp noopt fullopt tinycc async\n");
         return 0;
     }
 
