@@ -522,6 +522,27 @@ ConfigSchema::ConfigSchema()
     declBool("debug.flip_cond_exits", false,
              "fault injection: invert conditional exits in generated "
              "superblocks (differential-fuzzer self-test)");
+    declBool("debug.drop_guard", false,
+             "fault injection: silently omit speculation-guard asserts "
+             "from generated code (verifier self-test)");
+
+    // --- translation verification --------------------------------------
+    declEnum("tol.verify", "off", {"off", "install", "final"},
+             "per-translation symbolic equivalence proofs: check each "
+             "region at publish time (install) or accumulate and prove "
+             "at verifyFinal (final)")
+        .cosmetic();
+    declUint("verify.concretize", 4096, 1, 1u << 24,
+             "exhaustive-concretization budget (max assignments "
+             "enumerated per residual proof term)")
+        .cosmetic();
+    declUint("verify.witness", 128, 1, 1'000'000,
+             "randomized counterexample-search tries per undecided "
+             "proof term")
+        .cosmetic();
+    declUint("verify.paths", 256, 1, 1'000'000,
+             "symbolic host-path limit per verified region")
+        .cosmetic();
 
     // --- timing model (measurement only) -------------------------------
     declUint("core.issue_width", 2, 1, 16, "in-order issue width")

@@ -7,6 +7,7 @@
 #include "guest/semantics.hh"
 #include "sim/controller.hh"
 #include "sim/debug.hh"
+#include "verify/verifier.hh"
 #include "xemu/ref_component.hh"
 
 namespace darco::fuzz
@@ -88,6 +89,9 @@ line(const RunOutcome &r)
            << " exit=" << r.exitCode << " evict=" << r.evictions
            << " flush=" << r.flushes;
     }
+    if (r.proofsChecked)
+        os << " proofs=" << r.proved << "/" << r.refuted << "/"
+           << r.unproven;
     return os.str();
 }
 
@@ -142,11 +146,17 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
     const std::vector<DiffConfig> matrix =
         opts.matrix.empty() ? defaultMatrix() : opts.matrix;
 
+    // Proof mode verifies every translation as it is installed; an
+    // explicit -c tol.verify=... still wins (extra applies later).
+    std::vector<std::string> extra = opts.extra;
+    if (opts.proofs)
+        extra.insert(extra.begin(), "tol.verify=install");
+
     // --- config matrix --------------------------------------------------
     for (const DiffConfig &cell : matrix) {
         RunOutcome out;
         out.config = cell.name;
-        Config cfg = makeConfig(cell, seed, opts.extra);
+        Config cfg = makeConfig(cell, seed, extra);
 
         sim::Controller ctl(cfg);
         try {
@@ -250,6 +260,62 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
                     fail(cell.name, os.str());
                     break;
                 }
+            }
+        }
+
+        // --- proof / oracle cross-check ----------------------------------
+        bool oracleFailed = !res.ok && res.failConfig == cell.name;
+        if (opts.proofs && ctl.loaded() &&
+            ctl.tol().verifyEnabled()) {
+            std::string proofErr;
+            try {
+                // Drains+publishes due async work, then discharges
+                // anything still accumulated (install mode verifies
+                // eagerly, so this mostly covers end-of-run stragglers).
+                ctl.tol().verifyFinal();
+            } catch (const std::exception &e) {
+                proofErr = e.what();
+            }
+            const verify::VerifyReport &rep = ctl.tol().verifyReport();
+            out.proofsChecked = true;
+            out.proved = rep.proved;
+            out.refuted = rep.refuted;
+            out.unproven = rep.unknown;
+            if (!proofErr.empty())
+                fail(cell.name, "proof pass aborted: " + proofErr);
+            if (!rep.clean()) {
+                // First refuted result if any (it carries a concrete
+                // witness), otherwise the first unknown.
+                const verify::VerifyResult *worst = nullptr;
+                for (const verify::VerifyResult &vr : rep.results) {
+                    if (vr.verdict == verify::Verdict::Proved)
+                        continue;
+                    if (!worst ||
+                        (worst->verdict != verify::Verdict::Refuted &&
+                         vr.verdict == verify::Verdict::Refuted))
+                        worst = &vr;
+                }
+                std::ostringstream os;
+                os << "translation proof failure with the oracle "
+                   << (oracleFailed ? "also failing"
+                                    : "PASSING (silent miscompile "
+                                      "caught by the proof alone)")
+                   << ": " << rep.summary();
+                if (worst) {
+                    os << "; first: region @0x" << std::hex
+                       << worst->entry << std::dec << " — "
+                       << worst->detail;
+                    if (!worst->witness.empty())
+                        os << "\n  " << worst->witness;
+                }
+                fail(cell.name, os.str());
+            } else if (oracleFailed) {
+                res.failure +=
+                    "\n  every translation proof passed (" +
+                    rep.summary() +
+                    ") — divergence is outside the proved "
+                    "translations (sync protocol, dispatch, or a "
+                    "verifier gap)";
             }
         }
 

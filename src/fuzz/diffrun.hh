@@ -75,6 +75,8 @@ struct RunOutcome
     u64 imInsts = 0, bbmInsts = 0, sbmInsts = 0;
     u64 bbvIntervals = 0; //!< closed BBV intervals (when profiling)
     bool bbvChecked = false; //!< conservation invariant was evaluated
+    bool proofsChecked = false; //!< symbolic proofs ran (opts.proofs)
+    u64 proved = 0, refuted = 0, unproven = 0; //!< proof verdicts
     std::string osOutput;
 };
 
@@ -111,6 +113,16 @@ struct DiffOptions
      * pc and disassembly to the failure report.
      */
     bool pinpoint = false;
+    /**
+     * Discharge a symbolic equivalence proof for every translation
+     * each cell installs (tol.verify=install) and cross-check the
+     * verdicts against the differential oracle: a refuted/unknown
+     * proof on a cell the oracle passed is a failure (a silent
+     * miscompile the end-to-end comparison happened to miss), and an
+     * oracle divergence with every proof clean is flagged in the
+     * failure report (sync-protocol bug or verifier gap).
+     */
+    bool proofs = false;
 };
 
 /**

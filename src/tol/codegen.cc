@@ -220,6 +220,8 @@ struct Gen
             return;
 
           case IROp::Assert:
+            if (opts.dropGuard)
+                return; // injected bug: guard silently dropped
             a.emit(i.expectNonZero ? HOp::ASSERTNZ : HOp::ASSERTZ, 0,
                    srcInt(i.src1, scratch0), 0, s32(i.assertId));
             return;

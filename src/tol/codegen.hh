@@ -49,6 +49,13 @@ struct CodegenOptions
      * key; must never be set outside tests.
      */
     bool flipCondExits = false;
+    /**
+     * Fault injection (verifier self-test): silently skip every
+     * speculation-guard assert, so a mispredicted branch disposition
+     * commits instead of rolling back. Driven by the hidden
+     * `debug.drop_guard` config key; must never be set outside tests.
+     */
+    bool dropGuard = false;
 };
 
 /** Generated region code. */

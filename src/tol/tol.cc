@@ -80,9 +80,23 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
     bbvOn_ = bbv_interval != 0;
     if (bbvOn_)
         profiler_.enableBbv(bbv_interval);
-    // Hidden fault-injection hook for the differential fuzzer's
-    // self-test (see CodegenOptions::flipCondExits).
+    // Hidden fault-injection hooks for the differential fuzzer's and
+    // the verifier's self-tests (see CodegenOptions::flipCondExits /
+    // CodegenOptions::dropGuard).
     flipCondExits_ = conf::getBool(cfg, "debug.flip_cond_exits");
+    dropGuard_ = conf::getBool(cfg, "debug.drop_guard");
+
+    {
+        const std::string &vm = conf::getEnum(cfg, "tol.verify");
+        verifyMode_ = vm == "install" ? VerifyMode::Install
+                      : vm == "final" ? VerifyMode::Final
+                                      : VerifyMode::Off;
+        verifyOpts_.concretizeBudget =
+            u32(conf::getUint(cfg, "verify.concretize"));
+        verifyOpts_.sampleTries =
+            u32(conf::getUint(cfg, "verify.witness"));
+        verifyOpts_.pathLimit = u32(conf::getUint(cfg, "verify.paths"));
+    }
 
     ccEvict_ = conf::getEnum(cfg, "cc.policy") == "evict";
     // The classic policy never reclaims invalidated regions: they
@@ -472,6 +486,7 @@ Tol::installPrepared(Region &region, const Allocation &alloc,
         co.exitIdBase = registry_.exitCount();
         co.profile = profile;
         co.flipCondExits = flipCondExits_;
+        co.dropGuard = dropGuard_;
         if (profile) {
             Profiler::Slots pa = profiler_.slots(prof_bb);
             co.execCounterAddr = pa.exec;
@@ -531,6 +546,27 @@ Tol::installPrepared(Region &region, const Allocation &alloc,
 
         u32 added = registry_.add(std::move(t));
         darco_assert(added == tid, "registry tid drifted");
+
+        // Capture the machine-level half of this region's proof
+        // obligation: the frozen pre-chaining words and the exit-id
+        // layout codegen committed to. The construction inputs (path,
+        // trip, end) are attached by noteInstall at the call site that
+        // owns them, after the publish fully completes.
+        if (verifyMode_ != VerifyMode::Off) {
+            verify::VerifyUnit u;
+            u.entry = region.entryPc;
+            u.mode = mode;
+            u.profile = profile;
+            u.fuseFlags = fuseFlags_;
+            u.words = cg.words;
+            u.exitIdBase = co.exitIdBase;
+            if (profile)
+                u.promoteExitId = co.promoteExitId;
+            u.exits = registry_.get(tid).exits;
+            u.fpPool = emu_.fpPool();
+            u.tid = tid;
+            lastInstall_ = std::move(u);
+        }
 
         u64 guest_insts =
             region.exits[region.finalExit].instsRetired;
@@ -595,6 +631,7 @@ Tol::translateBB(BBInfo &bb)
     Region region = frontend_.build(bb.entry, RegionMode::BB, bb.elems,
                                     std::nullopt, end);
     install(region, RegionMode::BB, sbmEnabled_, bb.entry);
+    noteInstall(bb.elems, std::nullopt, end);
 }
 
 // ---------------------------------------------------------------------
@@ -830,6 +867,7 @@ Tol::installSuperblock(GAddr entry, std::vector<PathElem> &path,
 
     finishSuperblockInstall(entry, region, alloc, trip, pass_work,
                             spec_loads, path.size(), false);
+    noteInstall(path, trip, end);
 }
 
 void
@@ -1022,6 +1060,7 @@ Tol::publishJob(TranslationJob &job)
                         job.profile, job.entry,
                         TranslationRegistry::npos, job.passWork,
                         job.specLoads, true);
+        noteInstall(job.path, std::nullopt, job.end);
         stats_.counter("tol.async.published_bb").inc();
     } else {
         // A recreation in the window would have installed a fresh SB;
@@ -1036,6 +1075,7 @@ Tol::publishJob(TranslationJob &job)
         finishSuperblockInstall(job.entry, job.region, job.alloc,
                                 job.trip, job.passWork, job.specLoads,
                                 job.path.size(), true);
+        noteInstall(job.path, job.trip, job.end);
         stats_.counter("tol.async.published_sb").inc();
     }
 }
@@ -1267,8 +1307,77 @@ Tol::quiesce()
     // in-flight job is prepared. Publishes nothing — the jobs stay
     // pending with their virtual completion points intact, and save()
     // serializes them so the restored run publishes identically.
-    if (async_)
+    if (async_) {
         async_->drain();
+        // Verification ordering: proofs may only observe *fully
+        // published* regions, and they must observe every region that
+        // is virtually complete — the dispatch loop pumps publishes at
+        // the top of each iteration, so a run that finishes (or
+        // budget-pauses) can strand due-but-unpublished jobs which
+        // would otherwise escape the install-time proof pass. Publish
+        // them now, on the main thread, after the drain above
+        // guaranteed their outputs are complete. Off the verify path
+        // the legacy publish-nothing contract (and its checkpoint
+        // timing) is preserved.
+        if (verifyMode_ != VerifyMode::Off)
+            pumpAsyncPublishes();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Translation verification (tol.verify)
+// ---------------------------------------------------------------------
+
+void
+Tol::noteInstall(const std::vector<PathElem> &path,
+                 const std::optional<TripCheck> &trip,
+                 const std::optional<Frontend::EndSpec> &end)
+{
+    if (verifyMode_ == VerifyMode::Off || !lastInstall_)
+        return;
+    verify::VerifyUnit u = std::move(*lastInstall_);
+    lastInstall_.reset();
+    u.path = path;
+    u.trip = trip;
+    u.end = end;
+    if (verifyMode_ == VerifyMode::Final) {
+        verifyUnits_.push_back(std::move(u));
+        return;
+    }
+    verify::VerifyResult r;
+    try {
+        r = verify::verifyUnit(u, verifyOpts_);
+    } catch (const std::exception &e) {
+        r.verdict = verify::Verdict::Unknown;
+        r.entry = u.entry;
+        r.mode = u.mode;
+        r.tid = u.tid;
+        r.detail = std::string("verifier exception: ") + e.what();
+    }
+    verifyReport_.add(std::move(r));
+}
+
+void
+Tol::verifyFinal()
+{
+    if (verifyMode_ == VerifyMode::Off)
+        return;
+    quiesce();
+    std::vector<verify::VerifyUnit> units;
+    units.swap(verifyUnits_);
+    for (const verify::VerifyUnit &u : units) {
+        verify::VerifyResult r;
+        try {
+            r = verify::verifyUnit(u, verifyOpts_);
+        } catch (const std::exception &e) {
+            r.verdict = verify::Verdict::Unknown;
+            r.entry = u.entry;
+            r.mode = u.mode;
+            r.tid = u.tid;
+            r.detail = std::string("verifier exception: ") + e.what();
+        }
+        verifyReport_.add(std::move(r));
+    }
 }
 
 void

@@ -49,6 +49,7 @@
 #include "tol/frontend.hh"
 #include "tol/profiler.hh"
 #include "tol/registry.hh"
+#include "verify/verifier.hh"
 #include "xemu/os.hh"
 
 namespace darco::snapshot
@@ -103,6 +104,13 @@ struct BBInfo
  *                              falls back to inline translation)
  *   tol.async.rate (8)         modeled translator host insts retired
  *                              per guest instruction
+ *   tol.verify ("off")         per-translation equivalence proofs:
+ *                              "install" proves each region as it is
+ *                              published, "final" accumulates units
+ *                              and proves them in verifyFinal()
+ *   verify.concretize (4096)   exhaustive-concretization budget
+ *   verify.witness (128)       counterexample sampling tries
+ *   verify.paths (256)         host symbolic path limit per region
  *   cc.capacity_words (1<<22)
  *   cc.policy ("evict")        full cache: "evict" cold regions one
  *                              at a time, or "flush" everything
@@ -210,6 +218,22 @@ class Tol : public host::RetireSink
         return async_ ? async_->pendingCount() : 0;
     }
 
+    // --- translation verification (tol.verify) ---------------------------
+    /** Equivalence proofs enabled (tol.verify != off)? */
+    bool verifyEnabled() const { return verifyMode_ != VerifyMode::Off; }
+    /**
+     * Discharge every accumulated proof obligation (tol.verify=final).
+     * Quiesces first so install-time capture observed only fully
+     * published regions; also flushes the due part of the async
+     * publish queue for the same reason. Idempotent.
+     */
+    void verifyFinal();
+    /** Proof outcomes so far (populated per tol.verify mode). */
+    const verify::VerifyReport &verifyReport() const
+    {
+        return verifyReport_;
+    }
+
   private:
     // --- decode / BB cache ------------------------------------------------
     guest::GInst fetchGuest(GAddr pc);
@@ -291,6 +315,18 @@ class Tol : public host::RetireSink
     u32 poolIndex(double v);
     void maybeChain(u32 from_tid, u32 exit_idx);
 
+    // --- verification -----------------------------------------------------
+    /**
+     * Attach the construction inputs to the VerifyUnit installPrepared
+     * captured and hand it to the verifier (install mode) or the
+     * accumulator (final mode). Called on the main thread, after the
+     * install — including the superblock residual chaining — is fully
+     * published, so the proof never observes a half-installed region.
+     */
+    void noteInstall(const std::vector<PathElem> &path,
+                     const std::optional<TripCheck> &trip,
+                     const std::optional<Frontend::EndSpec> &end);
+
     // --- members -----------------------------------------------------------
     guest::PagedMemory &mem_;
     Config cfg_;
@@ -351,8 +387,19 @@ class Tol : public host::RetireSink
     bool fuseFlags_;
     bool bbvOn_; //!< tol.bbv_interval != 0
     bool flipCondExits_; //!< hidden fault injection (fuzzer self-test)
+    bool dropGuard_; //!< hidden fault injection (verifier self-test)
     bool ccEvict_; //!< cc.policy == "evict"
     u64 hostChunk_;
+
+    // Translation verification (tol.verify).
+    enum class VerifyMode : u8 { Off, Install, Final };
+    VerifyMode verifyMode_ = VerifyMode::Off;
+    verify::VerifyOptions verifyOpts_;
+    verify::VerifyReport verifyReport_;
+    std::vector<verify::VerifyUnit> verifyUnits_; //!< final mode
+    /** Machine-level half of a unit, set by installPrepared and
+     *  consumed by noteInstall right after the publish completes. */
+    std::optional<verify::VerifyUnit> lastInstall_;
 
     // Async pipeline configuration (tol.async.*).
     u32 asyncVthreads_ = 1;

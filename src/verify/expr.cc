@@ -1,0 +1,1548 @@
+#include "verify/expr.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "guest/semantics.hh"
+
+namespace darco::verify
+{
+
+namespace
+{
+
+/** splitmix64: deterministic sample streams. */
+u64
+mix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+u64
+dbits(double d)
+{
+    u64 b;
+    std::memcpy(&b, &d, 8);
+    return b;
+}
+
+double
+bitsd(u64 b)
+{
+    double d;
+    std::memcpy(&d, &b, 8);
+    return d;
+}
+
+/** Circular (mod 2^32) overlap of [o1,o1+s1) and [o2,o2+s2). */
+bool
+circOverlap(u32 o1, u8 s1, u32 o2, u8 s2)
+{
+    return u32(o1 - o2) < s2 || u32(o2 - o1) < s1;
+}
+
+s64
+packAcc(u32 off, u8 size, bool is_f)
+{
+    return s64((u64(off) << 8) | (u64(size) << 1) | (is_f ? 1 : 0));
+}
+
+std::atomic<u64> envStampCounter{1};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Env / Witness
+
+Env::Env() : stamp(envStampCounter.fetch_add(1)) {}
+
+u8
+Env::initialByte(u64 addr) const
+{
+    if (byteAt)
+        return byteAt(addr);
+    return u8(mix64(seed ^ (addr * 0x2545f4914f6cdd1dull)));
+}
+
+std::string
+Witness::render() const
+{
+    std::ostringstream os;
+    os << "witness:";
+    for (const auto &[n, v] : ints)
+        os << " " << n << "=0x" << std::hex << v << std::dec;
+    for (const auto &[n, v] : fps)
+        os << " " << n << "=" << v;
+    if (!memBytes.empty()) {
+        os << " mem[";
+        std::size_t shown = 0;
+        for (const auto &[a, b] : memBytes) {
+            if (shown++ == 16) {
+                os << " ...";
+                break;
+            }
+            os << (shown > 1 ? " " : "") << "0x" << std::hex << a << "="
+               << u32(b) << std::dec;
+        }
+        os << "]";
+    }
+    if (!diff.empty())
+        os << " | " << diff;
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Node interning
+
+std::size_t
+Ctx::NodeHash::operator()(const Node &n) const
+{
+    u64 h = u64(n.op);
+    h = mix64(h ^ n.a);
+    h = mix64(h ^ n.b);
+    h = mix64(h ^ n.c);
+    h = mix64(h ^ u64(n.imm));
+    h = mix64(h ^ dbits(n.fimm));
+    return std::size_t(h);
+}
+
+bool
+Ctx::NodeEq::operator()(const Node &x, const Node &y) const
+{
+    return x.op == y.op && x.a == y.a && x.b == y.b && x.c == y.c &&
+           x.imm == y.imm && dbits(x.fimm) == dbits(y.fimm);
+}
+
+Ctx::Ctx()
+{
+    nodes_.reserve(1024);
+}
+
+ExprId
+Ctx::intern(Node n)
+{
+    auto it = dedup_.find(n);
+    if (it != dedup_.end())
+        return it->second;
+    ExprId id = ExprId(nodes_.size());
+    nodes_.push_back(n);
+    dedup_.emplace(n, id);
+    return id;
+}
+
+ExprId
+Ctx::constI(u32 v)
+{
+    Node n;
+    n.op = XOp::ConstI;
+    n.imm = s64(v);
+    return intern(n);
+}
+
+ExprId
+Ctx::constF(double v)
+{
+    Node n;
+    n.op = XOp::ConstF;
+    n.fimm = v;
+    return intern(n);
+}
+
+ExprId
+Ctx::varI(const std::string &name, bool bit)
+{
+    auto it = varIdx_.find(name);
+    if (it != varIdx_.end()) {
+        Node n;
+        n.op = XOp::VarI;
+        n.imm = s64(it->second);
+        return intern(n);
+    }
+    u32 idx = u32(vars_.size());
+    vars_.push_back({name, false, bit});
+    varIdx_.emplace(name, idx);
+    Node n;
+    n.op = XOp::VarI;
+    n.imm = s64(idx);
+    return intern(n);
+}
+
+ExprId
+Ctx::varF(const std::string &name)
+{
+    auto it = varIdx_.find(name);
+    if (it != varIdx_.end()) {
+        Node n;
+        n.op = XOp::VarF;
+        n.imm = s64(it->second);
+        return intern(n);
+    }
+    u32 idx = u32(vars_.size());
+    vars_.push_back({name, true, false});
+    varIdx_.emplace(name, idx);
+    Node n;
+    n.op = XOp::VarF;
+    n.imm = s64(idx);
+    return intern(n);
+}
+
+bool
+Ctx::isConstI(ExprId id, u32 &v) const
+{
+    const Node &n = nodes_[id];
+    if (n.op != XOp::ConstI)
+        return false;
+    v = u32(n.imm);
+    return true;
+}
+
+ExprId
+Ctx::mkBin(XOp op, ExprId a, ExprId b)
+{
+    // Canonical operand order for commutative integer ops: smaller
+    // node id first (constants intern early but the dedicated
+    // constructors already hoisted them out).
+    switch (op) {
+      case XOp::Add:
+      case XOp::Mul:
+      case XOp::MulH:
+      case XOp::And:
+      case XOp::Or:
+      case XOp::Xor:
+      case XOp::Eq:
+        if (b < a)
+            std::swap(a, b);
+        break;
+      default:
+        break;
+    }
+    Node n;
+    n.op = op;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+// ---------------------------------------------------------------------------
+// Integer constructors
+
+ExprId
+Ctx::add(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca + cb);
+
+    // Affine decomposition: x (+ const tail) for each operand, so
+    // (p + 4) + 8 and p + 12 intern to the same node and stripAddr
+    // sees a flat `Add(root, ConstI)` shape.
+    auto split = [&](ExprId e, ExprId &base, u32 &off) {
+        u32 c;
+        if (isConstI(e, c)) {
+            base = nilExpr;
+            off = c;
+            return;
+        }
+        const Node &n = nodes_[e];
+        if (n.op == XOp::Add && isConstI(n.b, c)) {
+            base = n.a;
+            off = c;
+            return;
+        }
+        base = e;
+        off = 0;
+    };
+    ExprId ba, bb;
+    u32 oa, ob;
+    split(a, ba, oa);
+    split(b, bb, ob);
+    u32 off = oa + ob;
+    ExprId core;
+    if (ba == nilExpr && bb == nilExpr)
+        return constI(off);
+    else if (ba == nilExpr)
+        core = bb;
+    else if (bb == nilExpr)
+        core = ba;
+    else
+        core = mkBin(XOp::Add, ba, bb);
+    if (off == 0)
+        return core;
+    Node n;
+    n.op = XOp::Add;
+    n.a = core;
+    n.b = constI(off);
+    return intern(n);
+}
+
+ExprId
+Ctx::sub(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca - cb);
+    if (a == b)
+        return zero();
+    if (isConstI(b, cb))
+        return add(a, constI(u32(0) - cb));
+    Node n;
+    n.op = XOp::Sub;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+ExprId
+Ctx::mul(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(u32(s64(s32(ca)) * s64(s32(cb))));
+    if (isConstI(a, ca))
+        std::swap(a, b), std::swap(ca, cb);
+    if (isConstI(b, cb)) {
+        if (cb == 0)
+            return zero();
+        if (cb == 1)
+            return a;
+    }
+    return mkBin(XOp::Mul, a, b);
+}
+
+ExprId
+Ctx::mulh(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(u32(u64(s64(s32(ca)) * s64(s32(cb))) >> 32));
+    return mkBin(XOp::MulH, a, b);
+}
+
+ExprId
+Ctx::div(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    bool ac = isConstI(a, ca), bc = isConstI(b, cb);
+    if (ac && bc && cb != 0 && !(ca == 0x80000000u && s32(cb) == -1))
+        return constI(u32(s32(ca) / s32(cb)));
+    if (bc && cb == 1)
+        return a;
+    return mkBin(XOp::Div, a, b);
+}
+
+ExprId
+Ctx::rem(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    bool ac = isConstI(a, ca), bc = isConstI(b, cb);
+    if (ac && bc && cb != 0 && !(ca == 0x80000000u && s32(cb) == -1))
+        return constI(u32(s32(ca) % s32(cb)));
+    if (bc && cb == 1)
+        return zero();
+    return mkBin(XOp::Rem, a, b);
+}
+
+ExprId
+Ctx::and_(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca & cb);
+    if (a == b)
+        return a;
+    if (isConstI(a, ca))
+        std::swap(a, b), std::swap(ca, cb);
+    if (isConstI(b, cb)) {
+        if (cb == 0)
+            return zero();
+        if (cb == 0xffffffffu)
+            return a;
+        const Node &n = nodes_[a];
+        u32 ci;
+        // mkBin orders commutative operands by id, so a chained
+        // constant can sit in either slot.
+        if (n.op == XOp::And && isConstI(n.b, ci))
+            return and_(n.a, constI(cb & ci));
+        if (n.op == XOp::And && isConstI(n.a, ci))
+            return and_(n.b, constI(cb & ci));
+        // Mask no-op: every bit outside the mask already known zero.
+        KnownBits kb = knownBits(a);
+        if ((~cb & ~kb.zeros) == 0)
+            return a;
+    }
+    return mkBin(XOp::And, a, b);
+}
+
+ExprId
+Ctx::or_(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca | cb);
+    if (a == b)
+        return a;
+    if (isConstI(a, ca))
+        std::swap(a, b), std::swap(ca, cb);
+    if (isConstI(b, cb)) {
+        if (cb == 0)
+            return a;
+        if (cb == 0xffffffffu)
+            return constI(0xffffffffu);
+        const Node &n = nodes_[a];
+        u32 ci;
+        if (n.op == XOp::Or && isConstI(n.b, ci))
+            return or_(n.a, constI(cb | ci));
+        if (n.op == XOp::Or && isConstI(n.a, ci))
+            return or_(n.b, constI(cb | ci));
+    }
+    return mkBin(XOp::Or, a, b);
+}
+
+ExprId
+Ctx::xor_(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca ^ cb);
+    if (a == b)
+        return zero();
+    if (isConstI(a, ca))
+        std::swap(a, b), std::swap(ca, cb);
+    if (isConstI(b, cb)) {
+        if (cb == 0)
+            return a;
+        const Node &n = nodes_[a];
+        u32 ci;
+        if (n.op == XOp::Xor && isConstI(n.b, ci))
+            return xor_(n.a, constI(cb ^ ci));
+        if (n.op == XOp::Xor && isConstI(n.a, ci))
+            return xor_(n.b, constI(cb ^ ci));
+    }
+    return mkBin(XOp::Xor, a, b);
+}
+
+ExprId
+Ctx::shl(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(b, cb)) {
+        cb &= 31;
+        if (cb == 0)
+            return a;
+        if (isConstI(a, ca))
+            return constI(ca << cb);
+        b = constI(cb);
+    }
+    Node n;
+    n.op = XOp::Shl;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+ExprId
+Ctx::shr(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(b, cb)) {
+        cb &= 31;
+        if (cb == 0)
+            return a;
+        if (isConstI(a, ca))
+            return constI(ca >> cb);
+        b = constI(cb);
+    }
+    Node n;
+    n.op = XOp::Shr;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+ExprId
+Ctx::sar(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(b, cb)) {
+        cb &= 31;
+        if (cb == 0)
+            return a;
+        if (isConstI(a, ca))
+            return constI(u32(s32(ca) >> cb));
+        b = constI(cb);
+    }
+    Node n;
+    n.op = XOp::Sar;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+ExprId
+Ctx::eq(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca == cb ? 1 : 0);
+    if (a == b)
+        return one();
+    if (isConstI(a, ca))
+        std::swap(a, b), std::swap(ca, cb);
+    const Node &n = nodes_[a];
+    if (isConstI(b, cb)) {
+        // Eq(x, c) over {0,1}-valued x.
+        KnownBits kb = knownBits(a);
+        bool bit01 = (kb.zeros | 1u) == 0xffffffffu;
+        if (bit01 && cb == 1)
+            return a;
+        if (bit01 && cb == 0)
+            return xor_(a, one());
+        if (bit01 && cb > 1)
+            return zero();
+        auto [lo, hi] = range(a);
+        if (cb < lo || cb > hi)
+            return zero();
+        u32 ci;
+        if (n.op == XOp::Add && isConstI(n.b, ci))
+            return eq(n.a, constI(cb - ci));
+        if (cb == 0 && n.op == XOp::Sub)
+            return eq(n.a, n.b);
+        if (cb == 0 && n.op == XOp::Xor)
+            return eq(n.a, n.b);
+    }
+    return mkBin(XOp::Eq, a, b);
+}
+
+ExprId
+Ctx::ult(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(ca < cb ? 1 : 0);
+    if (a == b)
+        return zero();
+    auto [loa, hia] = range(a);
+    auto [lob, hib] = range(b);
+    if (hia < lob)
+        return one();
+    if (loa >= hib)
+        return zero();
+    Node n;
+    n.op = XOp::Ult;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+ExprId
+Ctx::slt(ExprId a, ExprId b)
+{
+    u32 ca, cb;
+    if (isConstI(a, ca) && isConstI(b, cb))
+        return constI(s32(ca) < s32(cb) ? 1 : 0);
+    if (a == b)
+        return zero();
+    Node n;
+    n.op = XOp::Slt;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+// ---------------------------------------------------------------------------
+// FP constructors
+
+ExprId
+Ctx::fbin(XOp op, ExprId a, ExprId b)
+{
+    const Node &na = nodes_[a];
+    const Node &nb = nodes_[b];
+    if (na.op == XOp::ConstF && nb.op == XOp::ConstF) {
+        double x = na.fimm, y = nb.fimm, r = 0.0;
+        switch (op) {
+          case XOp::FAdd: r = guest::gcanon(x + y); break;
+          case XOp::FSub: r = guest::gcanon(x - y); break;
+          case XOp::FMul: r = guest::gcanon(x * y); break;
+          case XOp::FDiv: r = guest::gcanon(x / y); break;
+          default: darco_assert(false, "fbin: bad op");
+        }
+        return constF(r);
+    }
+    // No commutation: FP ops keep textual operand order.
+    Node n;
+    n.op = op;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+ExprId
+Ctx::fun(XOp op, ExprId a)
+{
+    const Node &na = nodes_[a];
+    if (op == XOp::FCvtWD) {
+        u32 v;
+        if (isConstI(a, v))
+            return constF(double(s32(v)));
+    } else if (op == XOp::FCvtZW) {
+        if (na.op == XOp::ConstF)
+            return constI(u32(guest::gcvtfi(na.fimm)));
+    } else if (na.op == XOp::ConstF) {
+        double x = na.fimm, r = 0.0;
+        switch (op) {
+          case XOp::FSqrt: r = guest::gcanon(std::sqrt(x)); break;
+          case XOp::FAbs: r = std::fabs(x); break;
+          case XOp::FNeg: r = -x; break;
+          case XOp::FRnd: r = guest::gcanon(std::nearbyint(x)); break;
+          default: darco_assert(false, "fun: bad op");
+        }
+        return constF(r);
+    }
+    Node n;
+    n.op = op;
+    n.a = a;
+    return intern(n);
+}
+
+ExprId
+Ctx::fcmp(XOp op, ExprId a, ExprId b)
+{
+    const Node &na = nodes_[a];
+    const Node &nb = nodes_[b];
+    if (na.op == XOp::ConstF && nb.op == XOp::ConstF) {
+        double x = na.fimm, y = nb.fimm;
+        bool r = false;
+        switch (op) {
+          case XOp::FEq: r = x == y; break;
+          case XOp::FLt: r = x < y; break;
+          case XOp::FLe: r = x <= y; break;
+          default: darco_assert(false, "fcmp: bad op");
+        }
+        return constI(r ? 1 : 0);
+    }
+    Node n;
+    n.op = op;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+ExprId
+Ctx::memInit()
+{
+    if (memInit_ == nilExpr) {
+        Node n;
+        n.op = XOp::MemInit;
+        memInit_ = intern(n);
+    }
+    return memInit_;
+}
+
+std::pair<ExprId, u32>
+Ctx::stripAddr(ExprId addr)
+{
+    u32 c;
+    if (isConstI(addr, c))
+        return {zero(), c};
+    const Node &n = nodes_[addr];
+    if (n.op == XOp::Add && isConstI(n.b, c))
+        return {n.a, c};
+    return {addr, 0};
+}
+
+ExprId
+Ctx::store(ExprId mem, ExprId base, u32 off, u8 size, bool is_f,
+           ExprId val)
+{
+    // Dead-store canonicalization: reads resolve outermost-first, so
+    // an earlier store off the same base root whose byte range this
+    // store fully covers can never supply a byte again — drop it
+    // (intervening unknown-alias stores are unaffected: their ranges
+    // do not change). An optimizer-DSE'd chain and the unoptimized
+    // guest chain then intern to the same node, preserving structural
+    // equality as the main proof rule across dead-store elimination.
+    for (ExprId m = mem; nodes_[m].op == XOp::Store; m = nodes_[m].a) {
+        const Node &cand = nodes_[m];
+        if (cand.b != base ||
+            u32(accOff(cand.imm) - off) + accSize(cand.imm) > size)
+            continue;
+        struct Rec
+        {
+            ExprId base;
+            u32 off;
+            u8 size;
+            bool isF;
+            ExprId val;
+        };
+        std::vector<Rec> prefix;
+        for (ExprId x = mem; x != m; x = nodes_[x].a) {
+            const Node &n = nodes_[x];
+            prefix.push_back({n.b, accOff(n.imm), accSize(n.imm),
+                              accIsF(n.imm), n.c});
+        }
+        ExprId rebuilt = nodes_[m].a;
+        // Recursive re-interning may grow nodes_: use the copies.
+        for (std::size_t i = prefix.size(); i-- > 0;)
+            rebuilt = store(rebuilt, prefix[i].base, prefix[i].off,
+                            prefix[i].size, prefix[i].isF,
+                            prefix[i].val);
+        return store(rebuilt, base, off, size, is_f, val);
+    }
+    Node n;
+    n.op = XOp::Store;
+    n.a = mem;
+    n.b = base;
+    n.c = val;
+    n.imm = packAcc(off, size, is_f);
+    return intern(n);
+}
+
+bool
+Ctx::provablyDisjoint(ExprId root_a, u32 off_a, u8 size_a,
+                      ExprId root_b, u32 off_b, u8 size_b) const
+{
+    if (root_a == root_b)
+        return !circOverlap(off_a, size_a, off_b, size_b);
+    for (const DisjPair &p : disjoint_) {
+        if (p.ra == root_a && p.oa == off_a && p.sa == size_a &&
+            p.rb == root_b && p.ob == off_b && p.sb == size_b)
+            return true;
+        if (p.ra == root_b && p.oa == off_b && p.sa == size_b &&
+            p.rb == root_a && p.ob == off_a && p.sb == size_a)
+            return true;
+    }
+    return false;
+}
+
+void
+Ctx::assumeDisjoint(ExprId root_a, u32 off_a, u8 size_a, ExprId root_b,
+                    u32 off_b, u8 size_b)
+{
+    disjoint_.push_back({root_a, off_a, size_a, root_b, off_b, size_b});
+}
+
+bool
+Ctx::provablyOverlapping(ExprId root_a, u32 off_a, u8 size_a,
+                         ExprId root_b, u32 off_b, u8 size_b) const
+{
+    return root_a == root_b &&
+           circOverlap(off_a, size_a, off_b, size_b);
+}
+
+ExprId
+Ctx::readI(ExprId mem, ExprId base, u32 off, u8 size)
+{
+    ExprId m = mem;
+    for (;;) {
+        const Node &n = nodes_[m];
+        if (n.op != XOp::Store)
+            break;
+        u32 soff = accOff(n.imm);
+        u8 ssize = accSize(n.imm);
+        bool sisf = accIsF(n.imm);
+        if (n.b == base && soff == off && ssize == size && !sisf) {
+            if (size == 4)
+                return n.c;
+            return and_(n.c, constI(size == 1 ? 0xffu : 0xffffu));
+        }
+        if (!provablyDisjoint(base, off, size, n.b, soff, ssize))
+            break;
+        m = n.a;
+    }
+    Node r;
+    r.op = XOp::ReadI;
+    r.a = m;
+    r.b = base;
+    r.imm = packAcc(off, size, false);
+    return intern(r);
+}
+
+ExprId
+Ctx::readF(ExprId mem, ExprId base, u32 off)
+{
+    ExprId m = mem;
+    for (;;) {
+        const Node &n = nodes_[m];
+        if (n.op != XOp::Store)
+            break;
+        u32 soff = accOff(n.imm);
+        u8 ssize = accSize(n.imm);
+        bool sisf = accIsF(n.imm);
+        if (n.b == base && soff == off && ssize == 8 && sisf)
+            return n.c;
+        if (!provablyDisjoint(base, off, 8, n.b, soff, ssize))
+            break;
+        m = n.a;
+    }
+    Node r;
+    r.op = XOp::ReadF;
+    r.a = m;
+    r.b = base;
+    r.imm = packAcc(off, 8, true);
+    return intern(r);
+}
+
+std::vector<Ctx::WriteRec>
+Ctx::writeList(ExprId mem) const
+{
+    std::vector<WriteRec> out;
+    for (ExprId m = mem; nodes_[m].op == XOp::Store; m = nodes_[m].a) {
+        const Node &n = nodes_[m];
+        out.push_back({n.b, accOff(n.imm), accSize(n.imm),
+                       accIsF(n.imm), n.c});
+    }
+    // Collected newest-first; return program order.
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Known bits / ranges
+
+Ctx::KnownBits
+Ctx::knownBits(ExprId id)
+{
+    auto it = kbMemo_.find(id);
+    if (it != kbMemo_.end())
+        return it->second;
+    const Node n = nodes_[id]; // copy: recursion may grow nodes_
+    KnownBits r;
+    auto bit01 = [] {
+        return KnownBits{0xfffffffeu, 0};
+    };
+    switch (n.op) {
+      case XOp::ConstI:
+        r.ones = u32(n.imm);
+        r.zeros = ~r.ones;
+        break;
+      case XOp::VarI:
+        if (vars_[u32(n.imm)].bit)
+            r = bit01();
+        break;
+      case XOp::Eq:
+      case XOp::Ult:
+      case XOp::Slt:
+      case XOp::FEq:
+      case XOp::FLt:
+      case XOp::FLe:
+        r = bit01();
+        break;
+      case XOp::And: {
+        KnownBits a = knownBits(n.a), b = knownBits(n.b);
+        r.zeros = a.zeros | b.zeros;
+        r.ones = a.ones & b.ones;
+        break;
+      }
+      case XOp::Or: {
+        KnownBits a = knownBits(n.a), b = knownBits(n.b);
+        r.zeros = a.zeros & b.zeros;
+        r.ones = a.ones | b.ones;
+        break;
+      }
+      case XOp::Xor: {
+        KnownBits a = knownBits(n.a), b = knownBits(n.b);
+        r.zeros = (a.zeros & b.zeros) | (a.ones & b.ones);
+        r.ones = (a.zeros & b.ones) | (a.ones & b.zeros);
+        break;
+      }
+      case XOp::Shl: {
+        u32 c;
+        if (isConstI(n.b, c)) {
+            c &= 31;
+            KnownBits a = knownBits(n.a);
+            r.zeros = (a.zeros << c) | ((1u << c) - 1u);
+            r.ones = a.ones << c;
+        }
+        break;
+      }
+      case XOp::Shr: {
+        u32 c;
+        if (isConstI(n.b, c)) {
+            c &= 31;
+            KnownBits a = knownBits(n.a);
+            r.zeros = (a.zeros >> c) | ~(0xffffffffu >> c);
+            r.ones = a.ones >> c;
+        }
+        break;
+      }
+      case XOp::ReadI: {
+        u8 sz = accSize(n.imm);
+        if (sz == 1)
+            r.zeros = 0xffffff00u;
+        else if (sz == 2)
+            r.zeros = 0xffff0000u;
+        break;
+      }
+      default:
+        break;
+    }
+    kbMemo_.emplace(id, r);
+    return r;
+}
+
+std::pair<u32, u32>
+Ctx::range(ExprId id)
+{
+    auto it = rangeMemo_.find(id);
+    if (it != rangeMemo_.end())
+        return it->second;
+    const Node n = nodes_[id];
+    std::pair<u32, u32> r{0, 0xffffffffu};
+    switch (n.op) {
+      case XOp::ConstI:
+        r = {u32(n.imm), u32(n.imm)};
+        break;
+      case XOp::Add: {
+        auto [la, ha] = range(n.a);
+        auto [lb, hb] = range(n.b);
+        u64 lo = u64(la) + lb, hi = u64(ha) + hb;
+        if (hi <= 0xffffffffull)
+            r = {u32(lo), u32(hi)};
+        break;
+      }
+      case XOp::And: {
+        auto [la, ha] = range(n.a);
+        auto [lb, hb] = range(n.b);
+        (void)la;
+        (void)lb;
+        r = {0, std::min(ha, hb)};
+        break;
+      }
+      default: {
+        KnownBits kb = knownBits(id);
+        r = {kb.ones, ~kb.zeros};
+        break;
+      }
+    }
+    rangeMemo_.emplace(id, r);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Concrete evaluation
+
+const std::map<u64, u8> &
+Ctx::memBytes(ExprId mem, const Env &env)
+{
+    auto it = memMemo_.find(mem);
+    if (it != memMemo_.end())
+        return it->second;
+    std::map<u64, u8> bytes;
+    const Node n = nodes_[mem];
+    if (n.op == XOp::Store) {
+        bytes = memBytes(n.a, env); // copy of the deeper overlay
+        u32 base = evalI(n.b, env);
+        u32 addr = base + accOff(n.imm);
+        u8 sz = accSize(n.imm);
+        if (accIsF(n.imm)) {
+            u64 b = dbits(evalF(n.c, env));
+            for (u8 i = 0; i < 8; ++i)
+                bytes[u32(addr + i)] = u8(b >> (8 * i));
+        } else {
+            u32 v = evalI(n.c, env);
+            for (u8 i = 0; i < sz; ++i)
+                bytes[u32(addr + i)] = u8(v >> (8 * i));
+        }
+    }
+    return memMemo_.emplace(mem, std::move(bytes)).first->second;
+}
+
+u32
+Ctx::evalI(ExprId id, const Env &env)
+{
+    if (env.stamp != evalStamp_) {
+        evalIMemo_.clear();
+        evalFMemo_.clear();
+        memMemo_.clear();
+        evalStamp_ = env.stamp;
+    }
+    auto it = evalIMemo_.find(id);
+    if (it != evalIMemo_.end())
+        return it->second;
+    const Node n = nodes_[id];
+    u32 r = 0;
+    switch (n.op) {
+      case XOp::ConstI:
+        r = u32(n.imm);
+        break;
+      case XOp::VarI: {
+        auto vi = env.ivals.find(u32(n.imm));
+        r = vi == env.ivals.end() ? 0 : vi->second;
+        break;
+      }
+      case XOp::Add: r = evalI(n.a, env) + evalI(n.b, env); break;
+      case XOp::Sub: r = evalI(n.a, env) - evalI(n.b, env); break;
+      case XOp::Mul:
+        r = u32(s64(s32(evalI(n.a, env))) * s64(s32(evalI(n.b, env))));
+        break;
+      case XOp::MulH:
+        r = u32(u64(s64(s32(evalI(n.a, env))) *
+                    s64(s32(evalI(n.b, env)))) >> 32);
+        break;
+      case XOp::Div: {
+        u32 a = evalI(n.a, env), b = evalI(n.b, env);
+        // Faulting inputs are excluded by path facts; keep the
+        // evaluator total so rejected samples cannot trap.
+        if (b == 0 || (a == 0x80000000u && s32(b) == -1))
+            r = 0;
+        else
+            r = u32(s32(a) / s32(b));
+        break;
+      }
+      case XOp::Rem: {
+        u32 a = evalI(n.a, env), b = evalI(n.b, env);
+        if (b == 0 || (a == 0x80000000u && s32(b) == -1))
+            r = 0;
+        else
+            r = u32(s32(a) % s32(b));
+        break;
+      }
+      case XOp::And: r = evalI(n.a, env) & evalI(n.b, env); break;
+      case XOp::Or: r = evalI(n.a, env) | evalI(n.b, env); break;
+      case XOp::Xor: r = evalI(n.a, env) ^ evalI(n.b, env); break;
+      case XOp::Shl:
+        r = evalI(n.a, env) << (evalI(n.b, env) & 31);
+        break;
+      case XOp::Shr:
+        r = evalI(n.a, env) >> (evalI(n.b, env) & 31);
+        break;
+      case XOp::Sar:
+        r = u32(s32(evalI(n.a, env)) >> (evalI(n.b, env) & 31));
+        break;
+      case XOp::Eq:
+        r = evalI(n.a, env) == evalI(n.b, env) ? 1 : 0;
+        break;
+      case XOp::Ult:
+        r = evalI(n.a, env) < evalI(n.b, env) ? 1 : 0;
+        break;
+      case XOp::Slt:
+        r = s32(evalI(n.a, env)) < s32(evalI(n.b, env)) ? 1 : 0;
+        break;
+      case XOp::FCvtZW:
+        r = u32(guest::gcvtfi(evalF(n.a, env)));
+        break;
+      case XOp::FEq:
+        r = evalF(n.a, env) == evalF(n.b, env) ? 1 : 0;
+        break;
+      case XOp::FLt:
+        r = evalF(n.a, env) < evalF(n.b, env) ? 1 : 0;
+        break;
+      case XOp::FLe:
+        r = evalF(n.a, env) <= evalF(n.b, env) ? 1 : 0;
+        break;
+      case XOp::ReadI: {
+        const auto &bytes = memBytes(n.a, env);
+        u32 base = evalI(n.b, env);
+        u32 addr = base + accOff(n.imm);
+        u8 sz = accSize(n.imm);
+        r = 0;
+        for (u8 i = 0; i < sz; ++i) {
+            u64 a = u32(addr + i);
+            auto bi = bytes.find(a);
+            u8 byte =
+                bi == bytes.end() ? env.initialByte(a) : bi->second;
+            r |= u32(byte) << (8 * i);
+        }
+        break;
+      }
+      default:
+        darco_assert(false, "evalI: non-integer node");
+    }
+    evalIMemo_.emplace(id, r);
+    return r;
+}
+
+double
+Ctx::evalF(ExprId id, const Env &env)
+{
+    if (env.stamp != evalStamp_) {
+        evalIMemo_.clear();
+        evalFMemo_.clear();
+        memMemo_.clear();
+        evalStamp_ = env.stamp;
+    }
+    auto it = evalFMemo_.find(id);
+    if (it != evalFMemo_.end())
+        return it->second;
+    const Node n = nodes_[id];
+    double r = 0.0;
+    switch (n.op) {
+      case XOp::ConstF:
+        r = n.fimm;
+        break;
+      case XOp::VarF: {
+        auto vi = env.fvals.find(u32(n.imm));
+        r = vi == env.fvals.end() ? 0.0 : vi->second;
+        break;
+      }
+      case XOp::FAdd:
+        r = guest::gcanon(evalF(n.a, env) + evalF(n.b, env));
+        break;
+      case XOp::FSub:
+        r = guest::gcanon(evalF(n.a, env) - evalF(n.b, env));
+        break;
+      case XOp::FMul:
+        r = guest::gcanon(evalF(n.a, env) * evalF(n.b, env));
+        break;
+      case XOp::FDiv:
+        r = guest::gcanon(evalF(n.a, env) / evalF(n.b, env));
+        break;
+      case XOp::FSqrt:
+        r = guest::gcanon(std::sqrt(evalF(n.a, env)));
+        break;
+      case XOp::FAbs:
+        r = std::fabs(evalF(n.a, env));
+        break;
+      case XOp::FNeg:
+        r = -evalF(n.a, env);
+        break;
+      case XOp::FRnd:
+        r = guest::gcanon(std::nearbyint(evalF(n.a, env)));
+        break;
+      case XOp::FCvtWD:
+        r = double(s32(evalI(n.a, env)));
+        break;
+      case XOp::ReadF: {
+        const auto &bytes = memBytes(n.a, env);
+        u32 base = evalI(n.b, env);
+        u32 addr = base + accOff(n.imm);
+        u64 b = 0;
+        for (u8 i = 0; i < 8; ++i) {
+            u64 a = u32(addr + i);
+            auto bi = bytes.find(a);
+            u8 byte =
+                bi == bytes.end() ? env.initialByte(a) : bi->second;
+            b |= u64(byte) << (8 * i);
+        }
+        r = bitsd(b);
+        break;
+      }
+      default:
+        darco_assert(false, "evalF: non-FP node");
+    }
+    evalFMemo_.emplace(id, r);
+    return r;
+}
+
+bool
+Ctx::factsHold(const std::vector<Fact> &facts, const Env &env)
+{
+    for (const Fact &f : facts) {
+        if ((evalI(f.cond, env) != 0) != f.truth)
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Support / substitution
+
+void
+Ctx::support(ExprId id, std::vector<u32> &int_vars,
+             std::vector<u32> &fp_vars, bool &has_mem)
+{
+    std::vector<ExprId> stack{id};
+    std::vector<bool> seen(nodes_.size(), false);
+    while (!stack.empty()) {
+        ExprId e = stack.back();
+        stack.pop_back();
+        if (seen[e])
+            continue;
+        seen[e] = true;
+        const Node &n = nodes_[e];
+        switch (n.op) {
+          case XOp::VarI:
+            if (std::find(int_vars.begin(), int_vars.end(),
+                          u32(n.imm)) == int_vars.end())
+                int_vars.push_back(u32(n.imm));
+            break;
+          case XOp::VarF:
+            if (std::find(fp_vars.begin(), fp_vars.end(), u32(n.imm)) ==
+                fp_vars.end())
+                fp_vars.push_back(u32(n.imm));
+            break;
+          case XOp::MemInit:
+          case XOp::Store:
+          case XOp::ReadI:
+          case XOp::ReadF:
+            has_mem = true;
+            break;
+          default:
+            break;
+        }
+        if (n.a != nilExpr)
+            stack.push_back(n.a);
+        if (n.b != nilExpr)
+            stack.push_back(n.b);
+        if (n.c != nilExpr)
+            stack.push_back(n.c);
+    }
+}
+
+ExprId
+Ctx::substitute(ExprId id, const std::unordered_map<u32, u32> &int_env,
+                std::unordered_map<ExprId, ExprId> &memo)
+{
+    auto it = memo.find(id);
+    if (it != memo.end())
+        return it->second;
+    const Node n = nodes_[id];
+    ExprId r;
+    if (n.op == XOp::VarI) {
+        auto vi = int_env.find(u32(n.imm));
+        r = vi == int_env.end() ? id : constI(vi->second);
+    } else if (n.op == XOp::VarF || n.op == XOp::ConstI ||
+               n.op == XOp::ConstF || n.op == XOp::MemInit) {
+        r = id;
+    } else {
+        ExprId a = n.a == nilExpr
+                       ? nilExpr
+                       : substitute(n.a, int_env, memo);
+        ExprId b = n.b == nilExpr
+                       ? nilExpr
+                       : substitute(n.b, int_env, memo);
+        ExprId c = n.c == nilExpr
+                       ? nilExpr
+                       : substitute(n.c, int_env, memo);
+        switch (n.op) {
+          case XOp::Add: r = add(a, b); break;
+          case XOp::Sub: r = sub(a, b); break;
+          case XOp::Mul: r = mul(a, b); break;
+          case XOp::MulH: r = mulh(a, b); break;
+          case XOp::Div: r = div(a, b); break;
+          case XOp::Rem: r = rem(a, b); break;
+          case XOp::And: r = and_(a, b); break;
+          case XOp::Or: r = or_(a, b); break;
+          case XOp::Xor: r = xor_(a, b); break;
+          case XOp::Shl: r = shl(a, b); break;
+          case XOp::Shr: r = shr(a, b); break;
+          case XOp::Sar: r = sar(a, b); break;
+          case XOp::Eq: r = eq(a, b); break;
+          case XOp::Ult: r = ult(a, b); break;
+          case XOp::Slt: r = slt(a, b); break;
+          case XOp::FAdd:
+          case XOp::FSub:
+          case XOp::FMul:
+          case XOp::FDiv: r = fbin(n.op, a, b); break;
+          case XOp::FSqrt:
+          case XOp::FAbs:
+          case XOp::FNeg:
+          case XOp::FRnd:
+          case XOp::FCvtWD:
+          case XOp::FCvtZW: r = fun(n.op, a); break;
+          case XOp::FEq:
+          case XOp::FLt:
+          case XOp::FLe: r = fcmp(n.op, a, b); break;
+          case XOp::Store:
+            r = store(a, b, accOff(n.imm), accSize(n.imm),
+                      accIsF(n.imm), c);
+            break;
+          case XOp::ReadI:
+            r = readI(a, b, accOff(n.imm), accSize(n.imm));
+            break;
+          case XOp::ReadF:
+            r = readF(a, b, accOff(n.imm));
+            break;
+          default:
+            r = id;
+            break;
+        }
+    }
+    memo.emplace(id, r);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// Proving
+
+namespace
+{
+
+/** Interesting corner values mixed into random integer samples. */
+constexpr u32 cornersI[] = {0u,          1u,          2u,
+                            0xffffffffu, 0x7fffffffu, 0x80000000u,
+                            0xffu,       0x100u,      0xfffeu};
+constexpr double cornersF[] = {0.0, -0.0, 1.0,   -1.0, 0.5,
+                               2.0, 1e9,  -1e-9, 1e300};
+
+} // namespace
+
+void
+Ctx::buildWitness(const Env &env, ExprId a, ExprId b, bool fp_cmp,
+                  const std::vector<Fact> &facts, Witness *w)
+{
+    if (!w)
+        return;
+    // Re-evaluate with a byte-logging environment so the witness
+    // records exactly the initial-memory bytes the refutation needs.
+    std::map<u64, u8> touched;
+    Env le;
+    le.ivals = env.ivals;
+    le.fvals = env.fvals;
+    le.seed = env.seed;
+    le.byteAt = [&env, &touched](u64 addr) {
+        u8 v = env.initialByte(addr);
+        touched[addr] = v;
+        return v;
+    };
+    std::ostringstream diff;
+    if (fp_cmp) {
+        double lv = evalF(a, le), rv = evalF(b, le);
+        diff << "lhs=" << lv << " (0x" << std::hex << dbits(lv)
+             << ") rhs=" << rv << " (0x" << dbits(rv) << ")" << std::dec;
+    } else {
+        u32 lv = evalI(a, le), rv = evalI(b, le);
+        diff << "lhs=0x" << std::hex << lv << " rhs=0x" << rv
+             << std::dec;
+    }
+    factsHold(facts, le); // log fact-relevant bytes too
+    w->diff = diff.str();
+    w->ints.clear();
+    w->fps.clear();
+    w->memBytes.clear();
+    for (const auto &[idx, v] : env.ivals)
+        w->ints.emplace_back(vars_[idx].name, v);
+    for (const auto &[idx, v] : env.fvals)
+        w->fps.emplace_back(vars_[idx].name, v);
+    std::sort(w->ints.begin(), w->ints.end());
+    std::sort(w->fps.begin(), w->fps.end());
+    for (const auto &[addr, byte] : touched)
+        w->memBytes.emplace_back(addr, byte);
+}
+
+Tri
+Ctx::enumerateOrSample(ExprId a, ExprId b, const std::vector<Fact> &facts,
+                       bool fp_cmp, Witness *w)
+{
+    std::vector<u32> ivars, fvars;
+    bool has_mem = false;
+    support(a, ivars, fvars, has_mem);
+    support(b, ivars, fvars, has_mem);
+    for (const Fact &f : facts)
+        support(f.cond, ivars, fvars, has_mem);
+
+    auto differ = [&](const Env &env) {
+        if (fp_cmp)
+            return dbits(evalF(a, env)) != dbits(evalF(b, env));
+        return evalI(a, env) != evalI(b, env);
+    };
+    auto refute = [&](Env &env) {
+        // Minimize: prefer 0 then 1 for each variable while the
+        // assignment still satisfies the facts and still refutes.
+        for (u32 idx : ivars) {
+            u32 orig = env.ivals[idx];
+            for (u32 cand : {0u, 1u}) {
+                if (cand == orig)
+                    continue;
+                Env t;
+                t.ivals = env.ivals;
+                t.fvals = env.fvals;
+                t.seed = env.seed;
+                t.ivals[idx] = cand;
+                if (factsHold(facts, t) && differ(t)) {
+                    env = std::move(t);
+                    break;
+                }
+            }
+        }
+        for (u32 idx : fvars) {
+            double orig = env.fvals[idx];
+            for (double cand : {0.0, 1.0}) {
+                if (dbits(cand) == dbits(orig))
+                    continue;
+                Env t;
+                t.ivals = env.ivals;
+                t.fvals = env.fvals;
+                t.seed = env.seed;
+                t.fvals[idx] = cand;
+                if (factsHold(facts, t) && differ(t)) {
+                    env = std::move(t);
+                    break;
+                }
+            }
+        }
+        buildWitness(env, a, b, fp_cmp, facts, w);
+        return Tri::Refuted;
+    };
+
+    // Exhaustive concretization: a real proof, but only over pure
+    // register expressions whose entire support is {0,1}-domain.
+    bool all_bit = fvars.empty() && !has_mem;
+    for (u32 idx : ivars)
+        all_bit = all_bit && vars_[idx].bit;
+    if (all_bit && ivars.size() < 31 &&
+        (1ull << ivars.size()) <= concretizeBudget) {
+        u64 count = 1ull << ivars.size();
+        for (u64 mask = 0; mask < count; ++mask) {
+            Env env;
+            for (std::size_t i = 0; i < ivars.size(); ++i)
+                env.ivals[ivars[i]] = u32((mask >> i) & 1);
+            if (!factsHold(facts, env))
+                continue;
+            if (differ(env))
+                return refute(env);
+        }
+        return Tri::Proved;
+    }
+
+    // Sampling: refutation only — never upgrades to Proved.
+    for (u32 t = 0; t < sampleTries; ++t) {
+        Env env;
+        env.seed = mix64(0xda2c0ull ^ (u64(t) << 20) ^ a ^ (u64(b) << 32));
+        u64 s = env.seed;
+        for (u32 idx : ivars) {
+            s = mix64(s);
+            u32 v;
+            if (vars_[idx].bit)
+                v = u32(s & 1);
+            else if ((s >> 8) % 3 == 0)
+                v = cornersI[(s >> 16) %
+                             (sizeof(cornersI) / sizeof(cornersI[0]))];
+            else
+                v = u32(s >> 16);
+            env.ivals[idx] = v;
+        }
+        for (u32 idx : fvars) {
+            s = mix64(s);
+            double v;
+            if ((s >> 8) % 2 == 0)
+                v = cornersF[(s >> 16) %
+                             (sizeof(cornersF) / sizeof(cornersF[0]))];
+            else
+                v = double(s64(mix64(s))) * 0x1p-32;
+            env.fvals[idx] = v;
+        }
+        if (!factsHold(facts, env))
+            continue;
+        if (differ(env))
+            return refute(env);
+    }
+    return Tri::Unknown;
+}
+
+Tri
+Ctx::proveEqI(ExprId a, ExprId b, const std::vector<Fact> &facts,
+              Witness *w)
+{
+    if (a == b)
+        return Tri::Proved;
+    // Equalities the path pins to constants rewrite both sides; if
+    // the residue collapses structurally the equality is proved.
+    std::unordered_map<u32, u32> env;
+    for (const Fact &f : facts) {
+        const Node &n = nodes_[f.cond];
+        u32 c;
+        if (f.truth && n.op == XOp::Eq && nodes_[n.a].op == XOp::VarI &&
+            isConstI(n.b, c))
+            env.emplace(u32(nodes_[n.a].imm), c);
+        else if (n.op == XOp::VarI && vars_[u32(n.imm)].bit)
+            env.emplace(u32(n.imm), f.truth ? 1 : 0);
+    }
+    if (!env.empty()) {
+        std::unordered_map<ExprId, ExprId> memo;
+        ExprId sa = substitute(a, env, memo);
+        ExprId sb = substitute(b, env, memo);
+        if (sa == sb)
+            return Tri::Proved;
+        a = sa;
+        b = sb;
+    }
+    return enumerateOrSample(a, b, facts, false, w);
+}
+
+Tri
+Ctx::proveEqF(ExprId a, ExprId b, const std::vector<Fact> &facts,
+              Witness *w)
+{
+    if (a == b)
+        return Tri::Proved;
+    std::unordered_map<u32, u32> env;
+    for (const Fact &f : facts) {
+        const Node &n = nodes_[f.cond];
+        u32 c;
+        if (f.truth && n.op == XOp::Eq && nodes_[n.a].op == XOp::VarI &&
+            isConstI(n.b, c))
+            env.emplace(u32(nodes_[n.a].imm), c);
+    }
+    if (!env.empty()) {
+        std::unordered_map<ExprId, ExprId> memo;
+        ExprId sa = substitute(a, env, memo);
+        ExprId sb = substitute(b, env, memo);
+        if (sa == sb)
+            return Tri::Proved;
+        a = sa;
+        b = sb;
+    }
+    return enumerateOrSample(a, b, facts, true, w);
+}
+
+void
+Ctx::resetAssumptions()
+{
+    disjoint_.clear();
+    evalIMemo_.clear();
+    evalFMemo_.clear();
+    memMemo_.clear();
+    evalStamp_ = ~0ull;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+std::string
+Ctx::render(ExprId id) const
+{
+    static const char *names[] = {
+        "constI", "varI", "add", "sub", "mul", "mulh", "div", "rem",
+        "and", "or", "xor", "shl", "shr", "sar", "eq", "ult", "slt",
+        "constF", "varF", "fadd", "fsub", "fmul", "fdiv", "fsqrt",
+        "fabs", "fneg", "frnd", "fcvtwd", "fcvtzw", "feq", "flt",
+        "fle", "meminit", "store", "readi", "readf"};
+    std::function<std::string(ExprId, int)> go = [&](ExprId e,
+                                                     int depth) {
+        const Node &n = nodes_[e];
+        std::ostringstream os;
+        switch (n.op) {
+          case XOp::ConstI:
+            os << "0x" << std::hex << u32(n.imm);
+            return os.str();
+          case XOp::ConstF:
+            os << n.fimm;
+            return os.str();
+          case XOp::VarI:
+          case XOp::VarF:
+            return vars_[u32(n.imm)].name;
+          case XOp::MemInit:
+            return std::string("mem0");
+          default:
+            break;
+        }
+        if (depth > 8)
+            return std::string("...");
+        os << "(" << names[u32(n.op)];
+        if (n.op == XOp::Store || n.op == XOp::ReadI ||
+            n.op == XOp::ReadF)
+            os << "." << u32(accSize(n.imm)) << "@+" << accOff(n.imm);
+        if (n.a != nilExpr)
+            os << " " << go(n.a, depth + 1);
+        if (n.b != nilExpr)
+            os << " " << go(n.b, depth + 1);
+        if (n.c != nilExpr)
+            os << " " << go(n.c, depth + 1);
+        os << ")";
+        return os.str();
+    };
+    return go(id, 0);
+}
+
+} // namespace darco::verify

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared naming of the symbolic pre-region guest state.
+ *
+ * Both sides of an equivalence proof — the guest IR evaluator and the
+ * host region executor — must agree on the leaf variables that denote
+ * the architectural state at region entry. The guest side sees IR
+ * locations (ir.hh locs); the host side sees the fixed register
+ * mapping (hisa.hh regmap). This header pins one variable name per
+ * location so the two sides intern the *same* expression leaves.
+ *
+ * Flag locations are declared {0,1}-domain: the dispatch loop always
+ * materializes guest flags as 0/1 in r9..r12 (loadGuestState), and
+ * the frontend only ever assigns 0/1-valued expressions to flag locs.
+ * The bit domain is what makes exhaustive concretization of branch
+ * conditions a real proof.
+ */
+
+#ifndef DARCO_VERIFY_LOCS_HH
+#define DARCO_VERIFY_LOCS_HH
+
+#include <string>
+
+#include "tol/ir.hh"
+#include "verify/expr.hh"
+
+namespace darco::verify
+{
+
+/** Variable name for an IR location. */
+inline std::string
+locName(u16 loc)
+{
+    using namespace tol;
+    if (loc >= locGpr0 && loc < locGpr0 + 8)
+        return "g" + std::to_string(loc - locGpr0);
+    switch (loc) {
+      case locFlagZ: return "fZ";
+      case locFlagS: return "fS";
+      case locFlagC: return "fC";
+      case locFlagO: return "fO";
+      default: break;
+    }
+    if (loc >= locFpr0 && loc < locFpr0 + 8)
+        return "f" + std::to_string(loc - locFpr0);
+    return "loc" + std::to_string(loc);
+}
+
+/** The pre-region symbolic value of an IR location. */
+inline ExprId
+locVar(Ctx &ctx, u16 loc)
+{
+    bool flag = loc >= tol::locFlagZ && loc <= tol::locFlagO;
+    if (tol::locIsFp(loc))
+        return ctx.varF(locName(loc));
+    return ctx.varI(locName(loc), flag);
+}
+
+} // namespace darco::verify
+
+#endif // DARCO_VERIFY_LOCS_HH

@@ -1,0 +1,168 @@
+#include "verify/symguest.hh"
+
+#include "verify/locs.hh"
+
+namespace darco::verify
+{
+
+using tol::IRItem;
+using tol::IROp;
+
+GuestSummary
+symEvalGuest(Ctx &ctx, const tol::Region &region)
+{
+    GuestSummary out;
+    std::vector<ExprId> val(std::size_t(region.numValues), nilExpr);
+    ExprId mem = ctx.memInit();
+    out.exits.resize(region.exits.size());
+
+    auto snapshot = [&](u32 exit_idx, ExprId cond, bool invert,
+                        s32 traversal_pos) {
+        const tol::IRExit &x = region.exits[exit_idx];
+        GuestExit &ge = out.exits[exit_idx];
+        for (u16 loc = 0; loc < tol::numLocs; ++loc)
+            ge.outs[loc] = locVar(ctx, loc);
+        for (auto [loc, v] : x.liveOuts)
+            ge.outs[loc] = val[std::size_t(v)];
+        ge.mem = mem;
+        ge.cond = cond;
+        ge.condInvert = invert;
+        ge.traversalPos = traversal_pos;
+        ge.assertPrefix = u32(out.asserts.size());
+        ge.divPrefix = u32(out.divs.size());
+        if (x.targetVal >= 0)
+            ge.targetVal = val[std::size_t(x.targetVal)];
+    };
+
+    for (const IRItem &it : region.items) {
+        if (it.kind == IRItem::Kind::CondExit) {
+            s32 pos = s32(out.traversal.size());
+            out.traversal.push_back(it.exitIdx);
+            snapshot(it.exitIdx, val[std::size_t(it.cond)],
+                     it.condInvert, pos);
+            continue;
+        }
+        const tol::IRInst &i = it.inst;
+        auto s1 = [&] { return val[std::size_t(i.src1)]; };
+        auto s2 = [&] {
+            return i.src2Imm ? ctx.constI(u32(i.imm))
+                             : val[std::size_t(i.src2)];
+        };
+        ExprId r = nilExpr;
+        switch (i.op) {
+          case IROp::LiveIn: r = locVar(ctx, i.loc); break;
+          case IROp::Movi: r = ctx.constI(u32(i.imm)); break;
+          case IROp::Mov: r = s1(); break;
+          case IROp::Add: r = ctx.add(s1(), s2()); break;
+          case IROp::Sub: r = ctx.sub(s1(), s2()); break;
+          case IROp::Mul: r = ctx.mul(s1(), s2()); break;
+          case IROp::MulH: r = ctx.mulh(s1(), s2()); break;
+          case IROp::Div:
+          case IROp::Rem: {
+            ExprId a = s1(), b = s2();
+            out.divs.push_back({a, b});
+            r = i.op == IROp::Div ? ctx.div(a, b) : ctx.rem(a, b);
+            break;
+          }
+          case IROp::And: r = ctx.and_(s1(), s2()); break;
+          case IROp::Or: r = ctx.or_(s1(), s2()); break;
+          case IROp::Xor: r = ctx.xor_(s1(), s2()); break;
+          case IROp::Sll: r = ctx.shl(s1(), s2()); break;
+          case IROp::Srl: r = ctx.shr(s1(), s2()); break;
+          case IROp::Sra: r = ctx.sar(s1(), s2()); break;
+          case IROp::Slt: r = ctx.slt(s1(), s2()); break;
+          case IROp::Sltu: r = ctx.ult(s1(), s2()); break;
+          case IROp::Seq: r = ctx.eq(s1(), s2()); break;
+          case IROp::Sne: r = ctx.ne(s1(), s2()); break;
+          case IROp::Sge: r = ctx.sge(s1(), s2()); break;
+          case IROp::Sgeu: r = ctx.uge(s1(), s2()); break;
+          case IROp::Ld8u:
+          case IROp::Ld8s:
+          case IROp::Ld16u:
+          case IROp::Ld16s:
+          case IROp::Ld32: {
+            ExprId addr = ctx.add(s1(), ctx.constI(u32(i.imm)));
+            auto [root, off] = ctx.stripAddr(addr);
+            u8 size = (i.op == IROp::Ld8u || i.op == IROp::Ld8s) ? 1
+                      : (i.op == IROp::Ld16u || i.op == IROp::Ld16s)
+                          ? 2
+                          : 4;
+            r = ctx.readI(mem, root, off, size);
+            if (i.op == IROp::Ld8s)
+                r = ctx.sar(ctx.shl(r, ctx.constI(24)),
+                            ctx.constI(24));
+            else if (i.op == IROp::Ld16s)
+                r = ctx.sar(ctx.shl(r, ctx.constI(16)),
+                            ctx.constI(16));
+            break;
+          }
+          case IROp::St8:
+          case IROp::St16:
+          case IROp::St32: {
+            ExprId addr = ctx.add(s1(), ctx.constI(u32(i.imm)));
+            auto [root, off] = ctx.stripAddr(addr);
+            u8 size = i.op == IROp::St8    ? 1
+                      : i.op == IROp::St16 ? 2
+                                           : 4;
+            mem = ctx.store(mem, root, off, size, false,
+                            val[std::size_t(i.src2)]);
+            break;
+          }
+          case IROp::FConst: r = ctx.constF(i.fimm); break;
+          case IROp::FAdd:
+            r = ctx.fbin(XOp::FAdd, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FSub:
+            r = ctx.fbin(XOp::FSub, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FMul:
+            r = ctx.fbin(XOp::FMul, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FDiv:
+            r = ctx.fbin(XOp::FDiv, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FSqrt: r = ctx.fun(XOp::FSqrt, s1()); break;
+          case IROp::FAbs: r = ctx.fun(XOp::FAbs, s1()); break;
+          case IROp::FNeg: r = ctx.fun(XOp::FNeg, s1()); break;
+          case IROp::FMov: r = s1(); break;
+          case IROp::FRnd: r = ctx.fun(XOp::FRnd, s1()); break;
+          case IROp::FCvtWD: r = ctx.fun(XOp::FCvtWD, s1()); break;
+          case IROp::FCvtZW: r = ctx.fun(XOp::FCvtZW, s1()); break;
+          case IROp::FEq:
+            r = ctx.fcmp(XOp::FEq, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FLt:
+            r = ctx.fcmp(XOp::FLt, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FLe:
+            r = ctx.fcmp(XOp::FLe, s1(), val[std::size_t(i.src2)]);
+            break;
+          case IROp::FLd: {
+            ExprId addr = ctx.add(s1(), ctx.constI(u32(i.imm)));
+            auto [root, off] = ctx.stripAddr(addr);
+            r = ctx.readF(mem, root, off);
+            break;
+          }
+          case IROp::FSt: {
+            ExprId addr = ctx.add(s1(), ctx.constI(u32(i.imm)));
+            auto [root, off] = ctx.stripAddr(addr);
+            mem = ctx.store(mem, root, off, 8, true,
+                            val[std::size_t(i.src2)]);
+            break;
+          }
+          case IROp::Assert:
+            out.asserts.push_back(
+                {i.assertId, s1(), i.expectNonZero});
+            break;
+          default:
+            out.error = "unmodeled IR op";
+            return out;
+        }
+        if (i.dst >= 0)
+            val[std::size_t(i.dst)] = r;
+    }
+    snapshot(region.finalExit, nilExpr, false, -1);
+    return out;
+}
+
+} // namespace darco::verify

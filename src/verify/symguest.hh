@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Symbolic evaluation of a guest region's *unoptimized* IR (verify
+ * side).
+ *
+ * The reference behavior a translation must match is defined by the
+ * guest GISA semantics over the recorded construction path. Rather
+ * than duplicating the frontend's per-opcode translation shapes, the
+ * verifier rebuilds the region from its recipe with Frontend::build
+ * (deterministic in the recorded inputs) and evaluates the *fresh,
+ * unoptimized* IR symbolically. The per-opcode agreement sweep in
+ * tests/test_verify.cc separately establishes that this IR evaluation
+ * agrees with the concrete execInst interpreter for every GISA
+ * instruction form — chaining the two gives: host region ≡ fresh IR ≡
+ * reference semantics, with every optimizer/scheduler/codegen pass
+ * inside the proof obligation.
+ *
+ * The evaluation produces, per region exit, the symbolic
+ * architectural state (all IR locations + guest memory) plus the
+ * ordered guard prefix (asserts, divs) and the side-exit condition
+ * ladder the host path record is matched against.
+ */
+
+#ifndef DARCO_VERIFY_SYMGUEST_HH
+#define DARCO_VERIFY_SYMGUEST_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "tol/ir.hh"
+#include "verify/expr.hh"
+#include "verify/symhost.hh"
+
+namespace darco::verify
+{
+
+/** Symbolic architectural state at one region exit. */
+struct GuestExit
+{
+    /** Post-exit value of every IR location (live-outs applied,
+     *  untouched locations keep their entry value). */
+    std::array<ExprId, tol::numLocs> outs{};
+    ExprId mem = nilExpr;       //!< guest memory at the exit point
+    ExprId cond = nilExpr;      //!< side-exit condition (nil = final)
+    bool condInvert = false;    //!< taken when cond == 0
+    s32 traversalPos = -1;      //!< ordinal among cond-exit items
+    u32 assertPrefix = 0;       //!< asserts before this exit
+    u32 divPrefix = 0;          //!< divs before this exit
+    ExprId targetVal = nilExpr; //!< Indirect dynamic target
+};
+
+/** The guest side of one equivalence proof. */
+struct GuestSummary
+{
+    /** Indexed like Region::exits (and the registry exit table). */
+    std::vector<GuestExit> exits;
+    /** Cond-exit items in traversal order: Region::exits indices. */
+    std::vector<u32> traversal;
+    /** All asserts / divs in program order. */
+    std::vector<AssertExec> asserts;
+    std::vector<DivExec> divs;
+    /** Nonempty: the IR used a shape the evaluator cannot model. */
+    std::string error;
+};
+
+/** Evaluate `region` (typically freshly rebuilt and unoptimized). */
+GuestSummary symEvalGuest(Ctx &ctx, const tol::Region &region);
+
+} // namespace darco::verify
+
+#endif // DARCO_VERIFY_SYMGUEST_HH

@@ -1,0 +1,638 @@
+#include "verify/symhost.hh"
+
+#include <deque>
+#include <map>
+
+#include "host/hisa.hh"
+#include "verify/locs.hh"
+
+namespace darco::verify
+{
+
+using host::HInst;
+using host::HOp;
+namespace regmap = host::regmap;
+
+namespace
+{
+
+/** One speculative-load record (alias-table entry). */
+struct SpecLoad
+{
+    ExprId root;
+    u32 off;
+    u8 size;
+};
+
+/** In-flight DFS state. */
+struct Machine
+{
+    u32 pc = 0;
+    bool speculative = false;
+    std::array<ExprId, 32> gpr{};
+    std::array<ExprId, 32> fpr{};
+    ExprId mem = nilExpr;
+    /** TOL-local memory: concrete address -> value. */
+    std::map<u32, ExprId> localI;
+    std::map<u32, ExprId> localF;
+    std::vector<SpecLoad> specLoads;
+    HostPath out;
+};
+
+class HostExec
+{
+  public:
+    HostExec(Ctx &ctx, const std::vector<u32> &words,
+             const std::vector<double> &fp_pool, u32 path_limit)
+        : ctx_(ctx), words_(words), fpPool_(fp_pool),
+          pathLimit_(path_limit)
+    {
+    }
+
+    SymHostResult
+    run()
+    {
+        Machine m0;
+        m0.mem = ctx_.memInit();
+        m0.gpr[0] = ctx_.zero();
+        for (unsigned i = 0; i < 8; ++i)
+            m0.gpr[regmap::guestGprBase + i] =
+                locVar(ctx_, u16(tol::locGpr0 + i));
+        m0.gpr[regmap::flagZ] = locVar(ctx_, tol::locFlagZ);
+        m0.gpr[regmap::flagS] = locVar(ctx_, tol::locFlagS);
+        m0.gpr[regmap::flagC] = locVar(ctx_, tol::locFlagC);
+        m0.gpr[regmap::flagO] = locVar(ctx_, tol::locFlagO);
+        // Scratch and allocatable temps hold arbitrary values at
+        // region entry; a translation must not let them leak into
+        // guest-visible outputs.
+        for (unsigned r = regmap::scratch0; r < host::numHRegs; ++r)
+            m0.gpr[r] = ctx_.varI("hr" + std::to_string(r));
+        for (unsigned i = 0; i < 8; ++i)
+            m0.fpr[regmap::guestFprBase + i] =
+                locVar(ctx_, u16(tol::locFpr0 + i));
+        for (unsigned f = regmap::ftempBase; f < host::numHFRegs; ++f)
+            m0.fpr[f] = ctx_.varF("hf" + std::to_string(f));
+
+        std::deque<Machine> work;
+        work.push_back(std::move(m0));
+        while (!work.empty()) {
+            if (res_.paths.size() + work.size() > pathLimit_) {
+                res_.error = "path limit exceeded";
+                res_.paths.clear();
+                return std::move(res_);
+            }
+            Machine m = std::move(work.front());
+            work.pop_front();
+            step(std::move(m), work);
+            if (!res_.error.empty()) {
+                res_.paths.clear();
+                return std::move(res_);
+            }
+        }
+        return std::move(res_);
+    }
+
+  private:
+    void
+    finish(Machine &&m)
+    {
+        m.out.gpr = m.gpr;
+        m.out.fpr = m.fpr;
+        m.out.mem = m.mem;
+        res_.paths.push_back(std::move(m.out));
+    }
+
+    void
+    fail(Machine &&m, const std::string &why)
+    {
+        m.out.structuralError = why + " @word " + std::to_string(m.pc);
+        finish(std::move(m));
+    }
+
+    void
+    writeGpr(Machine &m, u8 rd, ExprId v)
+    {
+        m.gpr[rd] = v;
+        m.gpr[0] = ctx_.zero(); // writes to r0 are discarded
+    }
+
+    bool
+    localAddr(const Machine &m, const HInst &i, u32 &addr)
+    {
+        u32 base;
+        if (!ctx_.isConstI(m.gpr[i.rs1], base))
+            return false;
+        addr = base + u32(i.imm);
+        return true;
+    }
+
+    /** Unwritten TOL-local slots hold arbitrary (but fixed) values. */
+    ExprId
+    localReadI(Machine &m, u32 addr)
+    {
+        auto it = m.localI.find(addr);
+        if (it != m.localI.end())
+            return it->second;
+        ExprId v = ctx_.varI("lm" + std::to_string(addr));
+        m.localI.emplace(addr, v);
+        return v;
+    }
+
+    ExprId
+    localReadF(Machine &m, u32 addr)
+    {
+        auto it = m.localF.find(addr);
+        if (it != m.localF.end())
+            return it->second;
+        ExprId v = ctx_.varF("lmf" + std::to_string(addr));
+        m.localF.emplace(addr, v);
+        return v;
+    }
+
+    /** Checked store: the alias table found no overlap with any
+     *  recorded speculative load, or the region rolled back. On the
+     *  surviving path that is a disjointness fact.
+     *  @return false when the store *provably* overlaps a speculative
+     *  load: the guard always fires, so the pass path is infeasible
+     *  (the region invariably rolls back here and the runtime
+     *  recreates it without speculation). */
+    bool
+    aliasPass(Machine &m, ExprId root, u32 off, u8 size)
+    {
+        for (const SpecLoad &l : m.specLoads) {
+            if (ctx_.provablyOverlapping(root, off, size, l.root,
+                                         l.off, l.size))
+                return false;
+            ctx_.assumeDisjoint(root, off, size, l.root, l.off, l.size);
+        }
+        return true;
+    }
+
+    void
+    branch(Machine &&m, std::deque<Machine> &work, ExprId cond,
+           s32 imm)
+    {
+        u32 taken_pc = m.pc + 1 + u32(imm);
+        u32 fall_pc = m.pc + 1;
+        if (taken_pc <= m.pc || taken_pc > u32(words_.size())) {
+            // Backward or out-of-range branches never appear in
+            // generated regions (single-pass forward codegen); a
+            // bounded DFS depends on that.
+            fail(std::move(m), "non-forward branch target");
+            return;
+        }
+        u32 cv;
+        if (ctx_.isConstI(cond, cv)) {
+            m.out.branches.push_back({cond, cv != 0});
+            m.pc = cv != 0 ? taken_pc : fall_pc;
+            work.push_back(std::move(m));
+            return;
+        }
+        Machine taken = m; // fork
+        taken.out.branches.push_back({cond, true});
+        taken.out.facts.push_back({cond, true});
+        taken.pc = taken_pc;
+        work.push_back(std::move(taken));
+        m.out.branches.push_back({cond, false});
+        m.out.facts.push_back({cond, false});
+        m.pc = fall_pc;
+        work.push_back(std::move(m));
+    }
+
+    void
+    step(Machine &&m, std::deque<Machine> &work)
+    {
+        for (;;) {
+            if (m.pc >= u32(words_.size())) {
+                fail(std::move(m), "fell off region end");
+                return;
+            }
+            if (m.pc == 0) {
+                HInst first = host::hdecode(words_[0]);
+                if (first.op != HOp::CKPT) {
+                    fail(std::move(m),
+                         "region does not open with CKPT");
+                    return;
+                }
+            }
+            const HInst i = host::hdecode(words_[m.pc]);
+            // After COMMIT the only legal tail is RETIRE -> exit:
+            // everything guest-visible must be inside the
+            // speculative window for guard rollback to be exact.
+            if (m.out.commits > 0 && i.op != HOp::RETIRE &&
+                i.op != HOp::EXITB && i.op != HOp::IBTC &&
+                i.op != HOp::COMMIT) {
+                fail(std::move(m), "instruction after COMMIT");
+                return;
+            }
+            ExprId a, addr;
+            switch (i.op) {
+              case HOp::NOP:
+                break;
+
+              // --- integer ALU ------------------------------------
+              case HOp::ADD:
+                writeGpr(m, i.rd, ctx_.add(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SUB:
+                writeGpr(m, i.rd, ctx_.sub(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::MUL:
+                writeGpr(m, i.rd, ctx_.mul(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::MULH:
+                writeGpr(m, i.rd,
+                         ctx_.mulh(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::DIV:
+              case HOp::REM: {
+                ExprId da = m.gpr[i.rs1], db = m.gpr[i.rs2];
+                if (!m.speculative) {
+                    fail(std::move(m), "DIV outside CKPT window");
+                    return;
+                }
+                m.out.divs.push_back({da, db});
+                // Surviving the instruction means no fault.
+                m.out.facts.push_back({ctx_.eq(db, ctx_.zero()), false});
+                m.out.facts.push_back(
+                    {ctx_.and_(ctx_.eq(da, ctx_.constI(0x80000000u)),
+                               ctx_.eq(db, ctx_.constI(0xffffffffu))),
+                     false});
+                writeGpr(m, i.rd,
+                         i.op == HOp::DIV ? ctx_.div(da, db)
+                                          : ctx_.rem(da, db));
+                break;
+              }
+              case HOp::AND:
+                writeGpr(m, i.rd,
+                         ctx_.and_(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::OR:
+                writeGpr(m, i.rd, ctx_.or_(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::XOR:
+                writeGpr(m, i.rd,
+                         ctx_.xor_(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SLL:
+                writeGpr(m, i.rd, ctx_.shl(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SRL:
+                writeGpr(m, i.rd, ctx_.shr(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SRA:
+                writeGpr(m, i.rd, ctx_.sar(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SLT:
+                writeGpr(m, i.rd, ctx_.slt(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SLTU:
+                writeGpr(m, i.rd, ctx_.ult(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SEQ:
+                writeGpr(m, i.rd, ctx_.eq(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SNE:
+                writeGpr(m, i.rd, ctx_.ne(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SGE:
+                writeGpr(m, i.rd, ctx_.sge(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::SGEU:
+                writeGpr(m, i.rd, ctx_.uge(m.gpr[i.rs1], m.gpr[i.rs2]));
+                break;
+              case HOp::ADDI:
+                writeGpr(m, i.rd,
+                         ctx_.add(m.gpr[i.rs1], ctx_.constI(u32(i.imm))));
+                break;
+              case HOp::ANDI:
+                writeGpr(m, i.rd,
+                         ctx_.and_(m.gpr[i.rs1],
+                                   ctx_.constI(u32(i.imm) & 0x3fffu)));
+                break;
+              case HOp::ORI:
+                writeGpr(m, i.rd,
+                         ctx_.or_(m.gpr[i.rs1],
+                                  ctx_.constI(u32(i.imm) & 0x3fffu)));
+                break;
+              case HOp::XORI:
+                writeGpr(m, i.rd,
+                         ctx_.xor_(m.gpr[i.rs1],
+                                   ctx_.constI(u32(i.imm) & 0x3fffu)));
+                break;
+              case HOp::SLLI:
+                writeGpr(m, i.rd,
+                         ctx_.shl(m.gpr[i.rs1],
+                                  ctx_.constI(u32(i.imm) & 31u)));
+                break;
+              case HOp::SRLI:
+                writeGpr(m, i.rd,
+                         ctx_.shr(m.gpr[i.rs1],
+                                  ctx_.constI(u32(i.imm) & 31u)));
+                break;
+              case HOp::SRAI:
+                writeGpr(m, i.rd,
+                         ctx_.sar(m.gpr[i.rs1],
+                                  ctx_.constI(u32(i.imm) & 31u)));
+                break;
+              case HOp::SLTI:
+                writeGpr(m, i.rd,
+                         ctx_.slt(m.gpr[i.rs1], ctx_.constI(u32(i.imm))));
+                break;
+              case HOp::SEQI:
+                writeGpr(m, i.rd,
+                         ctx_.eq(m.gpr[i.rs1],
+                                 ctx_.constI(u32(i.imm) & 0x3fffu)));
+                break;
+              case HOp::SNEI:
+                writeGpr(m, i.rd,
+                         ctx_.ne(m.gpr[i.rs1],
+                                 ctx_.constI(u32(i.imm) & 0x3fffu)));
+                break;
+              case HOp::LUI:
+                writeGpr(m, i.rd, ctx_.constI(u32(i.imm) << 13));
+                break;
+
+              // --- guest memory -----------------------------------
+              case HOp::LB:
+              case HOp::LBU:
+              case HOp::LH:
+              case HOp::LHU:
+              case HOp::LW:
+              case HOp::LWS: {
+                addr = ctx_.add(m.gpr[i.rs1], ctx_.constI(u32(i.imm)));
+                auto [root, off] = ctx_.stripAddr(addr);
+                u8 size = (i.op == HOp::LB || i.op == HOp::LBU) ? 1
+                          : (i.op == HOp::LH || i.op == HOp::LHU)
+                              ? 2
+                              : 4;
+                ExprId v = ctx_.readI(m.mem, root, off, size);
+                if (i.op == HOp::LB)
+                    v = ctx_.sar(ctx_.shl(v, ctx_.constI(24)),
+                                 ctx_.constI(24));
+                else if (i.op == HOp::LH)
+                    v = ctx_.sar(ctx_.shl(v, ctx_.constI(16)),
+                                 ctx_.constI(16));
+                if (i.op == HOp::LWS) {
+                    if (!m.speculative) {
+                        fail(std::move(m),
+                             "LWS outside CKPT window");
+                        return;
+                    }
+                    m.specLoads.push_back({root, off, 4});
+                }
+                writeGpr(m, i.rd, v);
+                break;
+              }
+              case HOp::FLD:
+              case HOp::FLDS: {
+                addr = ctx_.add(m.gpr[i.rs1], ctx_.constI(u32(i.imm)));
+                auto [root, off] = ctx_.stripAddr(addr);
+                if (i.op == HOp::FLDS) {
+                    if (!m.speculative) {
+                        fail(std::move(m),
+                             "FLDS outside CKPT window");
+                        return;
+                    }
+                    m.specLoads.push_back({root, off, 8});
+                }
+                m.fpr[i.rd] = ctx_.readF(m.mem, root, off);
+                break;
+              }
+              case HOp::SB:
+              case HOp::SH:
+              case HOp::SW:
+              case HOp::SBC:
+              case HOp::SHC:
+              case HOp::SWC: {
+                addr = ctx_.add(m.gpr[i.rs1], ctx_.constI(u32(i.imm)));
+                auto [root, off] = ctx_.stripAddr(addr);
+                u8 size = (i.op == HOp::SB || i.op == HOp::SBC) ? 1
+                          : (i.op == HOp::SH || i.op == HOp::SHC)
+                              ? 2
+                              : 4;
+                bool checked = i.op == HOp::SBC || i.op == HOp::SHC ||
+                               i.op == HOp::SWC;
+                if (checked && !aliasPass(m, root, off, size))
+                    return; // pass path infeasible: always rolls back
+                m.mem = ctx_.store(m.mem, root, off, size, false,
+                                   m.gpr[i.rs2]);
+                break;
+              }
+              case HOp::FST:
+              case HOp::FSTC: {
+                addr = ctx_.add(m.gpr[i.rs1], ctx_.constI(u32(i.imm)));
+                auto [root, off] = ctx_.stripAddr(addr);
+                if (i.op == HOp::FSTC && !aliasPass(m, root, off, 8))
+                    return; // pass path infeasible: always rolls back
+                m.mem = ctx_.store(m.mem, root, off, 8, true,
+                                   m.fpr[i.rs2]);
+                break;
+              }
+
+              // --- TOL-local memory -------------------------------
+              case HOp::LWL: {
+                u32 la;
+                if (!localAddr(m, i, la)) {
+                    fail(std::move(m), "LWL with symbolic address");
+                    return;
+                }
+                writeGpr(m, i.rd, localReadI(m, la));
+                break;
+              }
+              case HOp::SWL: {
+                u32 la;
+                if (!localAddr(m, i, la)) {
+                    fail(std::move(m), "SWL with symbolic address");
+                    return;
+                }
+                m.localI[la] = m.gpr[i.rs2];
+                break;
+              }
+              case HOp::FLDL: {
+                u32 la;
+                if (!localAddr(m, i, la)) {
+                    fail(std::move(m), "FLDL with symbolic address");
+                    return;
+                }
+                m.fpr[i.rd] = localReadF(m, la);
+                break;
+              }
+              case HOp::FSTL: {
+                u32 la;
+                if (!localAddr(m, i, la)) {
+                    fail(std::move(m), "FSTL with symbolic address");
+                    return;
+                }
+                m.localF[la] = m.fpr[i.rs2];
+                break;
+              }
+              case HOp::FLDC:
+                if (u32(i.imm) >= fpPool_.size()) {
+                    fail(std::move(m), "FLDC out of pool bounds");
+                    return;
+                }
+                m.fpr[i.rd] = ctx_.constF(fpPool_[u32(i.imm)]);
+                break;
+
+              // --- FP ---------------------------------------------
+              case HOp::FADD:
+                m.fpr[i.rd] =
+                    ctx_.fbin(XOp::FAdd, m.fpr[i.rs1], m.fpr[i.rs2]);
+                break;
+              case HOp::FSUB:
+                m.fpr[i.rd] =
+                    ctx_.fbin(XOp::FSub, m.fpr[i.rs1], m.fpr[i.rs2]);
+                break;
+              case HOp::FMUL:
+                m.fpr[i.rd] =
+                    ctx_.fbin(XOp::FMul, m.fpr[i.rs1], m.fpr[i.rs2]);
+                break;
+              case HOp::FDIV:
+                m.fpr[i.rd] =
+                    ctx_.fbin(XOp::FDiv, m.fpr[i.rs1], m.fpr[i.rs2]);
+                break;
+              case HOp::FSQRT:
+                m.fpr[i.rd] = ctx_.fun(XOp::FSqrt, m.fpr[i.rs1]);
+                break;
+              case HOp::FABS:
+                m.fpr[i.rd] = ctx_.fun(XOp::FAbs, m.fpr[i.rs1]);
+                break;
+              case HOp::FNEG:
+                m.fpr[i.rd] = ctx_.fun(XOp::FNeg, m.fpr[i.rs1]);
+                break;
+              case HOp::FMOV:
+                m.fpr[i.rd] = m.fpr[i.rs1];
+                break;
+              case HOp::FRND:
+                m.fpr[i.rd] = ctx_.fun(XOp::FRnd, m.fpr[i.rs1]);
+                break;
+              case HOp::FCVTWD:
+                m.fpr[i.rd] = ctx_.fun(XOp::FCvtWD, m.gpr[i.rs1]);
+                break;
+              case HOp::FCVTZW:
+                writeGpr(m, i.rd, ctx_.fun(XOp::FCvtZW, m.fpr[i.rs1]));
+                break;
+              case HOp::FEQ:
+                writeGpr(m, i.rd,
+                         ctx_.fcmp(XOp::FEq, m.fpr[i.rs1],
+                                   m.fpr[i.rs2]));
+                break;
+              case HOp::FLT:
+                writeGpr(m, i.rd,
+                         ctx_.fcmp(XOp::FLt, m.fpr[i.rs1],
+                                   m.fpr[i.rs2]));
+                break;
+              case HOp::FLE:
+                writeGpr(m, i.rd,
+                         ctx_.fcmp(XOp::FLe, m.fpr[i.rs1],
+                                   m.fpr[i.rs2]));
+                break;
+
+              // --- branches ---------------------------------------
+              case HOp::BEQ:
+                branch(std::move(m), work,
+                       ctx_.eq(m.gpr[i.rs1], m.gpr[i.rs2]), i.imm);
+                return;
+              case HOp::BNE:
+                branch(std::move(m), work,
+                       ctx_.ne(m.gpr[i.rs1], m.gpr[i.rs2]), i.imm);
+                return;
+              case HOp::BLT:
+                branch(std::move(m), work,
+                       ctx_.slt(m.gpr[i.rs1], m.gpr[i.rs2]), i.imm);
+                return;
+              case HOp::BGE:
+                branch(std::move(m), work,
+                       ctx_.sge(m.gpr[i.rs1], m.gpr[i.rs2]), i.imm);
+                return;
+              case HOp::BLTU:
+                branch(std::move(m), work,
+                       ctx_.ult(m.gpr[i.rs1], m.gpr[i.rs2]), i.imm);
+                return;
+              case HOp::BGEU:
+                branch(std::move(m), work,
+                       ctx_.uge(m.gpr[i.rs1], m.gpr[i.rs2]), i.imm);
+                return;
+              case HOp::J:
+                // Frozen install-time words are pre-chaining; a J can
+                // only appear in live (patched) cache words.
+                fail(std::move(m), "J in frozen region words");
+                return;
+
+              // --- co-design primitives ---------------------------
+              case HOp::CKPT:
+                if (m.pc != 0 || m.speculative) {
+                    fail(std::move(m), "CKPT not the region opener");
+                    return;
+                }
+                m.speculative = true;
+                m.specLoads.clear();
+                break;
+              case HOp::COMMIT:
+                if (!m.speculative) {
+                    fail(std::move(m), "COMMIT outside CKPT window");
+                    return;
+                }
+                m.speculative = false;
+                ++m.out.commits;
+                break;
+              case HOp::ASSERTZ:
+              case HOp::ASSERTNZ: {
+                if (!m.speculative) {
+                    fail(std::move(m), "ASSERT outside CKPT window");
+                    return;
+                }
+                a = m.gpr[i.rs1];
+                bool nz = i.op == HOp::ASSERTNZ;
+                m.out.asserts.push_back({u32(i.imm), a, nz});
+                // Surviving means the asserted disposition held.
+                m.out.facts.push_back({ctx_.eq(a, ctx_.zero()), !nz});
+                break;
+              }
+              case HOp::IBTC:
+                if (m.out.commits != 1) {
+                    fail(std::move(m), "IBTC without single COMMIT");
+                    return;
+                }
+                m.out.indirect = true;
+                m.out.ibtcTarget = m.gpr[i.rs1];
+                finish(std::move(m));
+                return;
+              case HOp::EXITB:
+                if (m.out.commits != 1) {
+                    fail(std::move(m), "EXITB without single COMMIT");
+                    return;
+                }
+                m.out.exitId = u32(i.imm);
+                finish(std::move(m));
+                return;
+              case HOp::RETIRE:
+                m.out.exitId = u32(i.imm);
+                break;
+
+              default:
+                fail(std::move(m), "undecodable host word");
+                return;
+            }
+            ++m.pc;
+        }
+    }
+
+    Ctx &ctx_;
+    const std::vector<u32> &words_;
+    const std::vector<double> &fpPool_;
+    u32 pathLimit_;
+    SymHostResult res_;
+};
+
+} // namespace
+
+SymHostResult
+symExecHost(Ctx &ctx, const std::vector<u32> &words,
+            const std::vector<double> &fp_pool, u32 path_limit)
+{
+    return HostExec(ctx, words, fp_pool, path_limit).run();
+}
+
+} // namespace darco::verify

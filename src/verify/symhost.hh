@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Symbolic execution of a translated HISA region under the hemu
+ * semantics (verify side).
+ *
+ * Walks the frozen (pre-chaining) host words of one translation and
+ * enumerates every feasible control path by forking at conditional
+ * branches with symbolic conditions. Each path carries:
+ *
+ *  - the symbolic final register file and guest-memory state,
+ *  - the path constraints (branch outcomes, guard pass conditions),
+ *  - the ordered event record (branches, asserts, divs) the verifier
+ *    matches against the guest region's obligations, and
+ *  - structural observations (CKPT/COMMIT discipline, guard
+ *    placement) whose violation refutes the translation outright.
+ *
+ * Guard *failure* paths are not symbolically executed: a failing
+ * ASSERT/DIV/alias-check/page-miss rolls back to the CKPT snapshot
+ * and re-enters the TOL, so their correctness is the structural
+ * rollback discipline (CKPT is the first word, every store in the
+ * speculative window is buffered until the single COMMIT, guards
+ * only execute speculatively) — checked here — plus the hemu runtime
+ * itself, which the concrete differential oracle covers.
+ *
+ * Alias guards (checked stores) contribute their pass conditions as
+ * declared-disjointness assumptions in the shared expression context:
+ * a checked store that passed cannot overlap any speculative load
+ * recorded before it on the same path.
+ */
+
+#ifndef DARCO_VERIFY_SYMHOST_HH
+#define DARCO_VERIFY_SYMHOST_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "verify/expr.hh"
+
+namespace darco::verify
+{
+
+/** One conditional-branch occurrence on a path. */
+struct BranchExec
+{
+    ExprId cond = nilExpr; //!< taken-condition (0/1-valued)
+    bool taken = false;    //!< outcome on this path
+};
+
+/** One executed ASSERTZ/ASSERTNZ (the pass outcome). */
+struct AssertExec
+{
+    u32 assertId = 0;
+    ExprId cond = nilExpr; //!< the asserted operand value
+    bool expectNonZero = false;
+};
+
+/** One executed DIV/REM (operands; the non-fault pass outcome). */
+struct DivExec
+{
+    ExprId a = nilExpr;
+    ExprId b = nilExpr;
+};
+
+/** One fully explored control path through the region. */
+struct HostPath
+{
+    std::vector<Fact> facts;
+    std::vector<BranchExec> branches;
+    std::vector<AssertExec> asserts;
+    std::vector<DivExec> divs;
+
+    std::array<ExprId, 32> gpr{};
+    std::array<ExprId, 32> fpr{};
+    ExprId mem = nilExpr;
+
+    u32 commits = 0;
+    u32 exitId = ~0u;        //!< EXITB id, or RETIRE id for IBTC
+    bool indirect = false;   //!< ended at IBTC
+    ExprId ibtcTarget = nilExpr;
+
+    /** Nonempty: the path violates the region's structural
+     *  discipline; the translation is refuted. */
+    std::string structuralError;
+};
+
+struct SymHostResult
+{
+    std::vector<HostPath> paths;
+    /** Nonempty: enumeration itself failed (path explosion, decode
+     *  anomaly); the verdict for the unit is Unknown. */
+    std::string error;
+};
+
+/**
+ * Enumerate all paths of `words`. `fp_pool` resolves FLDC; alias
+ * guard facts are recorded into `ctx`. At most `path_limit` paths.
+ */
+SymHostResult symExecHost(Ctx &ctx, const std::vector<u32> &words,
+                          const std::vector<double> &fp_pool,
+                          u32 path_limit);
+
+} // namespace darco::verify
+
+#endif // DARCO_VERIFY_SYMHOST_HH

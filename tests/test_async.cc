@@ -33,6 +33,7 @@
 #include "tol/async.hh"
 #include "tol/cost_model.hh"
 #include "tol/registry.hh"
+#include "verify/verifier.hh"
 #include "workloads/synth.hh"
 
 using namespace darco;
@@ -254,6 +255,24 @@ TEST(AsyncPipeline, TinyCacheEvictionStorm)
     EXPECT_GT(async.ctl->stats().value("cc.evictions"), 0u);
     EXPECT_TRUE(async.ctl->tol().state() == sync.ctl->tol().state());
     EXPECT_TRUE(async.ctl->registry().checkInvariants().empty());
+}
+
+// The verifier must see every asynchronously published translation —
+// including those queued at run end and flushed by the drain — and
+// prove all of them even while an evicting cache recycles code space.
+// This is the install-time verify + async-publish quiesce target.
+TEST(AsyncPipeline, InstallTimeProofsUnderAsyncPublish)
+{
+    Config cfg = asyncCfg(4, 2, 2);
+    cfg.parseLine("cc.capacity_words=768");
+    cfg.parseLine("cc.policy=evict");
+    cfg.parseLine("tol.verify=install");
+
+    RunResult r = run(cfg);
+    r.ctl->tol().verifyFinal();
+    const verify::VerifyReport &rep = r.ctl->tol().verifyReport();
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+    EXPECT_GT(rep.proved, 0u);
 }
 
 // ---------------------------------------------------------------------

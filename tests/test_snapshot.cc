@@ -15,6 +15,7 @@
 
 #include "sim/controller.hh"
 #include "snapshot/io.hh"
+#include "verify/verifier.hh"
 #include "workloads/synth.hh"
 #include "xemu/ref_component.hh"
 
@@ -144,6 +145,45 @@ TEST(SnapshotRoundTrip, Fullopt)
 TEST(SnapshotRoundTrip, TinyccEvictionStorm)
 {
     roundTrip("tinycc");
+}
+
+// Translations restored from a checkpoint image carry their recorded
+// construction recipes, so the symbolic verifier must be able to
+// discharge them exactly like freshly built ones: both the full run
+// and the save/restore run prove every translation.
+TEST(SnapshotRoundTrip, RestoredTranslationsStillProve)
+{
+    guest::Program prog = workload();
+    Config cfg = makeCfg("fullopt");
+    cfg.parseLine("tol.verify=final");
+
+    sim::Controller full(cfg);
+    full.load(prog);
+    full.run();
+    ASSERT_TRUE(full.finished());
+    full.tol().verifyFinal();
+    const verify::VerifyReport &frep = full.tol().verifyReport();
+    EXPECT_TRUE(frep.clean()) << frep.summary();
+    EXPECT_GT(frep.proved, 0u);
+
+    u64 mid = full.tol().completedInsts() * 2 / 5;
+    sim::Controller part(cfg);
+    part.load(prog);
+    part.run(mid);
+    ASSERT_FALSE(part.finished());
+    std::stringstream img;
+    part.saveCheckpoint(img);
+
+    sim::Controller resumed(cfg);
+    img.seekg(0);
+    resumed.restoreCheckpoint(img);
+    resumed.run();
+    ASSERT_TRUE(resumed.finished());
+    EXPECT_TRUE(resumed.tol().state() == full.tol().state());
+    resumed.tol().verifyFinal();
+    const verify::VerifyReport &rrep = resumed.tol().verifyReport();
+    EXPECT_TRUE(rrep.clean()) << rrep.summary();
+    EXPECT_GT(rrep.proved, 0u);
 }
 
 TEST(SnapshotRoundTrip, AsyncTranslationsInFlight)

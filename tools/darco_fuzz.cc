@@ -14,6 +14,8 @@
  *   darco_fuzz --seeds 16 -c debug.flip_cond_exits=true   # self-test
  *   darco_fuzz --seeds 64 --rand-config 2 # + 2 random schema-drawn
  *                                         #   configs per seed
+ *   darco_fuzz --seeds 64 --proofs        # + symbolic equivalence
+ *                                         #   proof per translation
  *
  * With --jobs N the seed sweep fans out on the campaign thread pool
  * (one isolated differential run per seed); reporting and failure
@@ -56,6 +58,7 @@ struct Options
     std::string replay;
     bool verbose = false;
     bool noMinimize = false;
+    bool proofs = false;
     std::vector<std::string> extra;
 };
 
@@ -72,6 +75,8 @@ usage(const char *argv0)
         "  --replay FILE     re-run one .gisa case instead of fuzzing\n"
         "  --rand-config N   add N random valid configs (drawn from\n"
         "                    the schema's fuzz ranges) to the matrix\n"
+        "  --proofs          symbolically verify every translation and\n"
+        "                    cross-check the verdicts with the oracle\n"
         "  --no-minimize     skip delta debugging on failures\n"
         "  --list-config     print the generated parameter reference\n"
         "  -c key=value      extra config override (repeatable)\n"
@@ -122,6 +127,8 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v || !number(v, n) || n > 64)
                 return false;
             o.randConfigs = unsigned(n);
+        } else if (a == "--proofs") {
+            o.proofs = true;
         } else if (a == "--no-minimize") {
             o.noMinimize = true;
         } else if (a == "--list-config") {
@@ -190,6 +197,7 @@ replayCase(const Options &o)
     fuzz::DiffOptions dopts;
     dopts.extra = o.extra;
     dopts.pinpoint = true;
+    dopts.proofs = o.proofs;
     // Seed convention: replayed cases were generated as fuzz<seed>.
     u64 seed = 1;
     if (prog.name.rfind("fuzz", 0) == 0 && prog.name.size() > 4)
@@ -230,6 +238,7 @@ main(int argc, char **argv)
 
     fuzz::DiffOptions dopts;
     dopts.extra = o.extra;
+    dopts.proofs = o.proofs;
 
     // Phase 1 — the differential runs, fanned out on the campaign
     // pool (each seed is an isolated generator + Controller set).
