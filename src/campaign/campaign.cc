@@ -326,12 +326,34 @@ runJob(const Job &job, const RunOptions &opts)
     r.effectiveConfig = conf::schema().effective(job.config);
     auto t0 = std::chrono::steady_clock::now();
 
+    // Per-job observability outputs: with a trace directory, inject
+    // the (cosmetic, so checkpoint-compatible) obs.* paths unless the
+    // job config already names its own.
+    Config cfg = job.config;
+    if (!opts.traceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.traceDir, ec);
+        std::string base = opts.traceDir + '/' +
+                           sanitize(job.workload) + '-' +
+                           sanitize(job.configName);
+        if (conf::getString(cfg, "obs.trace.path").empty())
+            cfg.set("obs.trace.path", base + ".trace.json");
+        if (conf::getString(cfg, "obs.metrics.path").empty())
+            cfg.set("obs.metrics.path", base + ".metrics.jsonl");
+    }
+
     try {
         // optional<> so a partially-restored controller can be torn
         // down and rebuilt in place (Controller is self-referential:
         // its Tol holds references into it, so it is not movable).
         std::optional<sim::Controller> holder;
-        holder.emplace(job.config);
+        auto makeCtl = [&]() {
+            holder.emplace(cfg);
+            if (holder->obsSession())
+                holder->obsSession()->setJobLabel(
+                    job.workload + "/" + job.configName);
+        };
+        makeCtl();
         sim::Controller &ctl = *holder;
         u64 done = 0; // guest insts already covered
 
@@ -351,7 +373,7 @@ runJob(const Job &job, const RunOptions &opts)
                         // version) is a miss, not a job failure:
                         // fall through to the cold path, which
                         // overwrites it.
-                        holder.emplace(job.config);
+                        makeCtl();
                     }
                 }
             }
@@ -407,6 +429,9 @@ runJob(const Job &job, const RunOptions &opts)
         }
         for (const auto &[name, c] : ctl.stats().counters())
             r.stats[name] = c.value();
+        std::ostringstream sj;
+        ctl.stats().dumpJson(sj);
+        r.statsJson = sj.str();
     } catch (const std::exception &e) {
         r.ok = false;
         r.error = e.what();
@@ -474,6 +499,9 @@ runSampledJob(const Job &job, const RunOptions &opts)
             r.bbs = prof.tol().completedBBs();
             for (const auto &[name, c] : prof.stats().counters())
                 r.stats[name] = c.value();
+            std::ostringstream sj;
+            prof.stats().dumpJson(sj);
+            r.statsJson = sj.str();
             profile = sampling::harvestBbv(prof.tol().profiler());
         }
 
@@ -826,7 +854,9 @@ CampaignResult::json() const
                << "\": \"" << jsonEscape(v) << '"';
             first = false;
         }
-        os << "}, \"error\": \"" << jsonEscape(r.error) << "\"}"
+        os << "}, \"stats_full\": "
+           << (r.statsJson.empty() ? "null" : r.statsJson)
+           << ", \"error\": \"" << jsonEscape(r.error) << "\"}"
            << (i + 1 < results.size() ? "," : "") << '\n';
     }
     os << "]\n";

@@ -44,7 +44,10 @@
  *
  *   JSON: an array of objects with the same fields in the same order
  *         ("stats" is a nested object over the stat columns;
- *         "effective_config" is a nested object too).
+ *         "effective_config" is a nested object too), plus
+ *         "stats_full": the job's complete StatGroup::dumpJson
+ *         snapshot — every counter and histogram, not just the stable
+ *         stat columns (null for failed jobs).
  *
  * effective_config is the job's full default-resolved configuration
  * (every schema parameter mapped to its canonical value, see
@@ -152,6 +155,13 @@ struct JobResult
     std::map<std::string, u64> stats; //!< full counter snapshot
 
     /**
+     * The job's full stats as one StatGroup::dumpJson object (every
+     * counter plus histograms); empty for failed jobs. Embedded raw
+     * as "stats_full" in the JSON report.
+     */
+    std::string statsJson;
+
+    /**
      * The full effective (default-resolved, schema-normalized)
      * config the job ran under; populated for failed jobs too.
      */
@@ -164,6 +174,15 @@ struct RunOptions
     unsigned jobs = 1;
     /** Directory for fast-forward checkpoints; empty disables. */
     std::string checkpointDir;
+    /**
+     * Directory for per-job observability outputs; empty disables.
+     * Full-mode jobs get `<workload>-<config>.trace.json` (Chrome
+     * trace events) and `<workload>-<config>.metrics.jsonl`
+     * (interval metrics) unless the job config already sets its own
+     * obs.* paths. Sampled jobs are not traced (one job runs many
+     * short Controllers that would overwrite one file).
+     */
+    std::string traceDir;
     /** Attach the timing + power models (cycles/ipc/energy columns). */
     bool timing = true;
     /** Full detailed run vs SimPoint-sampled estimation. */

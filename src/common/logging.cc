@@ -1,0 +1,98 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <mutex>
+
+namespace darco
+{
+
+namespace
+{
+
+/**
+ * Default sink: the classic stderr format ("warn: msg"), with the
+ * component tag folded in as "warn: [tol] msg" when present. A mutex
+ * keeps lines whole when campaign workers log concurrently.
+ */
+class StderrSink : public LogSink
+{
+  public:
+    void
+    log(const LogRecord &rec) override
+    {
+        static std::mutex mu;
+        std::lock_guard<std::mutex> lock(mu);
+        if (rec.component && rec.component[0] != '\0')
+            std::fprintf(stderr, "%s: [%s] %s\n", logLevelName(rec.level),
+                         rec.component, rec.message.c_str());
+        else
+            std::fprintf(stderr, "%s: %s\n", logLevelName(rec.level),
+                         rec.message.c_str());
+    }
+};
+
+StderrSink &
+defaultSink()
+{
+    static StderrSink sink;
+    return sink;
+}
+
+std::atomic<LogSink *> g_sink{nullptr}; // nullptr = default stderr sink
+std::atomic<int> g_level{int(LogLevel::Warn)};
+
+} // namespace
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(int(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return LogLevel(g_level.load(std::memory_order_relaxed));
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    return LogLevel::Warn;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Info: return "info";
+    case LogLevel::Debug: return "debug";
+    }
+    return "log";
+}
+
+void
+logEmit(LogLevel level, const char *component, std::string message)
+{
+    LogRecord rec{level, component ? component : "", std::move(message)};
+    LogSink *sink = g_sink.load(std::memory_order_acquire);
+    if (!sink)
+        sink = &defaultSink();
+    sink->log(rec);
+}
+
+} // namespace darco

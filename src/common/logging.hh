@@ -3,6 +3,13 @@
  * Status/error reporting in the gem5 tradition: panic() for internal
  * invariant violations, fatal() for user errors, warn()/inform() for
  * non-fatal conditions.
+ *
+ * Non-fatal messages route through a pluggable LogSink with a severity
+ * level and an optional component tag, so tests can capture and assert
+ * log output instead of scraping stderr. The process-wide level
+ * (default Warn, settable via the `log.level` config parameter)
+ * filters before formatting; the default sink preserves the classic
+ * "warn: msg" / "info: msg" stderr format.
  */
 
 #ifndef DARCO_COMMON_LOGGING_HH
@@ -30,6 +37,51 @@ class FatalError : public std::runtime_error
   public:
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
+
+/** Severity of a non-fatal log message (ascending verbosity). */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** One routed log message. `component` is a static tag ("tol", ...). */
+struct LogRecord
+{
+    LogLevel level;
+    const char *component; //!< "" when untagged
+    std::string message;
+};
+
+/** Pluggable destination for routed log messages. */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    virtual void log(const LogRecord &rec) = 0;
+};
+
+/**
+ * Install a sink (tests capture output this way); nullptr restores
+ * the default stderr sink. Returns the previously installed sink
+ * (nullptr when it was the default).
+ */
+LogSink *setLogSink(LogSink *sink);
+
+/** Process-wide severity filter (default Warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Parse "error"|"warn"|"info"|"debug" (the `log.level` domain). */
+LogLevel parseLogLevel(const std::string &name);
+
+/** "warn", "info", ... */
+const char *logLevelName(LogLevel level);
+
+/** Route one already-formatted message (level filter applied here). */
+void logEmit(LogLevel level, const char *component, std::string message);
 
 namespace detail
 {
@@ -78,20 +130,47 @@ fatal(const Args &...args)
     throw FatalError(detail::format("fatal: ", args...));
 }
 
-/** Non-fatal warning to stderr. */
+/** Non-fatal warning (routed; shown at the default level). */
 template <typename... Args>
 void
 warn(const Args &...args)
 {
-    std::fprintf(stderr, "warn: %s\n", detail::format(args...).c_str());
+    if (logLevel() >= LogLevel::Warn)
+        logEmit(LogLevel::Warn, "", detail::format(args...));
 }
 
-/** Informational message to stderr. */
+/** Informational message (routed; hidden at the default level). */
 template <typename... Args>
 void
 inform(const Args &...args)
 {
-    std::fprintf(stderr, "info: %s\n", detail::format(args...).c_str());
+    if (logLevel() >= LogLevel::Info)
+        logEmit(LogLevel::Info, "", detail::format(args...));
+}
+
+/** Component-tagged variants (the tag must be a static string). */
+template <typename... Args>
+void
+warnFrom(const char *component, const Args &...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        logEmit(LogLevel::Warn, component, detail::format(args...));
+}
+
+template <typename... Args>
+void
+informFrom(const char *component, const Args &...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        logEmit(LogLevel::Info, component, detail::format(args...));
+}
+
+template <typename... Args>
+void
+debugFrom(const char *component, const Args &...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        logEmit(LogLevel::Debug, component, detail::format(args...));
 }
 
 /** panic() unless the condition holds. */

@@ -333,6 +333,15 @@ ConfigSchema::declFloat(const std::string &key, double def, double min,
 }
 
 ParamSpec &
+ConfigSchema::declString(const std::string &key, const std::string &def,
+                         const std::string &help)
+{
+    ParamSpec &p = declare(key, ParamType::String, help);
+    p.defString = def;
+    return p;
+}
+
+ParamSpec &
 ConfigSchema::declEnum(const std::string &key, const std::string &def,
                        const std::vector<std::string> &domain,
                        const std::string &help)
@@ -542,6 +551,31 @@ ConfigSchema::ConfigSchema()
         .cosmetic();
     declUint("verify.paths", 256, 1, 1'000'000,
              "symbolic host-path limit per verified region")
+        .cosmetic();
+
+    // --- observability (measurement only) ------------------------------
+    declString("obs.trace.path", "",
+               "write a Chrome trace-event JSON timeline (Perfetto-"
+               "loadable) to this path; empty disables tracing")
+        .cosmetic();
+    declEnum("obs.trace.clock", "virtual", {"virtual", "wall"},
+             "trace timestamp source: virtual (retired guest insts, "
+             "deterministic and diffable) or wall (host microseconds)")
+        .cosmetic();
+    declString("obs.metrics.path", "",
+               "write a JSONL interval-metrics stream (per-interval "
+               "mode distribution and overhead breakdown) to this "
+               "path; empty disables metrics")
+        .cosmetic();
+    declUint("obs.metrics.interval", 100'000, 1, ~0ull,
+             "interval-metrics row length in retired guest "
+             "instructions")
+        .cosmetic();
+
+    // --- logging -------------------------------------------------------
+    declEnum("log.level", "warn", {"error", "warn", "info", "debug"},
+             "process-wide log verbosity for routed warn()/inform() "
+             "messages")
         .cosmetic();
 
     // --- timing model (measurement only) -------------------------------

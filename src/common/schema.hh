@@ -212,6 +212,8 @@ class ConfigSchema
                         u64 max, const std::string &help);
     ParamSpec &declFloat(const std::string &key, double def, double min,
                          double max, const std::string &help);
+    ParamSpec &declString(const std::string &key, const std::string &def,
+                          const std::string &help);
     ParamSpec &declEnum(const std::string &key, const std::string &def,
                         const std::vector<std::string> &domain,
                         const std::string &help);

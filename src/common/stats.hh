@@ -51,28 +51,47 @@ class Counter
     std::atomic<u64> value_{0};
 };
 
-/** Simple fixed-bucket histogram over u64 samples. */
+/**
+ * Simple fixed-bucket histogram over u64 samples.
+ *
+ * Like Counter, updates are relaxed atomics: histograms fed from
+ * registry/code-cache paths can be sampled while async translator
+ * workers are live, so sample() must be race-free. The bucket limits
+ * are immutable after construction; readers see per-cell-consistent
+ * snapshots (no ordering is implied between cells).
+ */
 class Histogram
 {
   public:
     /** @param bucket_limits ascending upper bounds; a final overflow
      *  bucket is added implicitly. */
     explicit Histogram(std::vector<u64> bucket_limits = {});
+    // Copies/moves snapshot the atomics (registration-time only; the
+    // stat registry never moves a histogram while samplers are live).
+    Histogram(const Histogram &o);
+    Histogram &operator=(const Histogram &o);
+    Histogram(Histogram &&o) noexcept;
+    Histogram &operator=(Histogram &&o) noexcept;
 
     void sample(u64 v, u64 weight = 1);
     void reset();
 
-    u64 count() const { return count_; }
-    u64 sum() const { return sum_; }
-    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
-    const std::vector<u64> &buckets() const { return counts_; }
+    u64 count() const { return count_.load(std::memory_order_relaxed); }
+    u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+    double mean() const
+    {
+        u64 c = count();
+        return c ? double(sum()) / c : 0.0;
+    }
+    /** Per-bucket counts (snapshot by value). */
+    std::vector<u64> buckets() const;
     const std::vector<u64> &limits() const { return limits_; }
 
   private:
     std::vector<u64> limits_;
-    std::vector<u64> counts_;
-    u64 count_ = 0;
-    u64 sum_ = 0;
+    std::vector<std::atomic<u64>> counts_;
+    std::atomic<u64> count_{0};
+    std::atomic<u64> sum_{0};
 };
 
 /**
@@ -101,6 +120,15 @@ class StatGroup
 
     void resetAll();
     void dump(std::ostream &os) const;
+
+    /**
+     * Machine-readable dump with a stable schema:
+     *   {"name": ..., "counters": {k: v, ...},
+     *    "histograms": {k: {"count", "sum", "mean",
+     *                       "limits": [...], "buckets": [...]}}}
+     * Keys are emitted in sorted (map) order.
+     */
+    void dumpJson(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
     const std::map<std::string, Counter> &counters() const

@@ -1,0 +1,34 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+
+namespace darco::obs
+{
+
+void
+MetricsWriter::writeTo(std::ostream &os) const
+{
+    for (const Row &row : rows_) {
+        os << "{";
+        bool first = true;
+        for (const auto &[k, v] : row.ints) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << k << "\":" << v;
+        }
+        for (const auto &[k, v] : row.reals) {
+            if (!first)
+                os << ",";
+            first = false;
+            // Fixed precision: shares are ratios of worker-invariant
+            // integer counts, so the text is deterministic too.
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6f", v);
+            os << "\"" << k << "\":" << buf;
+        }
+        os << "}\n";
+    }
+}
+
+} // namespace darco::obs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * obs::Session — config-driven ownership of one run's tracer and
+ * interval-metrics stream.
+ *
+ * Built by the Controller from the `obs.*` parameters; null when both
+ * outputs are disabled, so components pay a single pointer test on
+ * the hot path and nothing else. The session outlives Tol rebuilds
+ * (checkpoint restore) and writes its files once, at teardown or on
+ * an explicit write().
+ */
+
+#ifndef DARCO_OBS_SESSION_HH
+#define DARCO_OBS_SESSION_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+
+namespace darco
+{
+class Config;
+}
+
+namespace darco::obs
+{
+
+class Session
+{
+  public:
+    /**
+     * Build from `obs.trace.path` / `obs.metrics.path` (and their
+     * sibling parameters); nullptr when both paths are empty.
+     */
+    static std::unique_ptr<Session> fromConfig(const Config &cfg);
+
+    ~Session();
+
+    /** nullptr when event tracing is off (metrics-only session). */
+    Tracer *tracer() { return tracer_.get(); }
+    /** nullptr when interval metrics are off (trace-only session). */
+    MetricsWriter *metrics() { return metrics_.get(); }
+
+    /** Label the trace's process row (campaign job identity). */
+    void setJobLabel(const std::string &label);
+
+    /** Write both output files; idempotent (second call is a no-op). */
+    void write();
+
+  private:
+    Session() = default;
+
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<MetricsWriter> metrics_;
+    std::string tracePath_;
+    std::string metricsPath_;
+    bool written_ = false;
+};
+
+} // namespace darco::obs
+
+#endif // DARCO_OBS_SESSION_HH

@@ -42,6 +42,24 @@ Controller::Controller(const Config &cfg)
     // The co-designed component is built lazily in load(): it holds a
     // reference to the emulated memory, which load() replaces, so an
     // eagerly-built Tol would be discarded unused.
+    setLogLevel(parseLogLevel(conf::getEnum(cfg_, "log.level")));
+    obs_ = obs::Session::fromConfig(cfg_);
+}
+
+Controller::~Controller()
+{
+    if (!obs_)
+        return;
+    if (tol_)
+        tol_->flushObs();
+    obs_->write();
+}
+
+void
+Controller::attachObs()
+{
+    if (obs_ && tol_)
+        tol_->attachObs(obs_->tracer(), obs_->metrics());
 }
 
 void
@@ -56,6 +74,7 @@ Controller::load(const Program &prog)
     tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
     tol_->setEnv(this);
     tol_->setState(ref_.state());
+    attachObs();
 }
 
 void
@@ -183,6 +202,8 @@ Controller::saveCheckpoint(std::ostream &os)
 {
     darco_assert(tol_, "Controller::load() must run first");
     tol_->quiesce();
+    if (obs_ && obs_->tracer())
+        obs_->tracer()->instant("ckpt", "checkpoint.save");
 
     snapshot::Serializer s(os);
 
@@ -284,6 +305,12 @@ Controller::restoreCheckpoint(std::istream &is)
     d.expectSection("tol");
     tol_->restore(d);
     d.endSection();
+
+    // Attach only after restore: the install replay above must not be
+    // traced (it reconstructs pre-checkpoint history, not new events).
+    attachObs();
+    if (obs_ && obs_->tracer())
+        obs_->tracer()->instant("ckpt", "checkpoint.restore");
 
     // Last: overwrite every counter the replay bumped with the
     // checkpointed values.

@@ -33,6 +33,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "guest/program.hh"
+#include "obs/session.hh"
 #include "tol/tol.hh"
 #include "xemu/ref_component.hh"
 
@@ -63,6 +64,8 @@ class Controller : public tol::Tol::Env
 {
   public:
     explicit Controller(const Config &cfg = Config());
+    /** Flushes and writes the observability outputs (if enabled). */
+    ~Controller();
 
     /**
      * Initialization phase. Builds the co-designed component (Tol):
@@ -110,6 +113,9 @@ class Controller : public tol::Tol::Env
     StatGroup &stats() { return stats_; }
     const Config &config() const { return cfg_; }
 
+    /** The run's tracing/metrics session; null when obs.* disabled. */
+    obs::Session *obsSession() { return obs_.get(); }
+
     // --- checkpoint/restore ----------------------------------------------
     /**
      * Serialize the full simulation state (both components, stats)
@@ -140,11 +146,17 @@ class Controller : public tol::Tol::Env
     bool syscall(u64 completed_insts) override;
 
   private:
+    /** Point the Tol at the session's tracer/metrics (if any). */
+    void attachObs();
+
     Config cfg_;
     StatGroup stats_;
     xemu::RefComponent ref_;
     guest::PagedMemory mem_{guest::MissPolicy::Signal};
     std::unique_ptr<tol::Tol> tol_;
+    /** Outlives Tol rebuilds (load/restore); declared before tol_'s
+     *  users is irrelevant — tol_ only borrows raw pointers. */
+    std::unique_ptr<obs::Session> obs_;
     bool validateSyscalls_;
     bool validateEnd_;
     bool validateMemory_;

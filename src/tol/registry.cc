@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "host/hisa.hh"
+#include "obs/tracer.hh"
 
 namespace darco::tol
 {
@@ -29,6 +30,14 @@ TranslationRegistry::add(Translation t)
     clock_.push_back(tid);
     trans_.push_back(std::move(t));
     ++live_;
+    if (trace_) {
+        const Translation &added = trans_[tid];
+        trace_->instant("cc", "cc.install", 0,
+                        {{"tid", tid},
+                         {"entry", added.entry},
+                         {"words", added.words},
+                         {"sb", added.mode == RegionMode::SB ? 1 : 0}});
+    }
     return tid;
 }
 
@@ -84,6 +93,9 @@ TranslationRegistry::chain(u32 from_tid, u32 exit_idx, u32 to_tid)
     to.incoming.push_back(Translation::InChain{
         d.siteWord, from.exitIdBase + exit_idx, from_tid, exit_idx});
     stats_.counter("tol.chains").inc();
+    if (trace_)
+        trace_->instant("cc", "cc.chain", 0,
+                        {{"from", from_tid}, {"to", to_tid}});
 }
 
 u32
@@ -166,6 +178,9 @@ TranslationRegistry::invalidateLocked(u32 tid)
 
     stats_.counter("tol.invalidations").inc();
     stats_.counter("tol.unchains").inc(unchained);
+    if (trace_)
+        trace_->instant("cc", "cc.invalidate", 0,
+                        {{"tid", tid}, {"unchained", unchained}});
     return unchained;
 }
 
@@ -178,6 +193,11 @@ TranslationRegistry::evict(u32 tid)
     stats_.counter("cc.evictions").inc();
     stats_.counter("cc.evict_unchains").inc(unchained);
     stats_.counter("cc.bytes_reclaimed").inc(u64(words) * 4);
+    if (trace_)
+        trace_->instant("cc", "cc.evict", 0,
+                        {{"tid", tid},
+                         {"words", words},
+                         {"unchained", unchained}});
     return words;
 }
 
@@ -192,6 +212,8 @@ TranslationRegistry::clear()
     clock_.clear();
     live_ = 0;
     hand_ = 0;
+    if (trace_)
+        trace_->instant("cc", "cc.flush");
 }
 
 u32

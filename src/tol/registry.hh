@@ -49,6 +49,11 @@
 #include "host/hemu.hh"
 #include "tol/ir.hh"
 
+namespace darco::obs
+{
+class Tracer;
+} // namespace darco::obs
+
 namespace darco::tol
 {
 
@@ -120,6 +125,14 @@ class TranslationRegistry
      * regions are garbage the paper's TOL never reclaims).
      */
     void setReclaimOnInvalidate(bool on) { reclaim_ = on; }
+
+    /**
+     * Attach the event tracer (cc.install/chain/invalidate/evict/
+     * flush instants); null detaches. Mutations happen on the
+     * main/publish thread only, and the tracer's own lock is a leaf,
+     * so emitting under mu_ is safe.
+     */
+    void setTracer(obs::Tracer *t) { trace_ = t; }
 
     /** tid the next add() will return (exit descriptors need it). */
     u32
@@ -237,6 +250,7 @@ class TranslationRegistry
     host::CodeCache &cache_;
     host::IbtcTable &ibtc_;
     StatGroup &stats_;
+    obs::Tracer *trace_ = nullptr;
 
     std::vector<Translation> trans_;
     std::unordered_map<GAddr, u32> entryMap_;  //!< entry -> tid

@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "common/schema.hh"
 #include "guest/semantics.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
 #include "snapshot/io.hh"
 #include "tol/codegen.hh"
 #include "tol/ddg.hh"
@@ -119,6 +121,127 @@ Tol::setTraceSink(host::TraceSink *sink)
 {
     emu_.setTraceSink(sink);
     cost_.setTraceSink(sink);
+}
+
+// ---------------------------------------------------------------------
+// Observability (obs.*)
+// ---------------------------------------------------------------------
+
+namespace
+{
+const char *
+obsModeName(u8 mode)
+{
+    return mode == 0 ? "IM" : mode == 1 ? "BBM" : "SBM";
+}
+} // namespace
+
+void
+Tol::attachObs(obs::Tracer *tracer, obs::MetricsWriter *metrics)
+{
+    trace_ = tracer;
+    metrics_ = metrics;
+    registry_.setTracer(tracer);
+    if (trace_) {
+        trace_->setVirtualClock(&completedInsts_);
+        if (async_) {
+            for (u32 i = 1; i <= asyncVthreads_; ++i)
+                trace_->setTrackName(u16(i),
+                                     "translator-" + std::to_string(i));
+        }
+    }
+    obsModeOpen_ = false;
+    if (metrics_) {
+        obsSnap_ = ObsSnap{};
+        obsSnap_.vt = completedInsts_;
+        obsSnap_.im = cGuestIm_->value();
+        obsSnap_.bbm = cGuestBbm_->value();
+        obsSnap_.sbm = cGuestSbm_->value();
+        for (unsigned c = 0; c < unsigned(Overhead::NumCats); ++c)
+            obsSnap_.ovh[c] = cost_.total(Overhead(c));
+        obsSnap_.instBb = stats_.value("tol.translations_bb");
+        obsSnap_.instSb = stats_.value("tol.translations_sb");
+        obsSnap_.evict = stats_.value("cc.evictions");
+        obsSnap_.flush = stats_.value("cc.flushes");
+        u64 iv = metrics_->interval();
+        metricsNext_ = (completedInsts_ / iv + 1) * iv;
+    } else {
+        metricsNext_ = ~0ull;
+    }
+}
+
+void
+Tol::obsNoteMode(u8 mode)
+{
+    if (!obsModeOpen_) {
+        obsMode_ = mode;
+        obsModeStart_ = completedInsts_;
+        obsModeOpen_ = true;
+        return;
+    }
+    if (mode == obsMode_)
+        return;
+    u64 dur = completedInsts_ - obsModeStart_;
+    if (dur)
+        trace_->complete("mode", obsModeName(obsMode_), obsModeStart_,
+                         dur);
+    obsMode_ = mode;
+    obsModeStart_ = completedInsts_;
+}
+
+void
+Tol::obsEmitMetricsRow()
+{
+    ObsSnap now;
+    now.vt = completedInsts_;
+    now.im = cGuestIm_->value();
+    now.bbm = cGuestBbm_->value();
+    now.sbm = cGuestSbm_->value();
+    for (unsigned c = 0; c < unsigned(Overhead::NumCats); ++c)
+        now.ovh[c] = cost_.total(Overhead(c));
+    now.instBb = stats_.value("tol.translations_bb");
+    now.instSb = stats_.value("tol.translations_sb");
+    now.evict = stats_.value("cc.evictions");
+    now.flush = stats_.value("cc.flushes");
+
+    const u64 span = now.vt - obsSnap_.vt;
+    darco_assert(span > 0, "empty metrics interval");
+    obs::MetricsWriter::Row row;
+    row.ints.emplace_back("vt_start", obsSnap_.vt);
+    row.ints.emplace_back("vt_end", now.vt);
+    row.ints.emplace_back("im", now.im - obsSnap_.im);
+    row.ints.emplace_back("bbm", now.bbm - obsSnap_.bbm);
+    row.ints.emplace_back("sbm", now.sbm - obsSnap_.sbm);
+    for (unsigned c = 0; c < unsigned(Overhead::NumCats); ++c)
+        row.ints.emplace_back(std::string("ovh_") +
+                                  overheadName(Overhead(c)),
+                              now.ovh[c] - obsSnap_.ovh[c]);
+    row.ints.emplace_back("installs_bb", now.instBb - obsSnap_.instBb);
+    row.ints.emplace_back("installs_sb", now.instSb - obsSnap_.instSb);
+    row.ints.emplace_back("evictions", now.evict - obsSnap_.evict);
+    row.ints.emplace_back("flushes", now.flush - obsSnap_.flush);
+    row.reals.emplace_back("share_im",
+                           double(now.im - obsSnap_.im) / span);
+    row.reals.emplace_back("share_bbm",
+                           double(now.bbm - obsSnap_.bbm) / span);
+    row.reals.emplace_back("share_sbm",
+                           double(now.sbm - obsSnap_.sbm) / span);
+    metrics_->append(std::move(row));
+    obsSnap_ = now;
+}
+
+void
+Tol::flushObs()
+{
+    if (trace_ && obsModeOpen_) {
+        u64 dur = completedInsts_ - obsModeStart_;
+        if (dur)
+            trace_->complete("mode", obsModeName(obsMode_),
+                             obsModeStart_, dur);
+        obsModeOpen_ = false;
+    }
+    if (metrics_ && completedInsts_ > obsSnap_.vt)
+        obsEmitMetricsRow();
 }
 
 void
@@ -586,6 +709,26 @@ Tol::installPrepared(Region &region, const Allocation &alloc,
         }
         if (bbvOn_ && !inRestore_)
             profiler_.recordBbvOverhead(cost_.totalAll() - bbvCost0);
+        if (trace_) {
+            const bool bb = mode == RegionMode::BB;
+            trace_->complete("trans",
+                             bb ? "translate.bb" : "translate.sb",
+                             completedInsts_, 0, 0,
+                             {{"entry", region.entryPc},
+                              {"tid", tid},
+                              {"words", need},
+                              {"conc", conc ? 1 : 0}});
+            // Per-stage work units (the pipeline runs atomically in
+            // virtual time; the args carry its measured breakdown).
+            trace_->instant("trans", "stage.frontend", 0,
+                            {{"tid", tid}, {"guest_insts", guest_insts}});
+            trace_->instant("trans", "stage.opt", 0,
+                            {{"tid", tid}, {"pass_work", pass_work}});
+            trace_->instant("trans", "stage.schedule", 0,
+                            {{"tid", tid}, {"spec_loads", spec_loads}});
+            trace_->instant("trans", "stage.regalloc", 0,
+                            {{"tid", tid}, {"spills", alloc.spillCount}});
+        }
         return tid;
     }
     panic("unreachable");
@@ -967,6 +1110,9 @@ Tol::enqueueBBAsync(const BBInfo &bb)
     if (async_->full()) {
         stats_.counter("tol.async.queue_full").inc();
         stats_.counter("tol.async.sync_fallbacks").inc();
+        if (trace_)
+            trace_->instant("async", "async.queue_full", 0,
+                            {{"entry", bb.entry}});
         return false;
     }
     auto job = std::make_unique<TranslationJob>();
@@ -979,8 +1125,18 @@ Tol::enqueueBBAsync(const BBInfo &bb)
     job->estCost = cost_.estBBCost(bb.elems.size());
     job->enqueuedAt = completedInsts_;
     job->completesAt = completedInsts_ + asyncLatency(job->estCost);
+    const u64 eAt = job->enqueuedAt, cAt = job->completesAt;
+    const u64 est = job->estCost;
     async_->enqueue(std::move(job));
     stats_.counter("tol.async.enqueued_bb").inc();
+    if (trace_) {
+        // Emitted at the (deterministic) enqueue point: the virtual
+        // completion is already fixed, and the track is a pure
+        // function of the enqueue sequence — never of host threads.
+        u16 track = u16(1 + (obsAsyncSeq_++ % asyncVthreads_));
+        trace_->complete("async", "async.bb", eAt, cAt - eAt, track,
+                         {{"entry", bb.entry}, {"est_cost", est}});
+    }
     return true;
 }
 
@@ -996,6 +1152,9 @@ Tol::enqueueSBAsync(GAddr entry)
     if (async_->full()) {
         stats_.counter("tol.async.queue_full").inc();
         stats_.counter("tol.async.sync_fallbacks").inc();
+        if (trace_)
+            trace_->instant("async", "async.queue_full", 0,
+                            {{"entry", entry}});
         return false;
     }
     // The path is collected *now*, at the deterministic promotion
@@ -1031,8 +1190,15 @@ Tol::enqueueSBAsync(GAddr entry)
     job->estCost = cost_.estSBCost(job->path.size());
     job->enqueuedAt = completedInsts_;
     job->completesAt = completedInsts_ + asyncLatency(job->estCost);
+    const u64 eAt = job->enqueuedAt, cAt = job->completesAt;
+    const u64 est = job->estCost;
     async_->enqueue(std::move(job));
     stats_.counter("tol.async.enqueued_sb").inc();
+    if (trace_) {
+        u16 track = u16(1 + (obsAsyncSeq_++ % asyncVthreads_));
+        trace_->complete("async", "async.sb", eAt, cAt - eAt, track,
+                         {{"entry", entry}, {"est_cost", est}});
+    }
     return true;
 }
 
@@ -1054,6 +1220,9 @@ Tol::publishJob(TranslationJob &job)
         // (inline fallback under backpressure); never shadow it.
         if (registry_.lookup(job.entry) != TranslationRegistry::npos) {
             stats_.counter("tol.async.dropped_stale").inc();
+            if (trace_)
+                trace_->instant("async", "async.dropped_stale", 0,
+                                {{"entry", job.entry}});
             return;
         }
         installPrepared(job.region, job.alloc, RegionMode::BB,
@@ -1062,6 +1231,9 @@ Tol::publishJob(TranslationJob &job)
                         job.specLoads, true);
         noteInstall(job.path, std::nullopt, job.end);
         stats_.counter("tol.async.published_bb").inc();
+        if (trace_)
+            trace_->instant("async", "async.publish", 0,
+                            {{"entry", job.entry}, {"sb", 0}});
     } else {
         // A recreation in the window would have installed a fresh SB;
         // do not resurrect the older build over it.
@@ -1069,6 +1241,9 @@ Tol::publishJob(TranslationJob &job)
         if (prev != TranslationRegistry::npos &&
             registry_.get(prev).mode == RegionMode::SB) {
             stats_.counter("tol.async.dropped_stale").inc();
+            if (trace_)
+                trace_->instant("async", "async.dropped_stale", 0,
+                                {{"entry", job.entry}});
             return;
         }
         sbRecipes_[job.entry] = job.recipe;
@@ -1077,6 +1252,9 @@ Tol::publishJob(TranslationJob &job)
                                 job.path.size(), true);
         noteInstall(job.path, job.trip, job.end);
         stats_.counter("tol.async.published_sb").inc();
+        if (trace_)
+            trace_->instant("async", "async.publish", 0,
+                            {{"entry", job.entry}, {"sb", 1}});
     }
 }
 
@@ -1185,6 +1363,11 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                 .counter(is_assert ? "tol.assert_fails"
                                    : "tol.alias_fails")
                 .inc();
+            if (trace_)
+                trace_->instant("rollback",
+                                is_assert ? "rollback.assert"
+                                          : "rollback.alias",
+                                0, {{"entry", t.entry}});
             u32 fails = is_assert ? ++t.assertFails : ++t.aliasFails;
             u32 limit = is_assert ? maxAssertFails_ : maxAliasFails_;
             if (fails > limit && t.mode == RegionMode::SB) {
@@ -1213,6 +1396,9 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
             emu_.resetMark();
+            if (trace_)
+                trace_->instant("rollback", "rollback.div", 0,
+                                {{"entry", t.entry}});
             // Re-execute in IM for a precise architectural fault.
             forceInterp_ = true;
             return;
@@ -1227,6 +1413,10 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
             emu_.resetMark();
+            if (trace_)
+                trace_->instant("rollback", "rollback.page_miss", 0,
+                                {{"entry", t.entry},
+                                 {"page", exit.missPage}});
             servicePageMiss(exit.missPage);
             return; // dispatch retries the translation
           }
@@ -1268,6 +1458,13 @@ Tol::run(u64 max_guest_insts)
         // region finished anyway.
         if (async_ && !inRegionResume_)
             pumpAsyncPublishes();
+        if (metrics_ && completedInsts_ >= metricsNext_) {
+            // Rows close at the first dispatch at/after the interval
+            // boundary — a deterministic virtual-time point.
+            obsEmitMetricsRow();
+            u64 iv = metrics_->interval();
+            metricsNext_ = (completedInsts_ / iv + 1) * iv;
+        }
         cost_.chargeDispatch();
 
         if (inRegionResume_) {
@@ -1279,12 +1476,18 @@ Tol::run(u64 max_guest_insts)
             u32 tid = registry_.lookup(state_.pc);
             if (tid != TranslationRegistry::npos) {
                 registry_.touch(tid);
+                if (trace_)
+                    obsNoteMode(registry_.get(tid).mode == RegionMode::BB
+                                    ? 1
+                                    : 2);
                 executeTranslation(tid, registry_.get(tid).hostPc,
                                    false);
                 continue;
             }
         }
         forceInterp_ = false;
+        if (trace_)
+            obsNoteMode(0);
         interpretStep();
     }
     return RunResult::Finished;
@@ -1354,6 +1557,10 @@ Tol::noteInstall(const std::vector<PathElem> &path,
         r.tid = u.tid;
         r.detail = std::string("verifier exception: ") + e.what();
     }
+    if (trace_)
+        trace_->instant("verify", "verify.proof", 0,
+                        {{"entry", u.entry},
+                         {"verdict", u64(r.verdict)}});
     verifyReport_.add(std::move(r));
 }
 
@@ -1376,6 +1583,10 @@ Tol::verifyFinal()
             r.tid = u.tid;
             r.detail = std::string("verifier exception: ") + e.what();
         }
+        if (trace_)
+            trace_->instant("verify", "verify.proof", 0,
+                            {{"entry", u.entry},
+                             {"verdict", u64(r.verdict)}});
         verifyReport_.add(std::move(r));
     }
 }

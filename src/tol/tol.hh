@@ -58,6 +58,12 @@ class Serializer;
 class Deserializer;
 } // namespace darco::snapshot
 
+namespace darco::obs
+{
+class Tracer;
+class MetricsWriter;
+} // namespace darco::obs
+
 namespace darco::tol
 {
 
@@ -166,6 +172,24 @@ class Tol : public host::RetireSink
 
     /** Attach the timing stream (application + synthesized TOL). */
     void setTraceSink(host::TraceSink *sink);
+
+    /**
+     * Attach the observability outputs (either may be null). Called
+     * by the Controller after construction — and again after a
+     * checkpoint restore, so the replayed installs are never traced.
+     * All events are emitted on the simulation thread at virtual
+     * (retired-guest-inst) timestamps; async jobs appear as spans on
+     * virtual translator tracks keyed by enqueue order, keeping the
+     * stream byte-identical across positive tol.async.threads counts.
+     */
+    void attachObs(obs::Tracer *tracer, obs::MetricsWriter *metrics);
+
+    /**
+     * Close the open mode span and emit the final partial metrics
+     * row. Called at end of run / before the session writes files;
+     * idempotent between retirements.
+     */
+    void flushObs();
 
     /**
      * Downscale promotion thresholds by `factor` (the warm-up
@@ -327,6 +351,12 @@ class Tol : public host::RetireSink
                      const std::optional<TripCheck> &trip,
                      const std::optional<Frontend::EndSpec> &end);
 
+    // --- observability -----------------------------------------------------
+    /** Open/extend/close the current mode span (0=IM 1=BBM 2=SBM). */
+    void obsNoteMode(u8 mode);
+    /** Emit one interval row covering [obsSnap_.vt, completedInsts_). */
+    void obsEmitMetricsRow();
+
     // --- members -----------------------------------------------------------
     guest::PagedMemory &mem_;
     Config cfg_;
@@ -404,6 +434,26 @@ class Tol : public host::RetireSink
     // Async pipeline configuration (tol.async.*).
     u32 asyncVthreads_ = 1;
     u64 asyncRate_ = 8;
+
+    // Observability (obs.*): raw pointers owned by the Controller's
+    // obs::Session; null when disabled, so the hot paths pay a single
+    // pointer test and no counters exist at all.
+    obs::Tracer *trace_ = nullptr;
+    obs::MetricsWriter *metrics_ = nullptr;
+    u8 obsMode_ = 0;          //!< mode of the open span
+    bool obsModeOpen_ = false;
+    u64 obsModeStart_ = 0;    //!< virtual start of the open span
+    u64 obsAsyncSeq_ = 0;     //!< deterministic translator-track cursor
+    u64 metricsNext_ = ~0ull; //!< next interval boundary (virtual)
+    /** Counter snapshot at the last emitted interval boundary. */
+    struct ObsSnap
+    {
+        u64 vt = 0;
+        u64 im = 0, bbm = 0, sbm = 0;
+        u64 ovh[unsigned(Overhead::NumCats)] = {};
+        u64 instBb = 0, instSb = 0, evict = 0, flush = 0;
+    };
+    ObsSnap obsSnap_;
 
     /**
      * The background translator pool; null when tol.async.threads=0

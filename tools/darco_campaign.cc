@@ -58,6 +58,8 @@ struct Options
     std::string checkpointDir;
     std::string csvPath;
     std::string jsonPath;
+    std::string traceDir;
+    std::string statsJsonPath;
     bool list = false;
     bool listConfig = false;
     bool quiet = false;
@@ -96,6 +98,9 @@ usage(const char *argv0)
         "  --no-timing         skip the timing/power models\n"
         "  --csv PATH          write the CSV report here\n"
         "  --json PATH         write the JSON report here\n"
+        "  --trace-out D       per-job Chrome trace + interval-metrics\n"
+        "                      files in D (full-mode jobs)\n"
+        "  --stats-json PATH   write every job's full stats dump here\n"
         "  --list              list known workloads and presets\n"
         "  --list-config       print the generated parameter "
         "reference\n"
@@ -179,6 +184,16 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.jsonPath = v;
+        } else if (a == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.traceDir = v;
+        } else if (a == "--stats-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.statsJsonPath = v;
         } else if (a == "--sample-mode") {
             const char *v = next();
             if (!v)
@@ -291,6 +306,7 @@ main(int argc, char **argv)
         campaign::RunOptions ropts;
         ropts.jobs = o.jobs;
         ropts.checkpointDir = o.checkpointDir;
+        ropts.traceDir = o.traceDir;
         ropts.timing = o.timing;
         ropts.sampleMode = o.sampleMode;
         ropts.sampleInterval = o.interval;
@@ -307,6 +323,23 @@ main(int argc, char **argv)
             return 2;
         if (!o.jsonPath.empty() && !writeFile(o.jsonPath, res.json()))
             return 2;
+        if (!o.statsJsonPath.empty()) {
+            // One array entry per job: the full StatGroup::dumpJson
+            // snapshot (every counter and histogram).
+            std::string out = "[\n";
+            for (std::size_t i = 0; i < res.results.size(); ++i) {
+                const auto &r = res.results[i];
+                out += "  {\"workload\": \"" + r.workload +
+                       "\", \"config\": \"" + r.configName +
+                       "\", \"stats\": " +
+                       (r.statsJson.empty() ? "null" : r.statsJson) +
+                       "}";
+                out += (i + 1 < res.results.size()) ? ",\n" : "\n";
+            }
+            out += "]\n";
+            if (!writeFile(o.statsJsonPath, out))
+                return 2;
+        }
 
         unsigned failed = 0;
         for (const auto &r : res.results)

@@ -26,6 +26,7 @@
  * errors.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +42,7 @@
 #include "fuzz/diffrun.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/shrink.hh"
+#include "sim/controller.hh"
 
 using namespace darco;
 
@@ -177,6 +179,53 @@ dumpCase(const Options &o, const std::string &stem,
     std::printf("  reproducer dumped to %s\n", path.c_str());
 }
 
+/**
+ * Re-run a divergent seed's failing matrix cell with event tracing
+ * on, so the reproducer ships with a Chrome trace of the run that
+ * exposed the bug (<outdir>/seed<N>.trace.json).
+ */
+void
+dumpFailureTrace(const Options &o, u64 seed, const fuzz::DiffResult &r,
+                 const fuzz::DiffOptions &dopts,
+                 const guest::Program &prog)
+{
+    if (r.failConfig.empty())
+        return;
+    std::vector<fuzz::DiffConfig> matrix =
+        dopts.matrix.empty() ? fuzz::defaultMatrix() : dopts.matrix;
+    const fuzz::DiffConfig *cell = nullptr;
+    for (const fuzz::DiffConfig &c : matrix)
+        if (c.name == r.failConfig)
+            cell = &c;
+    if (!cell)
+        return;
+
+    std::string dir = o.outDir.empty() ? "." : o.outDir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path =
+        dir + "/seed" + std::to_string(seed) + ".trace.json";
+
+    // Same budget shape as the differential run: generous slack over
+    // the longest observed run, so a hang can't wedge the dump.
+    u64 maxInsts = 0;
+    for (const fuzz::RunOutcome &run : r.runs)
+        maxInsts = std::max(maxInsts, run.insts);
+    u64 budget = dopts.budgetFloor + dopts.budgetSlack * maxInsts;
+
+    std::vector<std::string> extra = dopts.extra;
+    extra.push_back("obs.trace.path=" + path);
+    try {
+        sim::Controller ctl(fuzz::makeConfig(*cell, seed, extra));
+        ctl.load(prog);
+        ctl.run(budget);
+    } catch (const std::exception &) {
+        // The re-run is *expected* to fail — that is the run worth
+        // looking at. The trace still flushes at Controller teardown.
+    }
+    std::printf("  failure trace dumped to %s\n", path.c_str());
+}
+
 int
 replayCase(const Options &o)
 {
@@ -279,6 +328,11 @@ main(int argc, char **argv)
         std::printf("seed %llu: FAIL — %s\n", (unsigned long long)s,
                     spec.describe().c_str());
         std::printf("%s", r.report().c_str());
+
+        fuzz::DiffOptions topts = dopts;
+        if (o.randConfigs)
+            topts.matrix = fuzz::randomMatrix(s, o.randConfigs);
+        dumpFailureTrace(o, s, r, topts, fuzz::build(spec));
 
         if (o.noMinimize) {
             dumpCase(o, "seed" + std::to_string(s), fuzz::build(spec));

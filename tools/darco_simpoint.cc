@@ -54,6 +54,8 @@ struct Options
     std::vector<std::string> extra;
     std::string ckptDir;
     std::string csvPath;
+    std::string traceDir;
+    std::string statsJsonPath;
     bool listConfig = false;
 };
 
@@ -73,6 +75,9 @@ usage(const char *argv0)
         "  --max-insts N     profiling budget\n"
         "  --ckpt-dir D      save one checkpoint per simpoint into D\n"
         "  --csv PATH        per-interval cluster assignment dump\n"
+        "  --trace-out D     Chrome trace + interval metrics of the\n"
+        "                    profiling run into D\n"
+        "  --stats-json PATH full stats dump of the profiling run\n"
         "  --list-config     print the generated parameter "
         "reference\n"
         "  -c key=value      config override (repeatable)\n",
@@ -130,6 +135,16 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.csvPath = v;
+        } else if (a == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.traceDir = v;
+        } else if (a == "--stats-json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.statsJsonPath = v;
         } else if (a == "-c") {
             const char *v = next();
             if (!v)
@@ -174,8 +189,39 @@ main(int argc, char **argv)
         Config cfg(o.extra);
         conf::schema().validate(cfg, "darco_simpoint -c");
 
-        sampling::BbvProfile profile = sampling::collectBbvProfile(
-            prog, cfg, o.interval, o.maxInsts);
+        sampling::BbvProfile profile;
+        if (o.traceDir.empty() && o.statsJsonPath.empty()) {
+            profile = sampling::collectBbvProfile(prog, cfg, o.interval,
+                                                  o.maxInsts);
+        } else {
+            // Observed profiling pass: the same functional run, but
+            // through a full Controller so the obs.* outputs and the
+            // stats dump cover it.
+            Config pcfg = cfg;
+            pcfg.set("tol.bbv_interval", s64(o.interval));
+            if (!o.traceDir.empty()) {
+                std::filesystem::create_directories(o.traceDir);
+                pcfg.set("obs.trace.path", o.traceDir + "/" +
+                                               o.workload +
+                                               ".trace.json");
+                pcfg.set("obs.metrics.path", o.traceDir + "/" +
+                                                 o.workload +
+                                                 ".metrics.jsonl");
+            }
+            sim::Controller ctl(pcfg);
+            ctl.load(prog);
+            ctl.run(o.maxInsts);
+            profile = sampling::harvestBbv(ctl.tol().profiler());
+            if (!o.statsJsonPath.empty()) {
+                std::ofstream f(o.statsJsonPath);
+                if (!f) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 o.statsJsonPath.c_str());
+                    return 2;
+                }
+                ctl.stats().dumpJson(f);
+            }
+        }
         std::printf("%s: %llu insts, %zu intervals of %llu\n",
                     o.workload.c_str(),
                     (unsigned long long)profile.totalInsts,
