@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +12,9 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "common/schema.hh"
@@ -251,34 +255,49 @@ simpointCheckpointPath(const std::string &dir, const Job &job,
 // Job execution
 // ---------------------------------------------------------------------
 
-namespace
-{
-
-/**
- * Write checkpoint bytes via a temp file + rename so a concurrent
- * writer of the same key can never expose a torn image; only a
- * fully-written checkpoint is renamed into place. @return true when
- * stored.
- */
 bool
 writeCheckpointBytes(const std::string &dir, const std::string &path,
                      const std::string &image)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    std::string tmp =
-        path + ".tmp." +
+    // Temp name carries pid *and* thread id: a thread-id hash alone
+    // collides across processes (and can repeat after a thread
+    // exits), letting two writers interleave into one temp file and
+    // rename a torn image into place. O_EXCL makes any remaining
+    // collision (e.g. a stale temp from a crashed run) fail the
+    // create instead of silently appending to another writer's file.
+    std::string base =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(
             std::hash<std::thread::id>{}(std::this_thread::get_id()));
-    bool written = false;
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        if (out) {
-            out << image;
-            out.flush();
-            written = out.good();
-        }
+    std::string tmp;
+    int fd = -1;
+    for (unsigned attempt = 0; attempt < 16 && fd < 0; ++attempt) {
+        tmp = attempt == 0 ? base
+                           : base + "." + std::to_string(attempt);
+        fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd < 0 && errno != EEXIST)
+            return false;
     }
+    if (fd < 0)
+        return false;
+    bool written = true;
+    const char *pos = image.data();
+    std::size_t left = image.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, pos, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            written = false;
+            break;
+        }
+        pos += n;
+        left -= std::size_t(n);
+    }
+    if (::close(fd) != 0)
+        written = false;
     bool stored = false;
     if (written) {
         std::filesystem::rename(tmp, path, ec);
@@ -288,6 +307,9 @@ writeCheckpointBytes(const std::string &dir, const std::string &path,
         std::filesystem::remove(tmp, ec);
     return stored;
 }
+
+namespace
+{
 
 /** Serialize + tmp/rename-store a controller checkpoint. */
 bool

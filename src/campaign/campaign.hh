@@ -259,6 +259,18 @@ presetConfigs(const std::vector<std::string> &names,
 std::string checkpointPath(const std::string &dir, const Job &job);
 
 /**
+ * Atomically store checkpoint bytes at `path` (inside `dir`, which is
+ * created if needed): the image goes to an exclusively-created temp
+ * file — named with the pid and thread id so concurrent writers in
+ * the same or different processes never share one — then renames into
+ * place. A reader (or a racing writer's rename) therefore only ever
+ * observes a complete image. @return true when stored.
+ */
+bool writeCheckpointBytes(const std::string &dir,
+                          const std::string &path,
+                          const std::string &image);
+
+/**
  * The per-simpoint checkpoint file for one job's sampled run
  * (diagnostics, tests). Keyed like checkpointPath plus the sampling
  * interval, the timing warm-up length (the saved position is

@@ -41,6 +41,13 @@ defaultSink()
 std::atomic<LogSink *> g_sink{nullptr}; // nullptr = default stderr sink
 std::atomic<int> g_level{int(LogLevel::Warn)};
 
+// Thread-local overrides installed by ScopedLogScope. They win over
+// the globals, so a Controller running on a campaign worker resolves
+// its own sink/level without ever touching (or racing on) g_sink /
+// g_level.
+thread_local LogSink *t_sink = nullptr;
+thread_local int t_level = -1; // -1 = no override
+
 } // namespace
 
 LogSink *
@@ -58,7 +65,23 @@ setLogLevel(LogLevel level)
 LogLevel
 logLevel()
 {
+    if (t_level >= 0)
+        return LogLevel(t_level);
     return LogLevel(g_level.load(std::memory_order_relaxed));
+}
+
+ScopedLogScope::ScopedLogScope(LogSink *sink, LogLevel level)
+    : prevSink_(t_sink), prevLevel_(t_level)
+{
+    if (sink)
+        t_sink = sink;
+    t_level = int(level);
+}
+
+ScopedLogScope::~ScopedLogScope()
+{
+    t_sink = prevSink_;
+    t_level = prevLevel_;
 }
 
 LogLevel
@@ -89,7 +112,9 @@ void
 logEmit(LogLevel level, const char *component, std::string message)
 {
     LogRecord rec{level, component ? component : "", std::move(message)};
-    LogSink *sink = g_sink.load(std::memory_order_acquire);
+    LogSink *sink = t_sink;
+    if (!sink)
+        sink = g_sink.load(std::memory_order_acquire);
     if (!sink)
         sink = &defaultSink();
     sink->log(rec);

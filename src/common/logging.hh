@@ -83,6 +83,34 @@ const char *logLevelName(LogLevel level);
 /** Route one already-formatted message (level filter applied here). */
 void logEmit(LogLevel level, const char *component, std::string message);
 
+/**
+ * RAII thread-local override of the log sink and/or level.
+ *
+ * Installed by Controller entry points so each controller's configured
+ * `log.level` (and any sink attached via Controller::setLogSink) only
+ * applies to its own execution: concurrent campaign jobs no longer race
+ * on the process-global sink/level, and a job's warnings land in its
+ * own capture sink instead of whichever job attached last.
+ *
+ * `sink == nullptr` keeps the ambient sink resolution (thread-local
+ * override from an enclosing scope, else the global sink, else the
+ * stderr default). Scopes nest; the destructor restores the previous
+ * thread-local state.
+ */
+class ScopedLogScope
+{
+  public:
+    ScopedLogScope(LogSink *sink, LogLevel level);
+    ~ScopedLogScope();
+
+    ScopedLogScope(const ScopedLogScope &) = delete;
+    ScopedLogScope &operator=(const ScopedLogScope &) = delete;
+
+  private:
+    LogSink *prevSink_;
+    int prevLevel_;
+};
+
 namespace detail
 {
 

@@ -364,6 +364,12 @@ ConfigSchema::ConfigSchema()
     declUint("seed", 1, 0, ~0ull,
              "RNG seed shared by the reference and co-designed "
              "components (guest OS RNG/time streams)");
+    declUint("cores", 1, 1, 8,
+             "guest hardware contexts sharing one TOL (translation "
+             "registry, code cache, eviction clock, async translator); "
+             "core i runs its own CpuState/GuestOS stream seeded "
+             "seed+i, interleaved at region/interpreter-step "
+             "boundaries");
 
     // --- controller / synchronization (measurement-side toggles) ------
     declBool("sync.validate_syscalls", true,
@@ -455,6 +461,12 @@ ConfigSchema::ConfigSchema()
              "basic-block-vector profiling interval in guest insts "
              "(0 disables BBV collection)")
         .fuzz(u64(512), u64(8192));
+    declUint("tol.interleave_seed", 0, 0, ~0ull,
+             "seed of the multi-core dispatch interleaver (0 derives "
+             "it from `seed`); with cores > 1 the interleaver draws "
+             "one xorshift64 step per dispatch-loop iteration to pick "
+             "the next runnable core, so the schedule is part of the "
+             "simulated model and independent of host threading");
 
     // --- TOL: asynchronous translation pipeline ------------------------
     declUint("tol.async.threads", 0, 0, 64,

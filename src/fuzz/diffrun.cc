@@ -1,6 +1,7 @@
 #include "fuzz/diffrun.hh"
 
 #include <cstring>
+#include <memory>
 #include <sstream>
 
 #include "common/schema.hh"
@@ -34,6 +35,12 @@ defaultMatrix()
         // Background translation with modeled concurrency: must be
         // architecturally identical to fullopt, only timing differs.
         {"async", {"tol.async.threads=2", "tol.async.vthreads=2"}},
+        // Two guest cores sharing one TOL over a tiny code cache:
+        // cross-core eviction storms and cross-core chaining, each
+        // core validated against its own per-core golden run.
+        {"mc",
+         {"cores=2", "cc.capacity_words=768", "cc.policy=evict",
+          "tol.max_sb_insts=120"}},
     };
 }
 
@@ -122,27 +129,46 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
         }
     };
 
-    // --- golden reference run ------------------------------------------
-    xemu::RefComponent golden(seed);
-    golden.load(prog);
-    try {
-        golden.runToCompletion(opts.maxRefInsts);
-    } catch (const GuestFault &gf) {
-        std::ostringstream os;
-        os << "reference faulted at pc 0x" << std::hex << gf.pc << ": "
-           << gf.msg;
-        fail("reference", os.str());
+    // --- golden reference runs -----------------------------------------
+    // One authoritative run per guest core: core i's golden is seeded
+    // seed+i, matching the controller's per-core reference components
+    // (every core runs its own instance of the program). Goldens above
+    // core 0 are built lazily so single-core cells pay nothing.
+    std::vector<std::unique_ptr<xemu::RefComponent>> goldens;
+    std::string goldenErr;
+    auto ensureGoldens = [&](u32 n) -> bool {
+        while (goldens.size() < n) {
+            auto g = std::make_unique<xemu::RefComponent>(
+                seed + goldens.size());
+            g->load(prog);
+            try {
+                g->runToCompletion(opts.maxRefInsts);
+            } catch (const GuestFault &gf) {
+                std::ostringstream os;
+                os << "reference (core " << goldens.size()
+                   << ") faulted at pc 0x" << std::hex << gf.pc
+                   << ": " << gf.msg;
+                goldenErr = os.str();
+                return false;
+            }
+            if (!g->finished()) {
+                goldenErr =
+                    "reference (core " +
+                    std::to_string(goldens.size()) + ") exceeded " +
+                    std::to_string(opts.maxRefInsts) +
+                    " insts (generator bug: non-terminating)";
+                return false;
+            }
+            goldens.push_back(std::move(g));
+        }
+        return true;
+    };
+    if (!ensureGoldens(1)) {
+        fail("reference", goldenErr);
         return res;
     }
-    if (!golden.finished()) {
-        fail("reference", "reference exceeded " +
-                              std::to_string(opts.maxRefInsts) +
-                              " insts (generator bug: non-terminating)");
-        return res;
-    }
+    xemu::RefComponent &golden = *goldens[0];
 
-    u64 budget =
-        golden.instCount() * opts.budgetSlack + opts.budgetFloor;
     const std::vector<DiffConfig> matrix =
         opts.matrix.empty() ? defaultMatrix() : opts.matrix;
 
@@ -157,6 +183,18 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
         RunOutcome out;
         out.config = cell.name;
         Config cfg = makeConfig(cell, seed, extra);
+        u32 ncores = u32(conf::getUint(cfg, "cores"));
+        if (!ensureGoldens(ncores)) {
+            fail(cell.name, goldenErr);
+            res.runs.push_back(std::move(out));
+            continue;
+        }
+        u64 goldenInsts = 0, goldenBbs = 0;
+        for (u32 i = 0; i < ncores; ++i) {
+            goldenInsts += goldens[i]->instCount();
+            goldenBbs += goldens[i]->bbCount();
+        }
+        u64 budget = goldenInsts * opts.budgetSlack + opts.budgetFloor;
 
         sim::Controller ctl(cfg);
         try {
@@ -194,28 +232,53 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
             fail(cell.name,
                  "did not terminate within " + std::to_string(budget) +
                      " guest insts (golden: " +
-                     std::to_string(golden.instCount()) + ")");
+                     std::to_string(goldenInsts) + ")");
         } else {
-            if (!(out.state == golden.state()))
-                fail(cell.name, "final state diverged: " +
-                                    golden.state().diff(out.state));
-            if (out.insts != golden.instCount())
+            if (out.insts != goldenInsts)
                 fail(cell.name,
                      "retired insts " + std::to_string(out.insts) +
-                         " != golden " +
-                         std::to_string(golden.instCount()));
-            if (out.bbs != golden.bbCount())
+                         " != golden " + std::to_string(goldenInsts));
+            if (out.bbs != goldenBbs)
                 fail(cell.name,
                      "retired BBs " + std::to_string(out.bbs) +
-                         " != golden " +
-                         std::to_string(golden.bbCount()));
+                         " != golden " + std::to_string(goldenBbs));
             if (out.exitCode != golden.exitCode())
                 fail(cell.name,
                      "exit code " + std::to_string(out.exitCode) +
                          " != golden " +
                          std::to_string(golden.exitCode()));
-            if (out.osOutput != golden.os().output())
-                fail(cell.name, "OS output diverged");
+            // Per-core architectural checks: each core against its
+            // own golden (state, retirement, exit code, OS output).
+            for (u32 i = 0; i < ncores; ++i) {
+                xemu::RefComponent &g = *goldens[i];
+                std::string c = "core " + std::to_string(i);
+                const CpuState &st = ctl.tol().state(i);
+                if (!(st == g.state()))
+                    fail(cell.name, c + " final state diverged: " +
+                                        g.state().diff(st));
+                if (ctl.tol().completedInsts(i) != g.instCount())
+                    fail(cell.name,
+                         c + " retired insts " +
+                             std::to_string(
+                                 ctl.tol().completedInsts(i)) +
+                             " != golden " +
+                             std::to_string(g.instCount()));
+                if (ctl.tol().completedBBs(i) != g.bbCount())
+                    fail(cell.name,
+                         c + " retired BBs " +
+                             std::to_string(
+                                 ctl.tol().completedBBs(i)) +
+                             " != golden " +
+                             std::to_string(g.bbCount()));
+                if (ctl.ref(i).exitCode() != g.exitCode())
+                    fail(cell.name,
+                         c + " exit code " +
+                             std::to_string(ctl.ref(i).exitCode()) +
+                             " != golden " +
+                             std::to_string(g.exitCode()));
+                if (ctl.ref(i).os().output() != g.os().output())
+                    fail(cell.name, c + " OS output diverged");
+            }
             // Chain-graph consistency, most interesting after the
             // tinycc cell's eviction/unchain storms.
             std::string inv = ctl.registry().checkInvariants();
@@ -244,21 +307,25 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
             }
 
             // Memory image: every page the co-designed side touched
-            // must match the authoritative image bit-exactly. The scan
-            // is deliberately one-sided (paper Section V-D): emulated
-            // memory is a demand-fetched cache of the authoritative
-            // image, so a page it never fetched carries no emulated
-            // claim to compare — materializing it as zeros would
-            // false-positive on every never-read data page.
-            for (GAddr page : ctl.emulatedMemory().residentPages()) {
-                const u8 *mine = ctl.emulatedMemory().page(page);
-                const u8 *gold = golden.memory().page(page);
-                if (std::memcmp(mine, gold, pageSizeBytes) != 0) {
-                    std::ostringstream os;
-                    os << "memory diverged at page 0x" << std::hex
-                       << page;
-                    fail(cell.name, os.str());
-                    break;
+            // must match the authoritative image bit-exactly, per
+            // core. The scan is deliberately one-sided (paper Section
+            // V-D): emulated memory is a demand-fetched cache of the
+            // authoritative image, so a page it never fetched carries
+            // no emulated claim to compare — materializing it as
+            // zeros would false-positive on every never-read data
+            // page.
+            for (u32 i = 0; i < ncores; ++i) {
+                for (GAddr page :
+                     ctl.emulatedMemory(i).residentPages()) {
+                    const u8 *mine = ctl.emulatedMemory(i).page(page);
+                    const u8 *gold = goldens[i]->memory().page(page);
+                    if (std::memcmp(mine, gold, pageSizeBytes) != 0) {
+                        std::ostringstream os;
+                        os << "memory diverged at core " << i
+                           << " page 0x" << std::hex << page;
+                        fail(cell.name, os.str());
+                        break;
+                    }
                 }
             }
         }
@@ -320,7 +387,9 @@ diffRun(const Program &prog, u64 seed, const DiffOptions &opts)
         }
 
         bool thisCellFailed = !res.ok && res.failConfig == cell.name;
-        if (thisCellFailed && opts.pinpoint) {
+        // The divergence-pinpoint replay drives a single co-designed
+        // core; multi-core cells report without it.
+        if (thisCellFailed && opts.pinpoint && ncores == 1) {
             auto dp = sim::findFirstDivergence(prog, cfg, budget);
             if (dp) {
                 std::ostringstream os;

@@ -148,7 +148,7 @@ IbtcTable::clear()
 HostEmu::HostEmu(CodeCache &cache, guest::PagedMemory &guest_mem,
                  const Config &cfg)
     : cache_(cache),
-      mem_(guest_mem),
+      mem_(&guest_mem),
       ibtc_(u32(conf::getUint(cfg, "hemu.ibtc_entries"))),
       localMem_(conf::getUint(cfg, "hemu.local_mem_bytes"), 0),
       ibtcHitCost_(u32(conf::getUint(cfg, "hemu.ibtc_hit_cost")))
@@ -228,7 +228,7 @@ HostEmu::specRead8(GAddr a)
         if (it != storeBuf_.end())
             return it->second;
     }
-    return mem_.read8(a);
+    return mem_->read8(a);
 }
 
 void
@@ -242,9 +242,9 @@ HostEmu::specRead(GAddr a, unsigned size)
 {
     if (!speculative_ || storeBuf_.empty()) {
         switch (size) {
-          case 1: return mem_.read8(a);
-          case 2: return mem_.read16(a);
-          default: return mem_.read32(a);
+          case 1: return mem_->read8(a);
+          case 2: return mem_->read16(a);
+          default: return mem_->read32(a);
         }
     }
     u32 v = 0;
@@ -258,9 +258,9 @@ HostEmu::specWrite(GAddr a, u32 v, unsigned size)
 {
     if (!speculative_) {
         switch (size) {
-          case 1: mem_.write8(a, u8(v)); return;
-          case 2: mem_.write16(a, u16(v)); return;
-          default: mem_.write32(a, v); return;
+          case 1: mem_->write8(a, u8(v)); return;
+          case 2: mem_->write16(a, u16(v)); return;
+          default: mem_->write32(a, v); return;
         }
     }
     probePages(a, size);
@@ -272,7 +272,7 @@ u64
 HostEmu::specRead64(GAddr a)
 {
     if (!speculative_ || storeBuf_.empty())
-        return mem_.read64(a);
+        return mem_->read64(a);
     u64 v = 0;
     for (unsigned i = 0; i < 8; ++i)
         v |= u64(specRead8(a + i)) << (8 * i);
@@ -283,7 +283,7 @@ void
 HostEmu::specWrite64(GAddr a, u64 v)
 {
     if (!speculative_) {
-        mem_.write64(a, v);
+        mem_->write64(a, v);
         return;
     }
     probePages(a, 8);
@@ -294,10 +294,10 @@ HostEmu::specWrite64(GAddr a, u64 v)
 void
 HostEmu::probePages(GAddr a, unsigned size)
 {
-    if (!mem_.hasPage(a))
+    if (!mem_->hasPage(a))
         throw PageMiss{pageBase(a)};
     GAddr last = a + size - 1;
-    if (pageBase(last) != pageBase(a) && !mem_.hasPage(last))
+    if (pageBase(last) != pageBase(a) && !mem_->hasPage(last))
         throw PageMiss{pageBase(last)};
 }
 
@@ -700,7 +700,7 @@ HostEmu::run(u32 host_pc, u64 max_insts)
 
               case HOp::COMMIT:
                 for (const auto &[a, v] : storeBuf_)
-                    mem_.write8(a, v);
+                    mem_->write8(a, v);
                 storeBuf_.clear();
                 specLoads_.clear();
                 speculative_ = false;

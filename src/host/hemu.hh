@@ -155,6 +155,13 @@ class HostEmu
 
     IbtcTable &ibtc() { return ibtc_; }
 
+    /**
+     * Retarget the emulator at another guest address space (multi-core
+     * guest: the TOL switches the shared emulator to the scheduled
+     * core's memory at core-switch boundaries, never mid-region).
+     */
+    void setMemory(guest::PagedMemory &mem) { mem_ = &mem; }
+
     /** FP constant pool backing FLDC. */
     std::vector<double> &fpPool() { return fpPool_; }
 
@@ -192,7 +199,7 @@ class HostEmu
     bool aliasesSpecLoad(GAddr a, unsigned size) const;
 
     CodeCache &cache_;
-    guest::PagedMemory &mem_;
+    guest::PagedMemory *mem_; //!< current core's guest memory
     HostContext ctx_;
 
     // Speculative region state.

@@ -34,20 +34,37 @@ validated(const Config &cfg)
 Controller::Controller(const Config &cfg)
     : cfg_(validated(cfg)),
       stats_("darco"),
-      ref_(conf::getUint(cfg_, "seed")),
+      cores_(u32(conf::getUint(cfg_, "cores"))),
       validateSyscalls_(conf::getBool(cfg_, "sync.validate_syscalls")),
       validateEnd_(conf::getBool(cfg_, "sync.validate_end")),
-      validateMemory_(conf::getBool(cfg_, "sync.validate_memory"))
+      validateMemory_(conf::getBool(cfg_, "sync.validate_memory")),
+      logLevel_(parseLogLevel(conf::getEnum(cfg_, "log.level")))
 {
+    // One reference component and one demand-paged memory image per
+    // guest core. Core i's reference is seeded seed+i, matching the
+    // Tol's per-core GuestOS streams, so every core runs its own
+    // deterministic instance of the workload. Built here (not in
+    // load()) because restoreCheckpoint() works on a fresh controller.
+    u64 seed = conf::getUint(cfg_, "seed");
+    for (u32 i = 0; i < cores_; ++i) {
+        refs_.push_back(std::make_unique<xemu::RefComponent>(seed + i));
+        mems_.push_back(
+            std::make_unique<PagedMemory>(MissPolicy::Signal));
+    }
     // The co-designed component is built lazily in load(): it holds a
     // reference to the emulated memory, which load() replaces, so an
     // eagerly-built Tol would be discarded unused.
-    setLogLevel(parseLogLevel(conf::getEnum(cfg_, "log.level")));
+    //
+    // Note: the log level is *not* installed globally here — it is
+    // applied via a thread-local ScopedLogScope inside every entry
+    // point, so two controllers on different threads (campaign
+    // workers) never race on process-global logging state.
     obs_ = obs::Session::fromConfig(cfg_);
 }
 
 Controller::~Controller()
 {
+    ScopedLogScope scope(logSink_, logLevel_);
     if (!obs_)
         return;
     if (tol_)
@@ -63,41 +80,62 @@ Controller::attachObs()
 }
 
 void
+Controller::attachCoreMemories()
+{
+    // Core 0's memory is bound by the Tol constructor; the extra
+    // cores' images are wired here. Must run before Tol::restore(),
+    // which re-targets the shared host emulator at the restored
+    // current core's memory.
+    for (u32 i = 1; i < cores_; ++i)
+        tol_->setCoreMemory(i, *mems_[i]);
+}
+
+void
 Controller::load(const Program &prog)
 {
-    // The reference component launches the application and produces
-    // the initial architectural state; the controller forwards it to
-    // the co-designed component (which starts with an empty memory
-    // image and demand-fetches every page).
-    ref_.load(prog);
-    mem_ = PagedMemory(MissPolicy::Signal);
-    tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
+    ScopedLogScope scope(logSink_, logLevel_);
+    // Each reference component launches its own instance of the
+    // application and produces the initial architectural state; the
+    // controller forwards it to the co-designed component's matching
+    // core (which starts with an empty memory image and demand-fetches
+    // every page).
+    for (u32 i = 0; i < cores_; ++i) {
+        refs_[i]->load(prog);
+        mems_[i] = std::make_unique<PagedMemory>(MissPolicy::Signal);
+    }
+    tol_ = std::make_unique<tol::Tol>(*mems_[0], cfg_, stats_);
     tol_->setEnv(this);
-    tol_->setState(ref_.state());
+    attachCoreMemories();
+    for (u32 i = 0; i < cores_; ++i)
+        tol_->setState(i, refs_[i]->state());
     attachObs();
 }
 
 void
-Controller::dataRequest(GAddr page, u64 completed_insts)
+Controller::dataRequest(u32 core, GAddr page, u64 completed_insts)
 {
-    // The reference component runs forward to the same execution
-    // point, then the requested page crosses to the co-designed side.
-    ref_.runUntilInstCount(completed_insts);
-    mem_.installPage(page, ref_.memory().page(page));
+    // The core's reference component runs forward to the same
+    // execution point (the core's own completed-instruction count),
+    // then the requested page crosses to the co-designed side.
+    refs_[core]->runUntilInstCount(completed_insts);
+    mems_[core]->installPage(page, refs_[core]->memory().page(page));
     stats_.counter("sync.pages_transferred").inc();
 }
 
 bool
-Controller::syscall(u64 completed_insts)
+Controller::syscall(u32 core, u64 completed_insts)
 {
-    ref_.runUntilInstCount(completed_insts);
+    xemu::RefComponent &ref = *refs_[core];
+    PagedMemory &mem = *mems_[core];
+    ref.runUntilInstCount(completed_insts);
     stats_.counter("sync.syscalls").inc();
 
     if (validateSyscalls_) {
-        std::string diff = validateState();
+        std::string diff = validateState(core);
         if (!diff.empty()) {
             throw DivergenceError(
-                "state validation failed at syscall (inst " +
+                "state validation failed at syscall (core " +
+                std::to_string(core) + ", inst " +
                 std::to_string(completed_insts) + "): " + diff);
         }
         stats_.counter("sync.validations").inc();
@@ -105,34 +143,32 @@ Controller::syscall(u64 completed_insts)
 
     // System code executes only in the reference component; its
     // effects then cross the boundary.
-    CpuState before = ref_.state();
-    (void)before;
-    GInst gi = fetchInst(ref_.memory(), ref_.state().pc);
+    GInst gi = fetchInst(ref.memory(), ref.state().pc);
     darco_assert(gi.op == GOp::SYSCALL,
                  "syscall sync at a non-syscall pc");
-    ref_.step();
+    ref.step();
 
     // Register effects: the syscall ABI clobbers RAX only; pc advances.
-    tol_->state().gpr[RAX] = ref_.state().gpr[RAX];
-    tol_->state().pc = ref_.state().pc;
+    tol_->state(core).gpr[RAX] = ref.state().gpr[RAX];
+    tol_->state(core).pc = ref.state().pc;
 
     // Memory effects: pages the OS wrote (e.g. sysRead) that the
     // co-designed side already holds must be refreshed; absent pages
     // are fetched later with correct content by the data-request path.
-    for (GAddr page : ref_.lastSyscallDirtiedPages()) {
-        if (mem_.hasPage(page))
-            mem_.installPage(page, ref_.memory().page(page));
+    for (GAddr page : ref.lastSyscallDirtiedPages()) {
+        if (mem.hasPage(page))
+            mem.installPage(page, ref.memory().page(page));
     }
 
-    return !ref_.finished();
+    return !ref.finished();
 }
 
 std::string
-Controller::validateState()
+Controller::validateState(u32 core)
 {
     darco_assert(tol_, "Controller::load() must run first");
-    CpuState a = ref_.state();
-    CpuState b = tol_->state();
+    CpuState a = refs_[core]->state();
+    CpuState b = tol_->state(core);
     if (a == b)
         return "";
     return a.diff(b);
@@ -141,40 +177,50 @@ Controller::validateState()
 void
 Controller::validateFinal()
 {
-    // Bring the reference component to the co-designed component's
-    // final execution point (it may be exactly one HLT behind).
-    ref_.runUntilInstCount(tol_->completedInsts());
-    if (!ref_.finished())
-        ref_.step(); // consume a trailing HLT
+    ScopedLogScope scope(logSink_, logLevel_);
+    for (u32 core = 0; core < cores_; ++core) {
+        xemu::RefComponent &ref = *refs_[core];
+        PagedMemory &mem = *mems_[core];
 
-    std::string diff = validateState();
-    if (!diff.empty())
-        throw DivergenceError("final state validation failed: " + diff);
-    if (ref_.instCount() != tol_->completedInsts()) {
-        throw DivergenceError(
-            "retired-instruction mismatch: ref " +
-            std::to_string(ref_.instCount()) + " vs co-designed " +
-            std::to_string(tol_->completedInsts()));
-    }
+        // Bring the core's reference component to the co-designed
+        // core's final execution point (it may be one HLT behind).
+        ref.runUntilInstCount(tol_->completedInsts(core));
+        if (!ref.finished())
+            ref.step(); // consume a trailing HLT
 
-    if (validateMemory_) {
-        for (GAddr page : mem_.residentPages()) {
-            const u8 *mine = mem_.page(page);
-            const u8 *theirs = ref_.memory().page(page);
+        std::string diff = validateState(core);
+        if (!diff.empty())
+            throw DivergenceError("final state validation failed "
+                                  "(core " + std::to_string(core) +
+                                  "): " + diff);
+        if (ref.instCount() != tol_->completedInsts(core)) {
+            throw DivergenceError(
+                "retired-instruction mismatch (core " +
+                std::to_string(core) + "): ref " +
+                std::to_string(ref.instCount()) + " vs co-designed " +
+                std::to_string(tol_->completedInsts(core)));
+        }
+
+        if (!validateMemory_)
+            continue;
+        for (GAddr page : mem.residentPages()) {
+            const u8 *mine = mem.page(page);
+            const u8 *theirs = ref.memory().page(page);
             if (std::memcmp(mine, theirs, pageSizeBytes) != 0) {
                 std::ostringstream os;
-                os << "memory validation failed at page 0x" << std::hex
-                   << page;
+                os << "memory validation failed at core " << core
+                   << " page 0x" << std::hex << page;
                 throw DivergenceError(os.str());
             }
         }
-        stats_.counter("sync.pages_validated").inc(mem_.pageCount());
+        stats_.counter("sync.pages_validated").inc(mem.pageCount());
     }
 }
 
 bool
 Controller::step(u64 guest_insts)
 {
+    ScopedLogScope scope(logSink_, logLevel_);
     darco_assert(tol_, "Controller::load() must run first");
     if (tol_->finished())
         return false;
@@ -187,6 +233,7 @@ Controller::step(u64 guest_insts)
 void
 Controller::run(u64 max_guest_insts)
 {
+    ScopedLogScope scope(logSink_, logLevel_);
     darco_assert(tol_, "Controller::load() must run first");
     tol_->run(max_guest_insts);
     if (tol_->finished() && validateEnd_)
@@ -200,6 +247,7 @@ Controller::run(u64 max_guest_insts)
 void
 Controller::saveCheckpoint(std::ostream &os)
 {
+    ScopedLogScope scope(logSink_, logLevel_);
     darco_assert(tol_, "Controller::load() must run first");
     tol_->quiesce();
     if (obs_ && obs_->tracer())
@@ -225,13 +273,18 @@ Controller::saveCheckpoint(std::ostream &os)
     }
     s.endSection();
 
-    s.beginSection("ref");
-    ref_.save(s);
-    s.endSection();
+    // One ref/emem section pair per core; core 0 keeps the
+    // unsuffixed v4 names so single-core images look unchanged.
+    for (u32 i = 0; i < cores_; ++i) {
+        std::string suffix = i == 0 ? "" : std::to_string(i);
+        s.beginSection("ref" + suffix);
+        refs_[i]->save(s);
+        s.endSection();
 
-    s.beginSection("emem");
-    mem_.save(s);
-    s.endSection();
+        s.beginSection("emem" + suffix);
+        mems_[i]->save(s);
+        s.endSection();
+    }
 
     s.beginSection("tol");
     tol_->save(s);
@@ -251,6 +304,7 @@ Controller::saveCheckpoint(std::ostream &os)
 void
 Controller::restoreCheckpoint(std::istream &is)
 {
+    ScopedLogScope scope(logSink_, logLevel_);
     snapshot::Deserializer d(is);
 
     // Schema-aware compatibility check: compare the checkpoint's
@@ -289,19 +343,26 @@ Controller::restoreCheckpoint(std::istream &is)
                 "') is missing from the checkpoint");
     }
 
-    d.expectSection("ref");
-    ref_.restore(d);
-    d.endSection();
+    // Per-core sections. The `cores` parameter is execution-relevant,
+    // so the cfg comparison above already refused any count mismatch.
+    for (u32 i = 0; i < cores_; ++i) {
+        std::string suffix = i == 0 ? "" : std::to_string(i);
+        d.expectSection("ref" + suffix);
+        refs_[i]->restore(d);
+        d.endSection();
 
-    d.expectSection("emem");
-    mem_.restore(d);
-    d.endSection();
+        d.expectSection("emem" + suffix);
+        mems_[i]->restore(d);
+        d.endSection();
+    }
 
-    // Fresh co-designed component over the restored memory image; its
+    // Fresh co-designed component over the restored memory images; its
     // restore() replays translation installation (host code is
-    // re-materialized, not deserialized).
-    tol_ = std::make_unique<tol::Tol>(mem_, cfg_, stats_);
+    // re-materialized, not deserialized). Core memories must be wired
+    // first: restore re-targets the emulator at the current core.
+    tol_ = std::make_unique<tol::Tol>(*mems_[0], cfg_, stats_);
     tol_->setEnv(this);
+    attachCoreMemories();
     d.expectSection("tol");
     tol_->restore(d);
     d.endSection();

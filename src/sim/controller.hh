@@ -28,6 +28,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/logging.hh"
@@ -84,19 +85,24 @@ class Controller : public tol::Tol::Env
     bool step(u64 guest_insts);
 
     bool finished() const { return tol_ && tol_->finished(); }
-    u32 exitCode() const { return ref_.exitCode(); }
+    /** Core 0's exit code (the single-core exit code). */
+    u32 exitCode() const { return refs_[0]->exitCode(); }
+
+    /** Guest hardware contexts (`cores` parameter). */
+    u32 numCores() const { return cores_; }
 
     /**
      * Compare co-designed vs authoritative state now (both sides must
      * be at the same completed-instruction count).
      * @return empty string if equal, else a diff description.
      */
-    std::string validateState();
+    std::string validateState(u32 core = 0);
 
-    /** Full end-of-application validation (registers + memory). */
+    /** Full end-of-application validation (registers + memory),
+     *  applied to every core. */
     void validateFinal();
 
-    xemu::RefComponent &ref() { return ref_; }
+    xemu::RefComponent &ref(u32 core = 0) { return *refs_[core]; }
 
     tol::Tol &
     tol()
@@ -109,9 +115,21 @@ class Controller : public tol::Tol::Env
     host::CodeCache &codeCache() { return tol().codeCache(); }
     tol::TranslationRegistry &registry() { return tol().registry(); }
 
-    guest::PagedMemory &emulatedMemory() { return mem_; }
+    guest::PagedMemory &emulatedMemory(u32 core = 0)
+    {
+        return *mems_[core];
+    }
     StatGroup &stats() { return stats_; }
     const Config &config() const { return cfg_; }
+
+    /**
+     * Attach a per-controller log sink: messages emitted while this
+     * controller executes (load/run/step/checkpoint paths) route here
+     * instead of the process-global sink, so concurrent campaign jobs
+     * keep their warnings apart. nullptr (the default) falls back to
+     * the global sink. The sink must outlive the controller.
+     */
+    void setLogSink(LogSink *sink) { logSink_ = sink; }
 
     /** The run's tracing/metrics session; null when obs.* disabled. */
     obs::Session *obsSession() { return obs_.get(); }
@@ -142,17 +160,23 @@ class Controller : public tol::Tol::Env
     void restoreCheckpoint(std::istream &is);
 
     // --- Tol::Env (Synchronization phase) --------------------------------
-    void dataRequest(GAddr page, u64 completed_insts) override;
-    bool syscall(u64 completed_insts) override;
+    void dataRequest(u32 core, GAddr page, u64 completed_insts) override;
+    bool syscall(u32 core, u64 completed_insts) override;
 
   private:
     /** Point the Tol at the session's tracer/metrics (if any). */
     void attachObs();
+    /** Wire per-core memories into the (fresh) Tol. */
+    void attachCoreMemories();
 
     Config cfg_;
     StatGroup stats_;
-    xemu::RefComponent ref_;
-    guest::PagedMemory mem_{guest::MissPolicy::Signal};
+    u32 cores_; //!< guest hardware contexts (`cores` parameter)
+    /** One authoritative reference component per core (core i seeded
+     *  seed+i, matching the Tol's per-core GuestOS streams). */
+    std::vector<std::unique_ptr<xemu::RefComponent>> refs_;
+    /** One co-designed (demand-paged) memory image per core. */
+    std::vector<std::unique_ptr<guest::PagedMemory>> mems_;
     std::unique_ptr<tol::Tol> tol_;
     /** Outlives Tol rebuilds (load/restore); declared before tol_'s
      *  users is irrelevant — tol_ only borrows raw pointers. */
@@ -160,6 +184,8 @@ class Controller : public tol::Tol::Env
     bool validateSyscalls_;
     bool validateEnd_;
     bool validateMemory_;
+    LogLevel logLevel_;           //!< this controller's `log.level`
+    LogSink *logSink_ = nullptr;  //!< per-controller sink (optional)
 };
 
 } // namespace darco::sim

@@ -58,8 +58,13 @@ constexpr u32 snapshotMagic = 0x30435244u;
  * v4: `tol` section carries in-flight asynchronous translation jobs
  *     (entry, virtual enqueue/completion points, SB recipes) and the
  *     cost model gains the concurrent_translator overhead category.
+ * v5: multi-core guest. The `tol` section stores per-core contexts
+ *     (CpuState, retirement counters, mode/resume flags) plus the
+ *     dispatch-interleaver RNG state and current core; the controller
+ *     writes one `ref<i>`/`emem<i>` section pair per extra core
+ *     (core 0 keeps the unsuffixed names).
  */
-constexpr u32 snapshotVersion = 4;
+constexpr u32 snapshotVersion = 5;
 
 /**
  * Checkpoint writer. Writes the header on construction; sections are

@@ -77,6 +77,14 @@ AsyncTranslator::enqueue(std::unique_ptr<TranslationJob> job)
         startWorkers();
     job->seq = seq_++;
     ++pendingEntries_[job->entry];
+    // A completesAt computed as enqueuedAt + latency can wrap (past
+    // ~0) or land on the ~0 idle sentinel near the end of a very long
+    // run; either would make `vnow < nextDue_` hold forever and the
+    // publish pump skip a due job permanently. Saturate just below
+    // the sentinel instead.
+    if (job->completesAt < job->enqueuedAt ||
+        job->completesAt > maxCompletesAt)
+        job->completesAt = maxCompletesAt;
     nextDue_ = std::min(nextDue_, job->completesAt);
     TranslationJob *raw = job.get();
     pending_.push_back(std::move(job));

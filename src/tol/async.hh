@@ -140,6 +140,15 @@ class AsyncTranslator
     AsyncTranslator(const AsyncTranslator &) = delete;
     AsyncTranslator &operator=(const AsyncTranslator &) = delete;
 
+    /**
+     * Largest publishable virtual completion point: one below the
+     * ~0 idle sentinel of nextDue_. enqueue() clamps completesAt
+     * here, so a completion time that saturated or wrapped (enqueue
+     * near the end of a very long campaign) can never alias "no job
+     * due" and park the publish pump forever.
+     */
+    static constexpr u64 maxCompletesAt = ~0ull - 1;
+
     /** Backpressure: unpublished jobs at the queue bound. Depends
      *  only on enqueue/publish history, never on worker progress. */
     bool full() const { return pending_.size() >= cap_; }

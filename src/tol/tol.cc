@@ -40,10 +40,27 @@ Tol::Tol(PagedMemory &mem, const Config &cfg, StatGroup &stats)
       profiler_(emu_, profBase),
       registry_(cache_, emu_.ibtc(), stats),
       cost_(cfg, stats),
-      frontend_(FrontendOptions{conf::getBool(cfg, "tol.fuse_flags")}),
-      localOs_(conf::getUint(cfg, "seed"))
+      frontend_(FrontendOptions{conf::getBool(cfg, "tol.fuse_flags")})
 {
     emu_.setRetireSink(this);
+
+    // Guest hardware contexts. Core i's OS stream is seeded seed+i
+    // (core 0 keeps the plain seed, so cores=1 is bit-identical to
+    // the single-context runtime). Extra cores get their address
+    // space via setCoreMemory().
+    const u64 seed = conf::getUint(cfg, "seed");
+    const u32 ncores = u32(conf::getUint(cfg, "cores"));
+    cores_.reserve(ncores);
+    for (u32 i = 0; i < ncores; ++i)
+        cores_.emplace_back(seed + i);
+    cores_[0].mem = &mem_;
+    // Interleaver RNG: part of the simulated model, so it is seeded
+    // from config only (tol.interleave_seed, or derived from `seed`)
+    // and never from host state. xorshift64 needs a nonzero state.
+    u64 ivseed = conf::getUint(cfg, "tol.interleave_seed");
+    if (ivseed == 0)
+        ivseed = seed ^ 0x6a09e667f3bcc909ull;
+    ivRng_ = ivseed ? ivseed : 0x9e3779b97f4a7c15ull;
 
     bbThreshold_ = u32(conf::getUint(cfg, "tol.bb_threshold"));
     sbThreshold_ = u32(conf::getUint(cfg, "tol.sb_threshold"));
@@ -123,6 +140,42 @@ Tol::setTraceSink(host::TraceSink *sink)
     cost_.setTraceSink(sink);
 }
 
+void
+Tol::setCoreMemory(u32 core, PagedMemory &mem)
+{
+    darco_assert(core < cores_.size(), "setCoreMemory: bad core");
+    cores_[core].mem = &mem;
+    if (core == cur_ && cores_.size() > 1)
+        emu_.setMemory(mem);
+}
+
+void
+Tol::pickNextCore()
+{
+    if (cores_.size() == 1)
+        return; // single-core: zero interleaver draws, bit-identical
+    u32 alive = 0;
+    for (const CoreCtx &c : cores_)
+        alive += c.finished ? 0 : 1;
+    darco_assert(alive > 0, "pickNextCore with all cores finished");
+    ivRng_ ^= ivRng_ << 13;
+    ivRng_ ^= ivRng_ >> 7;
+    ivRng_ ^= ivRng_ << 17;
+    u32 pick = u32(ivRng_ % alive);
+    for (u32 i = 0; i < u32(cores_.size()); ++i) {
+        if (cores_[i].finished)
+            continue;
+        if (pick == 0) {
+            if (i != cur_) {
+                cur_ = i;
+                emu_.setMemory(*cores_[i].mem);
+            }
+            return;
+        }
+        --pick;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Observability (obs.*)
 // ---------------------------------------------------------------------
@@ -149,8 +202,14 @@ Tol::attachObs(obs::Tracer *tracer, obs::MetricsWriter *metrics)
                 trace_->setTrackName(u16(i),
                                      "translator-" + std::to_string(i));
         }
+        if (cores_.size() > 1) {
+            for (u32 i = 0; i < u32(cores_.size()); ++i)
+                trace_->setTrackName(coreTrack(i),
+                                     "core-" + std::to_string(i));
+        }
     }
-    obsModeOpen_ = false;
+    for (CoreCtx &c : cores_)
+        c.obsModeOpen = false;
     if (metrics_) {
         obsSnap_ = ObsSnap{};
         obsSnap_.vt = completedInsts_;
@@ -163,6 +222,10 @@ Tol::attachObs(obs::Tracer *tracer, obs::MetricsWriter *metrics)
         obsSnap_.instSb = stats_.value("tol.translations_sb");
         obsSnap_.evict = stats_.value("cc.evictions");
         obsSnap_.flush = stats_.value("cc.flushes");
+        if (cores_.size() > 1) {
+            for (const CoreCtx &c : cores_)
+                obsSnap_.core.push_back({c.im, c.bbm, c.sbm});
+        }
         u64 iv = metrics_->interval();
         metricsNext_ = (completedInsts_ / iv + 1) * iv;
     } else {
@@ -170,23 +233,33 @@ Tol::attachObs(obs::Tracer *tracer, obs::MetricsWriter *metrics)
     }
 }
 
+u16
+Tol::coreTrack(u32 core) const
+{
+    // Single-core keeps today's layout: mode spans on track 0.
+    // Multi-core puts core i's spans on its own named track, above
+    // the translator tracks (tol.async.vthreads <= 64).
+    return cores_.size() == 1 ? u16(0) : u16(65 + core);
+}
+
 void
 Tol::obsNoteMode(u8 mode)
 {
-    if (!obsModeOpen_) {
-        obsMode_ = mode;
-        obsModeStart_ = completedInsts_;
-        obsModeOpen_ = true;
+    CoreCtx &c = cur();
+    if (!c.obsModeOpen) {
+        c.obsMode = mode;
+        c.obsModeStart = completedInsts_;
+        c.obsModeOpen = true;
         return;
     }
-    if (mode == obsMode_)
+    if (mode == c.obsMode)
         return;
-    u64 dur = completedInsts_ - obsModeStart_;
+    u64 dur = completedInsts_ - c.obsModeStart;
     if (dur)
-        trace_->complete("mode", obsModeName(obsMode_), obsModeStart_,
-                         dur);
-    obsMode_ = mode;
-    obsModeStart_ = completedInsts_;
+        trace_->complete("mode", obsModeName(c.obsMode), c.obsModeStart,
+                         dur, coreTrack(cur_));
+    c.obsMode = mode;
+    c.obsModeStart = completedInsts_;
 }
 
 void
@@ -220,6 +293,19 @@ Tol::obsEmitMetricsRow()
     row.ints.emplace_back("installs_sb", now.instSb - obsSnap_.instSb);
     row.ints.emplace_back("evictions", now.evict - obsSnap_.evict);
     row.ints.emplace_back("flushes", now.flush - obsSnap_.flush);
+    // Per-core retirement attribution (multi-core runs only, so
+    // single-core metrics streams keep their exact column set).
+    if (cores_.size() > 1) {
+        for (u32 i = 0; i < u32(cores_.size()); ++i) {
+            const CoreCtx &c = cores_[i];
+            now.core.push_back({c.im, c.bbm, c.sbm});
+            const std::string p = "c" + std::to_string(i) + "_";
+            const auto &prev = obsSnap_.core[i];
+            row.ints.emplace_back(p + "im", c.im - prev[0]);
+            row.ints.emplace_back(p + "bbm", c.bbm - prev[1]);
+            row.ints.emplace_back(p + "sbm", c.sbm - prev[2]);
+        }
+    }
     row.reals.emplace_back("share_im",
                            double(now.im - obsSnap_.im) / span);
     row.reals.emplace_back("share_bbm",
@@ -233,13 +319,21 @@ Tol::obsEmitMetricsRow()
 void
 Tol::flushObs()
 {
-    if (trace_ && obsModeOpen_) {
-        u64 dur = completedInsts_ - obsModeStart_;
-        if (dur)
-            trace_->complete("mode", obsModeName(obsMode_),
-                             obsModeStart_, dur);
-        obsModeOpen_ = false;
+    if (trace_) {
+        for (u32 i = 0; i < u32(cores_.size()); ++i) {
+            CoreCtx &c = cores_[i];
+            if (!c.obsModeOpen)
+                continue;
+            u64 dur = completedInsts_ - c.obsModeStart;
+            if (dur)
+                trace_->complete("mode", obsModeName(c.obsMode),
+                                 c.obsModeStart, dur, coreTrack(i));
+            c.obsModeOpen = false;
+        }
     }
+    // The trailing *partial* interval: emitted so the row deltas
+    // conserve the full retired-instruction count (EOF conservation),
+    // not just the closed interval-aligned prefix.
     if (metrics_ && completedInsts_ > obsSnap_.vt)
         obsEmitMetricsRow();
 }
@@ -286,7 +380,7 @@ Tol::fetchGuest(GAddr pc)
         return it->second;
     for (;;) {
         try {
-            GInst gi = fetchInst(mem_, pc);
+            GInst gi = fetchInst(curMem(), pc);
             decodeCache_.emplace(pc, gi);
             return gi;
         } catch (const PageMiss &pm) {
@@ -361,11 +455,16 @@ Tol::onRetire(u32 exit_id, u64 host_insts)
     recordBbv(t.entry, d.instsRetired);
     completedInsts_ += d.instsRetired;
     completedBBs_ += d.bbsRetired;
+    CoreCtx &c = cur();
+    c.insts += d.instsRetired;
+    c.bbs += d.bbsRetired;
     if (t.mode == RegionMode::BB) {
+        c.bbm += d.instsRetired;
         cGuestBbm_->inc(d.instsRetired);
         cBbBbm_->inc(d.bbsRetired);
         cHostBbm_->inc(host_insts);
     } else {
+        c.sbm += d.instsRetired;
         cGuestSbm_->inc(d.instsRetired);
         cBbSbm_->inc(d.bbsRetired);
         cHostSbm_->inc(host_insts);
@@ -383,8 +482,8 @@ Tol::servicePageMiss(GAddr page)
     darco_assert(env_, "page miss without a controller environment: "
                        "co-designed memory must use AllocateZero in "
                        "standalone mode");
-    env_->dataRequest(page, completedInsts_);
-    darco_assert(mem_.hasPage(page),
+    env_->dataRequest(cur_, page, cur().insts);
+    darco_assert(curMem().hasPage(page),
                  "controller failed to install requested page");
 }
 
@@ -392,26 +491,30 @@ void
 Tol::handleSyscall()
 {
     stats_.counter("tol.syscalls").inc();
+    CoreCtx &c = cur();
     // The syscall instruction is its own dynamic BB; attribute it
-    // before the environment rewrites state_.pc.
-    recordBbv(state_.pc, 1);
+    // before the environment rewrites the core's pc.
+    recordBbv(c.state.pc, 1);
     bool cont;
     if (env_) {
-        cont = env_->syscall(completedInsts_);
+        cont = env_->syscall(cur_, c.insts);
     } else {
-        // Standalone mode: run the deterministic OS model locally.
-        GInst gi = fetchGuest(state_.pc);
-        auto eff = localOs_.execute(state_, mem_, gi.length);
+        // Standalone mode: run the core's deterministic OS model.
+        GInst gi = fetchGuest(c.state.pc);
+        auto eff = c.os.execute(c.state, curMem(), gi.length);
         cont = !eff.exited;
-        if (eff.exited)
+        if (eff.exited && cur_ == 0)
             stats_.counter("tol.exit_code").set(eff.exitCode);
     }
     ++completedInsts_;
     ++completedBBs_;
+    ++c.insts;
+    ++c.bbs;
+    ++c.im;
     cGuestIm_->inc();
     cBbIm_->inc();
     if (!cont)
-        finished_ = true;
+        c.finished = true;
 }
 
 // ---------------------------------------------------------------------
@@ -422,7 +525,8 @@ void
 Tol::interpretStep()
 {
     cost_.chargeInterpDispatch();
-    GAddr entry = state_.pc;
+    CoreCtx &core = cur();
+    GAddr entry = core.state.pc;
     BBInfo &bb = getBB(entry);
 
     if (bbmEnabled_ && bb.translatable &&
@@ -445,11 +549,11 @@ Tol::interpretStep()
     // path attributes its own instruction in handleSyscall).
     u64 bbvBefore = completedInsts_;
     for (;;) {
-        GInst gi = fetchGuest(state_.pc);
+        GInst gi = fetchGuest(core.state.pc);
         ExecOut out;
         for (;;) {
             try {
-                out = execInst(gi, state_, mem_);
+                out = execInst(gi, core.state, curMem());
             } catch (const PageMiss &pm) {
                 servicePageMiss(pm.page);
                 continue;
@@ -468,17 +572,20 @@ Tol::interpretStep()
           case ExecStatus::CtiTaken:
           case ExecStatus::CtiNotTaken:
             ++completedInsts_;
+            ++core.insts;
+            ++core.im;
             cGuestIm_->inc();
             cost_.chargeInterp(1);
             if (gi.isCti()) {
                 ++completedBBs_;
+                ++core.bbs;
                 cBbIm_->inc();
                 recordBbv(entry, completedInsts_ - bbvBefore);
                 return;
             }
             // Hand over early if translated code exists for the next
             // instruction (e.g. the tail after a REP boundary).
-            if (registry_.lookup(state_.pc) !=
+            if (registry_.lookup(core.state.pc) !=
                 TranslationRegistry::npos) {
                 recordBbv(entry, completedInsts_ - bbvBefore);
                 return;
@@ -492,12 +599,12 @@ Tol::interpretStep()
 
           case ExecStatus::Halt:
             recordBbv(entry, completedInsts_ - bbvBefore);
-            finished_ = true;
+            core.finished = true;
             return;
 
           case ExecStatus::Fault:
             recordBbv(entry, completedInsts_ - bbvBefore);
-            throw GuestFault{state_.pc, out.faultMsg};
+            throw GuestFault{core.state.pc, out.faultMsg};
 
           default:
             panic("unexpected exec status in IM");
@@ -740,7 +847,8 @@ Tol::flushAll()
     cache_.flush();
     registry_.clear();
     emu_.ibtc().clear();
-    inRegionResume_ = false;
+    for (CoreCtx &c : cores_)
+        c.inRegionResume = false;
     for (auto &[_, f] : sbFlags_)
         f.residualBb = ~0u; // translation ids are gone
     stats_.counter("cc.flushes").inc();
@@ -1265,12 +1373,13 @@ Tol::publishJob(TranslationJob &job)
 void
 Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
 {
+    CoreCtx &core = cur();
     if (!resuming) {
-        emu_.loadGuestState(state_);
+        emu_.loadGuestState(core.state);
         cost_.chargePrologue();
         emu_.resetMark();
     }
-    inRegionResume_ = false;
+    core.inRegionResume = false;
     u32 pc = host_pc;
     (void)tid;
 
@@ -1279,8 +1388,8 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
         switch (exit.kind) {
           case HExit::Budget:
             if (completedInsts_ >= runTarget_) {
-                inRegionResume_ = true;
-                resumeHostPc_ = emu_.ctx().pc;
+                core.inRegionResume = true;
+                core.resumeHostPc = emu_.ctx().pc;
                 return;
             }
             pc = emu_.ctx().pc;
@@ -1291,8 +1400,8 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                          "EXITB id out of range");
             const GlobalExit ge = registry_.exit(exit.exitId);
             if (ge.promote) {
-                emu_.storeGuestState(state_);
-                state_.pc = ge.promoteTarget;
+                emu_.storeGuestState(core.state);
+                core.state.pc = ge.promoteTarget;
                 // Async: queue the SB build (path collected now, at
                 // the deterministic promotion point) and keep running
                 // the stale BB translation until the publish; a full
@@ -1303,8 +1412,8 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             }
             const ExitDesc &d =
                 registry_.get(ge.trans).exits[ge.exitIdx];
-            emu_.storeGuestState(state_);
-            state_.pc = d.target;
+            emu_.storeGuestState(core.state);
+            core.state.pc = d.target;
             switch (d.kind) {
               case tol::ExitKind::Direct:
                 maybeChain(ge.trans, ge.exitIdx);
@@ -1313,7 +1422,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                 handleSyscall();
                 return;
               case tol::ExitKind::Halt:
-                finished_ = true;
+                core.finished = true;
                 return;
               case tol::ExitKind::Interp:
                 // Normal dispatch: the continuation (e.g. the tail of
@@ -1323,7 +1432,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                 // trip-check exit targets its own entry — re-entering
                 // the region would spin, so IM must absorb one BB.
                 if (d.target == registry_.get(ge.trans).entry)
-                    forceInterp_ = true;
+                    core.forceInterp = true;
                 return;
               default:
                 panic("unexpected exit kind from EXITB");
@@ -1331,12 +1440,12 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
           }
 
           case HExit::IbtcMiss: {
-            emu_.storeGuestState(state_);
-            state_.pc = exit.guestTarget;
+            emu_.storeGuestState(core.state);
+            core.state.pc = exit.guestTarget;
             cost_.chargeLookup();
-            u32 target = registry_.lookup(state_.pc);
+            u32 target = registry_.lookup(core.state.pc);
             if (target != TranslationRegistry::npos) {
-                emu_.ibtc().insert(state_.pc,
+                emu_.ibtc().insert(core.state.pc,
                                    registry_.get(target).hostPc);
                 registry_.touch(target);
                 stats_.counter("tol.ibtc_fills").inc();
@@ -1351,8 +1460,8 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             // keep the eviction clock honest.
             registry_.touch(rtid);
             Translation &t = registry_.get(rtid);
-            emu_.storeGuestState(state_);
-            state_.pc = t.entry;
+            emu_.storeGuestState(core.state);
+            core.state.pc = t.entry;
             // Wasted speculative work still ran in this mode.
             (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
@@ -1383,7 +1492,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                 buildSuperblock(entry);
             }
             // IM is the safety net for forward progress (paper V-B1).
-            forceInterp_ = true;
+            core.forceInterp = true;
             return;
           }
 
@@ -1391,8 +1500,8 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             u32 rtid = regionAt(emu_.ctx().pc);
             registry_.touch(rtid);
             const Translation &t = registry_.get(rtid);
-            emu_.storeGuestState(state_);
-            state_.pc = t.entry;
+            emu_.storeGuestState(core.state);
+            core.state.pc = t.entry;
             (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
             emu_.resetMark();
@@ -1400,7 +1509,7 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
                 trace_->instant("rollback", "rollback.div", 0,
                                 {{"entry", t.entry}});
             // Re-execute in IM for a precise architectural fault.
-            forceInterp_ = true;
+            core.forceInterp = true;
             return;
           }
 
@@ -1408,8 +1517,8 @@ Tol::executeTranslation(u32 tid, u32 host_pc, bool resuming)
             u32 rtid = regionAt(emu_.ctx().pc);
             registry_.touch(rtid);
             const Translation &t = registry_.get(rtid);
-            emu_.storeGuestState(state_);
-            state_.pc = t.entry;
+            emu_.storeGuestState(core.state);
+            core.state.pc = t.entry;
             (t.mode == RegionMode::BB ? cHostBbm_ : cHostSbm_)
                 ->inc(emu_.instsSinceMark());
             emu_.resetMark();
@@ -1448,7 +1557,7 @@ Tol::run(u64 max_guest_insts)
                      ? ~0ull
                      : completedInsts_ + max_guest_insts;
 
-    while (!finished_) {
+    while (!finished()) {
         if (completedInsts_ >= runTarget_)
             return RunResult::Budget;
         // Publish async translations that completed (in virtual time)
@@ -1456,7 +1565,7 @@ Tol::run(u64 max_guest_insts)
         // a publish can evict the very region about to be resumed,
         // and an uninterrupted run would only publish after the
         // region finished anyway.
-        if (async_ && !inRegionResume_)
+        if (async_ && !cur().inRegionResume)
             pumpAsyncPublishes();
         if (metrics_ && completedInsts_ >= metricsNext_) {
             // Rows close at the first dispatch at/after the interval
@@ -1467,13 +1576,23 @@ Tol::run(u64 max_guest_insts)
         }
         cost_.chargeDispatch();
 
-        if (inRegionResume_) {
-            executeTranslation(0, resumeHostPc_, true);
+        // A budget pause inside a translated region pins the next
+        // dispatch to the paused core: the shared host emulator still
+        // holds its mid-region register context, which a core switch
+        // would clobber. Only after the region completes does the
+        // interleaver run again.
+        if (cur().inRegionResume) {
+            executeTranslation(0, cur().resumeHostPc, true);
             continue;
         }
-        if (!forceInterp_) {
+        // The interleaver draw: a core switch only ever happens here,
+        // at a region/interpreter-step boundary, where the only live
+        // per-core state is the architectural CpuState.
+        pickNextCore();
+        CoreCtx &core = cur();
+        if (!core.forceInterp) {
             cost_.chargeLookup();
-            u32 tid = registry_.lookup(state_.pc);
+            u32 tid = registry_.lookup(core.state.pc);
             if (tid != TranslationRegistry::npos) {
                 registry_.touch(tid);
                 if (trace_)
@@ -1485,7 +1604,7 @@ Tol::run(u64 max_guest_insts)
                 continue;
             }
         }
-        forceInterp_ = false;
+        core.forceInterp = false;
         if (trace_)
             obsNoteMode(0);
         interpretStep();
@@ -1500,10 +1619,10 @@ Tol::run(u64 max_guest_insts)
 void
 Tol::quiesce()
 {
-    if (inRegionResume_) {
+    if (cur().inRegionResume) {
         runTarget_ = ~0ull;
-        executeTranslation(0, resumeHostPc_, true);
-        darco_assert(!inRegionResume_,
+        executeTranslation(0, cur().resumeHostPc, true);
+        darco_assert(!cur().inRegionResume,
                      "quiesce left mid-region resume state");
     }
     // Wall-clock quiesce of the translator pool: wait until every
@@ -1594,18 +1713,32 @@ Tol::verifyFinal()
 void
 Tol::save(snapshot::Serializer &s) const
 {
-    darco_assert(!inRegionResume_,
+    darco_assert(!cur().inRegionResume,
                  "Tol::save requires a quiescent runtime "
                  "(call quiesce() first)");
 
     s.w64(completedInsts_);
     s.w64(completedBBs_);
-    s.wbool(finished_);
-    s.wbool(forceInterp_);
     s.wbool(initCharged_);
     s.w32(bbThreshold_);
     s.w32(sbThreshold_);
-    state_.save(s);
+
+    // Per-core guest contexts (snapshot v5) plus the interleaver
+    // state, so a restored multi-core run resumes the exact same
+    // dispatch schedule.
+    s.w32(u32(cores_.size()));
+    s.w32(cur_);
+    s.w64(ivRng_);
+    for (const CoreCtx &c : cores_) {
+        s.wbool(c.finished);
+        s.wbool(c.forceInterp);
+        s.w64(c.insts);
+        s.w64(c.bbs);
+        s.w64(c.im);
+        s.w64(c.bbm);
+        s.w64(c.sbm);
+        c.state.save(s);
+    }
     profiler_.save(s);
 
     // The discovered-BB set: superblock replay walks paths through
@@ -1729,12 +1862,33 @@ Tol::restore(snapshot::Deserializer &d)
 
     completedInsts_ = d.r64();
     completedBBs_ = d.r64();
-    finished_ = d.rbool();
-    forceInterp_ = d.rbool();
     initCharged_ = d.rbool();
     bbThreshold_ = d.r32();
     sbThreshold_ = d.r32();
-    state_.restore(d);
+
+    u32 ncores = d.r32();
+    if (ncores != u32(cores_.size())) {
+        // The controller's exec-relevant config comparison refuses a
+        // core-count mismatch before we get here; this guards direct
+        // Tol::restore users and corrupt images.
+        throw snapshot::SnapshotError(
+            "checkpoint has " + std::to_string(ncores) +
+            " cores, config has " + std::to_string(cores_.size()));
+    }
+    cur_ = d.r32();
+    ivRng_ = d.r64();
+    for (CoreCtx &c : cores_) {
+        c.finished = d.rbool();
+        c.forceInterp = d.rbool();
+        c.insts = d.r64();
+        c.bbs = d.r64();
+        c.im = d.r64();
+        c.bbm = d.r64();
+        c.sbm = d.r64();
+        c.state.restore(d);
+    }
+    if (cores_.size() > 1)
+        emu_.setMemory(*cores_[cur_].mem);
     profiler_.restore(d);
 
     u64 nbbs = d.r64();

@@ -34,6 +34,7 @@
 #ifndef DARCO_TOL_TOL_HH
 #define DARCO_TOL_TOL_HH
 
+#include <array>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -124,19 +125,24 @@ struct BBInfo
 class Tol : public host::RetireSink
 {
   public:
-    /** Controller-side services (the co-designed component's view). */
+    /** Controller-side services (the co-designed component's view).
+     *  `core` selects which guest context (and which reference
+     *  component) the request is for; `completed_insts` is that
+     *  core's own retirement count, the sync point for its
+     *  reference. */
     class Env
     {
       public:
         virtual ~Env() = default;
         /** Fetch a guest page as of `completed_insts` into memory. */
-        virtual void dataRequest(GAddr page, u64 completed_insts) = 0;
+        virtual void dataRequest(u32 core, GAddr page,
+                                 u64 completed_insts) = 0;
         /**
          * Execute the syscall at the current guest pc (in the
          * reference component) and apply its effects to the
          * co-designed state. @return false when the program exited.
          */
-        virtual bool syscall(u64 completed_insts) = 0;
+        virtual bool syscall(u32 core, u64 completed_insts) = 0;
     };
 
     enum class RunResult
@@ -149,18 +155,53 @@ class Tol : public host::RetireSink
 
     void setEnv(Env *env) { env_ = env; }
 
-    /** Initialize guest architectural state (Initialization phase). */
-    void setState(const guest::CpuState &st) { state_ = st; }
-    guest::CpuState &state() { return state_; }
-    const guest::CpuState &state() const { return state_; }
+    /** Guest hardware contexts sharing this TOL (`cores` param). */
+    u32 numCores() const { return u32(cores_.size()); }
 
-    /** Execute up to max_guest_insts more guest instructions. */
+    /**
+     * Attach core i's guest address space (core 0 uses the memory
+     * passed at construction). Must be called for every extra core
+     * before run().
+     */
+    void setCoreMemory(u32 core, guest::PagedMemory &mem);
+
+    /** Initialize guest architectural state (Initialization phase). */
+    void setState(const guest::CpuState &st) { cores_[0].state = st; }
+    void
+    setState(u32 core, const guest::CpuState &st)
+    {
+        cores_[core].state = st;
+    }
+    guest::CpuState &state() { return cores_[0].state; }
+    const guest::CpuState &state() const { return cores_[0].state; }
+    guest::CpuState &state(u32 core) { return cores_[core].state; }
+    const guest::CpuState &state(u32 core) const
+    {
+        return cores_[core].state;
+    }
+
+    /** Execute up to max_guest_insts more guest instructions
+     *  (multi-core: total across all cores). */
     RunResult run(u64 max_guest_insts = ~0ull);
 
-    bool finished() const { return finished_; }
+    /** All cores finished? */
+    bool
+    finished() const
+    {
+        for (const CoreCtx &c : cores_) {
+            if (!c.finished)
+                return false;
+        }
+        return true;
+    }
+    bool finished(u32 core) const { return cores_[core].finished; }
 
+    /** Total retired guest instructions / BBs (all cores). */
     u64 completedInsts() const { return completedInsts_; }
     u64 completedBBs() const { return completedBBs_; }
+    /** Core-local retirement counters. */
+    u64 completedInsts(u32 core) const { return cores_[core].insts; }
+    u64 completedBBs(u32 core) const { return cores_[core].bbs; }
 
     host::HostEmu &hostEmu() { return emu_; }
     host::CodeCache &codeCache() { return cache_; }
@@ -275,6 +316,9 @@ class Tol : public host::RetireSink
     void executeTranslation(u32 tid, u32 host_pc, bool resuming);
     void handleSyscall();
     void servicePageMiss(GAddr page);
+    /** One seeded interleaver draw: schedule the next runnable core
+     *  (no-op, and no RNG draw, with a single core). */
+    void pickNextCore();
 
     // --- translation -----------------------------------------------------
     // (SBRecipe — the superblock construction record checkpoint
@@ -358,7 +402,38 @@ class Tol : public host::RetireSink
     void obsEmitMetricsRow();
 
     // --- members -----------------------------------------------------------
-    guest::PagedMemory &mem_;
+    /**
+     * One guest hardware context. N of these share everything else in
+     * the TOL — registry, code cache, eviction clock, profiler, async
+     * translator — which is the paper's runtime viewed as a system
+     * service rather than a per-thread library. Core i's OS stream is
+     * seeded seed+i so the contexts desynchronize naturally.
+     */
+    struct CoreCtx
+    {
+        explicit CoreCtx(u64 os_seed) : os(os_seed) {}
+
+        guest::CpuState state;
+        xemu::GuestOS os; //!< standalone mode (no controller)
+        guest::PagedMemory *mem = nullptr;
+        bool finished = false;
+        bool forceInterp = false;
+        // Resume state for guest-budget pauses inside a region. At
+        // most one core can hold this (a budget pause exits run()
+        // immediately), and the dispatch loop resumes it before the
+        // interleaver runs again.
+        bool inRegionResume = false;
+        u32 resumeHostPc = 0;
+        u64 insts = 0; //!< core-local retirements
+        u64 bbs = 0;
+        u64 im = 0, bbm = 0, sbm = 0; //!< core-local mode attribution
+        // Per-core open mode span (observability).
+        u8 obsMode = 0;
+        bool obsModeOpen = false;
+        u64 obsModeStart = 0;
+    };
+
+    guest::PagedMemory &mem_; //!< core 0's guest address space
     Config cfg_;
     StatGroup &stats_;
     host::CodeCache cache_;
@@ -368,19 +443,19 @@ class Tol : public host::RetireSink
     CostModel cost_;
     Frontend frontend_;
     Env *env_ = nullptr;
-    xemu::GuestOS localOs_; //!< standalone mode (no controller)
 
-    guest::CpuState state_;
-    bool finished_ = false;
-    bool forceInterp_ = false;
+    std::vector<CoreCtx> cores_;
+    u32 cur_ = 0;      //!< core the dispatch loop is serving
+    u64 ivRng_ = 1;    //!< interleaver xorshift64 state (never 0)
+
+    CoreCtx &cur() { return cores_[cur_]; }
+    const CoreCtx &cur() const { return cores_[cur_]; }
+    guest::PagedMemory &curMem() { return *cores_[cur_].mem; }
+
     bool initCharged_ = false;
     bool inRestore_ = false; //!< suppress BBV hooks during replay
 
-    // Resume state for guest-budget pauses inside a region.
-    bool inRegionResume_ = false;
-    u32 resumeHostPc_ = 0;
-
-    u64 completedInsts_ = 0;
+    u64 completedInsts_ = 0; //!< shared virtual clock (all cores)
     u64 completedBBs_ = 0;
     u64 runTarget_ = ~0ull;
 
@@ -440,11 +515,10 @@ class Tol : public host::RetireSink
     // pointer test and no counters exist at all.
     obs::Tracer *trace_ = nullptr;
     obs::MetricsWriter *metrics_ = nullptr;
-    u8 obsMode_ = 0;          //!< mode of the open span
-    bool obsModeOpen_ = false;
-    u64 obsModeStart_ = 0;    //!< virtual start of the open span
     u64 obsAsyncSeq_ = 0;     //!< deterministic translator-track cursor
     u64 metricsNext_ = ~0ull; //!< next interval boundary (virtual)
+    /** Trace track for core i's mode spans (track 0 single-core). */
+    u16 coreTrack(u32 core) const;
     /** Counter snapshot at the last emitted interval boundary. */
     struct ObsSnap
     {
@@ -452,6 +526,8 @@ class Tol : public host::RetireSink
         u64 im = 0, bbm = 0, sbm = 0;
         u64 ovh[unsigned(Overhead::NumCats)] = {};
         u64 instBb = 0, instSb = 0, evict = 0, flush = 0;
+        /** Per-core im/bbm/sbm at the boundary (cores > 1 only). */
+        std::vector<std::array<u64, 3>> core;
     };
     ObsSnap obsSnap_;
 

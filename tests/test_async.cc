@@ -316,6 +316,41 @@ TEST(AsyncTranslatorUnit, PublishOrderIsVirtualTime)
     EXPECT_EQ(at.pendingCount(), 0u);
 }
 
+// A completesAt that wraps past ~0 (enqueuedAt + latency overflow) or
+// lands exactly on the ~0 idle sentinel must be clamped to
+// maxCompletesAt: the sentinel alias would otherwise leave nextDue_
+// reading "idle" and the publish pump would skip the job forever,
+// while a wrapped value would publish a just-enqueued job immediately.
+TEST(AsyncTranslatorUnit, CompletesAtSentinelBoundaryIsClamped)
+{
+    tol::AsyncTranslator at(1, 8, [](tol::TranslationJob &) {});
+
+    auto alias = std::make_unique<tol::TranslationJob>();
+    alias->entry = GAddr(1);
+    alias->enqueuedAt = ~0ull - 5;
+    alias->completesAt = ~0ull; // idle-sentinel alias
+    at.enqueue(std::move(alias));
+
+    auto wrapped = std::make_unique<tol::TranslationJob>();
+    wrapped->entry = GAddr(2);
+    wrapped->enqueuedAt = ~0ull - 5;
+    wrapped->completesAt = 3; // enqueuedAt + latency wrapped past ~0
+    at.enqueue(std::move(wrapped));
+
+    // Neither publishes early (the wrapped value must not look due at
+    // small virtual times)...
+    EXPECT_TRUE(at.takeDue(1000).empty());
+    EXPECT_TRUE(
+        at.takeDue(tol::AsyncTranslator::maxCompletesAt - 1).empty());
+    // ...and both publish at the saturation point instead of being
+    // lost to the sentinel.
+    auto due = at.takeDue(tol::AsyncTranslator::maxCompletesAt);
+    ASSERT_EQ(due.size(), 2u);
+    for (const auto &j : due)
+        EXPECT_EQ(j->completesAt,
+                  tol::AsyncTranslator::maxCompletesAt);
+}
+
 TEST(AsyncTranslatorUnit, QueueBoundIsEnqueueHistory)
 {
     // Workers that never finish fast: the bound must still be pure

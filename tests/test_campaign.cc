@@ -11,6 +11,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "campaign/campaign.hh"
 #include "common/logging.hh"
@@ -289,4 +290,48 @@ TEST(Campaign, JobFailureIsCapturedNotThrown)
     EXPECT_NE(res.results[0].error.find("cc.policy"),
               std::string::npos);
     EXPECT_TRUE(res.results[1].ok) << res.results[1].error;
+}
+
+// Two concurrent writers storing different complete images at the
+// same final path: the exclusively-created (pid+tid-named) temp files
+// can never interleave, so every observation of the final file — and
+// the file left at the end — is exactly one writer's complete image.
+TEST(Campaign, ConcurrentCheckpointWritersNeverTear)
+{
+    namespace fs = std::filesystem;
+    fs::path dir =
+        fs::temp_directory_path() / "darco_test_ckpt_writers";
+    fs::remove_all(dir);
+    std::string path = (dir / "cell.ckpt").string();
+
+    // Distinct, recognizable images of different lengths (a torn or
+    // interleaved write cannot reproduce either).
+    std::string imgA(4096, 'A');
+    std::string imgB(8192, 'B');
+
+    constexpr int iters = 200;
+    std::atomic<int> failures{0};
+    auto writer = [&](const std::string &img) {
+        for (int i = 0; i < iters; ++i) {
+            if (!writeCheckpointBytes(dir.string(), path, img))
+                ++failures;
+        }
+    };
+    std::thread ta(writer, imgA);
+    std::thread tb(writer, imgB);
+    ta.join();
+    tb.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string final((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_TRUE(final == imgA || final == imgB)
+        << "size " << final.size();
+
+    // No leaked temp files.
+    for (const auto &e : fs::directory_iterator(dir))
+        EXPECT_EQ(e.path().string(), path) << e.path();
+    fs::remove_all(dir);
 }

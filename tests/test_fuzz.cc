@@ -4,7 +4,7 @@
  *
  * - generator determinism and guaranteed termination,
  * - `.gisa` case serialization round trip,
- * - fixed-seed smoke shards through the full five-config matrix
+ * - fixed-seed smoke shards through the full six-config matrix
  *   (registered with ctest as separate label("fuzz") shards so they
  *   run apart from the unit tests — see CMakeLists.txt),
  * - the oracle self-test: a codegen bug injected behind the hidden
@@ -121,7 +121,7 @@ TEST_P(FuzzSmoke, MatrixAgrees)
     ProgramSpec spec = specFor(seed);
     DiffResult r = diffRun(build(spec), seed, DiffOptions());
     EXPECT_TRUE(r.ok) << spec.describe() << "\n" << r.report();
-    ASSERT_EQ(r.runs.size(), 5u);
+    ASSERT_EQ(r.runs.size(), 6u);
     for (const RunOutcome &run : r.runs)
         EXPECT_TRUE(run.finished) << run.config;
 }

@@ -557,6 +557,132 @@ TEST(Logging, SinkLevelsAndComponentTags)
     EXPECT_EQ(sink.recs[1].message, "shown 42");
 }
 
+// EOF conservation: with an interval that does not divide the run
+// length, the flush emits a trailing partial row so the per-row mode
+// deltas sum exactly to the retired-instruction count — no tail of
+// the run is silently dropped from the metrics stream.
+TEST(IntervalMetrics, TrailingPartialIntervalConservesEof)
+{
+    auto ctl = runTraced(tracedCfg(2, "eof", 7'001));
+    obs::MetricsWriter *m = ctl->obsSession()->metrics();
+    ASSERT_NE(m, nullptr);
+    ASSERT_GE(m->rows().size(), 2u);
+
+    u64 total = ctl->tol().completedInsts();
+    ASSERT_NE(total % 7'001, 0u)
+        << "pick an interval that does not divide the run";
+    u64 im = 0, bbm = 0, sbm = 0;
+    for (const auto &row : m->rows()) {
+        im += intField(row, "im");
+        bbm += intField(row, "bbm");
+        sbm += intField(row, "sbm");
+    }
+    EXPECT_EQ(im + bbm + sbm, total);
+    const auto &last = m->rows().back();
+    EXPECT_EQ(intField(last, "vt_end"), total)
+        << "the flushed trailing row must close at end of run";
+    EXPECT_LT(intField(last, "vt_end") - intField(last, "vt_start"),
+              u64(7'001));
+}
+
+// With cores>1 each metrics row carries per-core retirement columns
+// that partition the global mode deltas, and each core's mode spans
+// live on its own named track.
+TEST(IntervalMetrics, PerCoreColumnsPartitionGlobalDeltas)
+{
+    Config cfg = tracedCfg(2, "mc", 20'000);
+    cfg.set("cores", s64(2));
+    auto ctl = runTraced(cfg);
+    obs::MetricsWriter *m = ctl->obsSession()->metrics();
+    ASSERT_NE(m, nullptr);
+    ASSERT_FALSE(m->rows().empty());
+    for (const auto &row : m->rows()) {
+        for (const char *mode : {"im", "bbm", "sbm"}) {
+            u64 sum = intField(row, std::string("c0_") + mode) +
+                      intField(row, std::string("c1_") + mode);
+            EXPECT_EQ(sum, intField(row, mode)) << mode;
+        }
+    }
+
+    obs::Tracer *t = ctl->obsSession()->tracer();
+    ASSERT_NE(t, nullptr);
+    std::set<u16> modeTracks;
+    for (const obs::TraceEvent &e : t->events())
+        if (std::string(e.component) == "mode")
+            modeTracks.insert(e.track);
+    EXPECT_TRUE(modeTracks.count(65)); // core-0's track
+    EXPECT_TRUE(modeTracks.count(66)); // core-1's track
+    std::ostringstream json;
+    t->exportChromeJson(json);
+    EXPECT_NE(json.str().find("core-0"), std::string::npos);
+    EXPECT_NE(json.str().find("core-1"), std::string::npos);
+}
+
+// ScopedLogScope: the override is thread-local, scopes nest, and the
+// destructor restores the enclosing state.
+TEST(Logging, ScopedScopeOverridesPerThreadAndNests)
+{
+    CaptureSink outer, inner;
+    LogLevel prevLevel = logLevel();
+    setLogLevel(LogLevel::Warn);
+    {
+        ScopedLogScope a(&outer, LogLevel::Info);
+        inform("outer sees this");
+        {
+            ScopedLogScope b(&inner, LogLevel::Warn);
+            inform("suppressed in the inner scope");
+            warn("inner sees this");
+        }
+        inform("outer again");
+    }
+    setLogLevel(prevLevel);
+    ASSERT_EQ(outer.recs.size(), 2u);
+    EXPECT_EQ(outer.recs[0].message, "outer sees this");
+    EXPECT_EQ(outer.recs[1].message, "outer again");
+    ASSERT_EQ(inner.recs.size(), 1u);
+    EXPECT_EQ(inner.recs[0].message, "inner sees this");
+}
+
+// Two controllers running and destructing concurrently on different
+// host threads: each one's warnings (here: an unwritable trace path,
+// reported at destruction) route to its own attached sink — never to
+// the global sink both threads would otherwise race on.
+TEST(Logging, ConcurrentControllersKeepSinksApart)
+{
+    CaptureSink global;
+    LogSink *prev = setLogSink(&global);
+
+    CaptureSink mine[2];
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            Config cfg = baseCfg();
+            std::string path = ::testing::TempDir() + "no_such_dir_" +
+                               std::to_string(t) + "/trace.json";
+            cfg.set("obs.trace.path", path);
+            for (int i = 0; i < 8; ++i) {
+                sim::Controller ctl(cfg);
+                ctl.setLogSink(&mine[t]);
+                ctl.load(workload());
+                ctl.run(500);
+            } // each dtor warns: trace path unwritable
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    setLogSink(prev);
+
+    for (int t = 0; t < 2; ++t) {
+        ASSERT_EQ(mine[t].recs.size(), 8u);
+        for (const LogRecord &r : mine[t].recs)
+            EXPECT_NE(
+                r.message.find("no_such_dir_" + std::to_string(t)),
+                std::string::npos)
+                << r.message;
+    }
+    EXPECT_TRUE(global.recs.empty());
+}
+
 TEST(Logging, ParseLevelRoundTrips)
 {
     EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);

@@ -52,6 +52,7 @@ struct Options
     std::vector<std::string> configs = {"interp", "noopt", "fullopt",
                                         "tinycc"};
     std::vector<std::string> extra;
+    std::vector<u64> cores = {1};
     double scale = 0.25;
     u64 maxInsts = ~0ull;
     u64 skip = 0;
@@ -81,6 +82,9 @@ usage(const char *argv0)
         "  --workloads a,b,c   paper-suite workload names\n"
         "  --configs c1,c2     presets: "
         "interp|noopt|fullopt|tinycc|async\n"
+        "  --cores n1,n2       guest core counts; cross-products the\n"
+        "                      configs into <config>-c<N> cells "
+        "(default: 1)\n"
         "  --scale S           workload dynamic-length scale (default "
         "0.25)\n"
         "  --max-insts N       per-job guest-instruction budget\n"
@@ -154,6 +158,18 @@ parseArgs(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.configs = splitCommas(v);
+        } else if (a == "--cores") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.cores.clear();
+            for (const std::string &c : splitCommas(v)) {
+                if (!number(c.c_str(), n) || n == 0)
+                    return false;
+                o.cores.push_back(n);
+            }
+            if (o.cores.empty())
+                return false;
         } else if (a == "--scale") {
             const char *v = next();
             if (!v)
@@ -299,9 +315,27 @@ main(int argc, char **argv)
             progs.emplace_back(name, workloads::synthesize(b->params));
         }
 
+        // Cross-product the config presets with the requested core
+        // counts; cores=1 keeps the bare preset name so default
+        // campaigns are unchanged.
+        std::vector<std::pair<std::string, Config>> presets =
+            campaign::presetConfigs(o.configs, o.extra);
+        std::vector<std::pair<std::string, Config>> cells;
+        for (u64 ncores : o.cores) {
+            for (const auto &[cname, ccfg] : presets) {
+                Config cfg = ccfg;
+                std::string name = cname;
+                if (ncores != 1) {
+                    cfg.parseLine("cores=" +
+                                  std::to_string(ncores));
+                    name += "-c" + std::to_string(ncores);
+                }
+                cells.emplace_back(std::move(name), std::move(cfg));
+            }
+        }
+
         std::vector<campaign::Job> jobs = campaign::expandMatrix(
-            progs, campaign::presetConfigs(o.configs, o.extra),
-            o.maxInsts, o.skip);
+            progs, cells, o.maxInsts, o.skip);
 
         campaign::RunOptions ropts;
         ropts.jobs = o.jobs;
