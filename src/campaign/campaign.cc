@@ -180,9 +180,6 @@ presetConfigs(const std::vector<std::string> &names,
 // Checkpoint cache
 // ---------------------------------------------------------------------
 
-namespace
-{
-
 /**
  * FNV-1a over the job identity (program bytes, config, skip). The
  * config contribution is the schema-normalized execution-relevant
@@ -216,6 +213,17 @@ jobKeyHash(const Job &job)
     mix(&job.skip, sizeof(job.skip));
     return h;
 }
+
+std::string
+jobKeyString(const Job &job)
+{
+    std::ostringstream os;
+    os << std::hex << jobKeyHash(job);
+    return os.str();
+}
+
+namespace
+{
 
 /** File names must survive workload names like "400.perlbench". */
 std::string
@@ -336,6 +344,8 @@ fillTimingResult(JobResult &r, const Job &job,
 
 JobResult runSampledJob(const Job &job, const RunOptions &opts);
 
+} // namespace
+
 JobResult
 runJob(const Job &job, const RunOptions &opts)
 {
@@ -379,8 +389,40 @@ runJob(const Job &job, const RunOptions &opts)
         sim::Controller &ctl = *holder;
         u64 done = 0; // guest insts already covered
 
-        bool use_ckpt = !opts.checkpointDir.empty() && job.skip > 0;
-        if (use_ckpt) {
+        bool use_store = opts.store && job.skip > 0;
+        bool use_ckpt =
+            !use_store && !opts.checkpointDir.empty() && job.skip > 0;
+        if (use_store) {
+            // Content-addressed fetch-or-compute: any worker that
+            // already paid for this prefix (same execution-relevant
+            // identity) published the image; everyone else
+            // fast-forwards from it.
+            std::string key = jobKeyString(job);
+            std::string image;
+            bool restored = false;
+            if (opts.store->fetch(key, &image)) {
+                try {
+                    std::istringstream is(image);
+                    ctl.restoreCheckpoint(is);
+                    restored = true;
+                } catch (const snapshot::SnapshotError &) {
+                    // A bad entry is a miss: recompute and republish.
+                    makeCtl();
+                }
+            }
+            if (restored) {
+                r.checkpointHit = true;
+                done = job.skip;
+            } else {
+                ctl.load(job.program);
+                ctl.run(job.skip);
+                done = job.skip;
+                std::ostringstream os;
+                ctl.saveCheckpoint(os);
+                opts.store->store(key, os.str());
+                r.checkpointStored = true;
+            }
+        } else if (use_ckpt) {
             std::string path =
                 checkpointPath(opts.checkpointDir, job);
             bool restored = false;
@@ -487,6 +529,9 @@ runJob(const Job &job, const RunOptions &opts)
  * Whole-program estimates are weight-combined per-instruction rates:
  * est_cycles = total_insts * Σ w_i · CPI_i, and likewise for energy.
  */
+namespace
+{
+
 JobResult
 runSampledJob(const Job &job, const RunOptions &opts)
 {
@@ -810,8 +855,33 @@ CampaignResult::csvHeader()
                     ",sample_mode,simpoints,sampled_insts";
     for (const std::string &s : reportStats)
         h += ',' + s;
-    h += ",effective_config,checkpoint,error";
+    h += ",effective_config,checkpoint,error,worker,wall_ms";
     return h;
+}
+
+std::string
+csvRow(const JobResult &r)
+{
+    std::ostringstream os;
+    os << r.workload << ',' << r.configName << ',' << (r.ok ? 1 : 0)
+       << ',' << (r.finished ? 1 : 0) << ',' << r.exitCode << ','
+       << r.insts << ',' << r.bbs << ',' << timingCells(r, ',') << ','
+       << r.sampleMode << ',' << r.simpoints << ',' << r.sampledInsts;
+    for (const std::string &s : reportStats)
+        os << ',' << statOr0(r, s);
+    os << ',' << effectiveConfigCell(r) << ','
+       << (r.checkpointHit ? "hit"
+                           : r.checkpointStored ? "stored" : "-");
+    std::string err = r.error;
+    for (char &c : err)
+        if (c == ',' || c == '\n')
+            c = ';';
+    // Provenance cells last, so byte-identity comparisons can strip
+    // them with a prefix cut (everything through `error` is
+    // deterministic).
+    os << ',' << err << ',' << r.workerId << ','
+       << fmtF(r.wallMs, 1);
+    return os.str();
 }
 
 std::string
@@ -819,23 +889,8 @@ CampaignResult::csv() const
 {
     std::ostringstream os;
     os << csvHeader() << '\n';
-    for (const JobResult &r : results) {
-        os << r.workload << ',' << r.configName << ',' << (r.ok ? 1 : 0)
-           << ',' << (r.finished ? 1 : 0) << ',' << r.exitCode << ','
-           << r.insts << ',' << r.bbs << ',' << timingCells(r, ',')
-           << ',' << r.sampleMode << ',' << r.simpoints << ','
-           << r.sampledInsts;
-        for (const std::string &s : reportStats)
-            os << ',' << statOr0(r, s);
-        os << ',' << effectiveConfigCell(r) << ','
-           << (r.checkpointHit ? "hit"
-                               : r.checkpointStored ? "stored" : "-");
-        std::string err = r.error;
-        for (char &c : err)
-            if (c == ',' || c == '\n')
-                c = ';';
-        os << ',' << err << '\n';
-    }
+    for (const JobResult &r : results)
+        os << csvRow(r) << '\n';
     return os.str();
 }
 
@@ -862,7 +917,9 @@ CampaignResult::json() const
            << ", \"checkpoint\": \""
            << (r.checkpointHit ? "hit"
                                : r.checkpointStored ? "stored" : "-")
-           << "\", \"stats\": {";
+           << "\", \"worker\": \"" << jsonEscape(r.workerId)
+           << "\", \"wall_ms\": " << fmtF(r.wallMs, 1)
+           << ", \"stats\": {";
         bool first = true;
         for (const std::string &s : reportStats) {
             os << (first ? "" : ", ") << '"' << s

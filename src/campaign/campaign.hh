@@ -40,7 +40,13 @@
  *         <stat columns: tol.guest_im,tol.guest_bbm,tol.guest_sbm,
  *          tol.translations_bb,tol.translations_sb,cc.evictions,
  *          cc.flushes,sync.syscalls>,
- *         effective_config,checkpoint,error
+ *         effective_config,checkpoint,error,worker,wall_ms
+ *
+ * The two trailing columns are *provenance*, not simulation results:
+ * `worker` names the campaign-service worker that ran the job (empty
+ * in local mode) and `wall_ms` is the job's host wall clock. Tools
+ * comparing reports for byte-identity strip them (everything up to
+ * and including `error` is deterministic).
  *
  *   JSON: an array of objects with the same fields in the same order
  *         ("stats" is a nested object over the stat columns;
@@ -140,6 +146,13 @@ struct JobResult
     bool checkpointStored = false; //!< prefix saved to cache
     double wallMs = 0;             //!< per-job wall clock (not compared)
 
+    /**
+     * Campaign-service worker that executed the job; empty when the
+     * job ran in-process (local runCampaign). Provenance only — never
+     * part of byte-identity comparisons.
+     */
+    std::string workerId;
+
     // Timing/power over the measured region. In sampled mode these
     // are weight-combined whole-program *estimates*; in full mode,
     // direct measurements. Zero when RunOptions::timing is off.
@@ -168,12 +181,46 @@ struct JobResult
     std::map<std::string, std::string> effectiveConfig;
 };
 
+/**
+ * Content-addressed checkpoint store interface. Keys are the hex
+ * jobKeyHash of the job whose functional prefix the image captures
+ * (see jobKeyString), so any two jobs with identical
+ * execution-relevant identity — across processes and hosts, since
+ * checkpoints are host-agnostic — share one image. The campaign
+ * service implements this over the coordinator connection
+ * (fetch-or-compute over the wire); tests implement it in memory.
+ */
+class CheckpointStore
+{
+  public:
+    virtual ~CheckpointStore() = default;
+
+    /**
+     * Look up an image.
+     * @return true (with *image filled) on a hit. A returned image is
+     *         complete but not necessarily valid: callers treat a
+     *         failing restore as a miss.
+     */
+    virtual bool fetch(const std::string &key, std::string *image) = 0;
+
+    /** Publish a computed image (last complete write wins). */
+    virtual void store(const std::string &key,
+                       const std::string &image) = 0;
+};
+
 /** Execution knobs. */
 struct RunOptions
 {
     unsigned jobs = 1;
     /** Directory for fast-forward checkpoints; empty disables. */
     std::string checkpointDir;
+    /**
+     * Content-addressed store for fast-forward prefix checkpoints;
+     * takes precedence over `checkpointDir` for the prefix image when
+     * set (sampled-mode per-simpoint checkpoints always use the local
+     * directory). Not owned; must outlive the run.
+     */
+    CheckpointStore *store = nullptr;
     /**
      * Directory for per-job observability outputs; empty disables.
      * Full-mode jobs get `<workload>-<config>.trace.json` (Chrome
@@ -254,6 +301,28 @@ expandMatrix(const std::vector<std::pair<std::string,
 std::vector<std::pair<std::string, Config>>
 presetConfigs(const std::vector<std::string> &names,
               const std::vector<std::string> &extra = {});
+
+/**
+ * Execute one job in-process with an isolated Controller. This is the
+ * single job-execution path: local runCampaign and campaign-service
+ * workers both funnel through it, which is what makes distributed
+ * results byte-identical to local ones.
+ */
+JobResult runJob(const Job &job, const RunOptions &opts);
+
+/**
+ * FNV-1a over the job's execution-relevant identity: program bytes,
+ * schema-normalized execution-relevant config, and skip prefix.
+ * Cosmetically different jobs (validation toggles, obs/timing params)
+ * hash equal, so they share checkpoint-store entries.
+ */
+u64 jobKeyHash(const Job &job);
+
+/** jobKeyHash as the canonical hex store key. */
+std::string jobKeyString(const Job &job);
+
+/** One job's CSV report row (no trailing newline). */
+std::string csvRow(const JobResult &r);
 
 /** The checkpoint-cache file for one job (diagnostics, tests). */
 std::string checkpointPath(const std::string &dir, const Job &job);

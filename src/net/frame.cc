@@ -1,0 +1,41 @@
+#include "net/frame.hh"
+
+namespace darco::net
+{
+
+void
+sendFrame(Socket &sock, const std::string &payload)
+{
+    if (payload.size() > maxFrameBytes)
+        throw NetError("frame too large (" +
+                       std::to_string(payload.size()) + " bytes)");
+    u8 hdr[4];
+    u32 len = u32(payload.size());
+    hdr[0] = u8(len);
+    hdr[1] = u8(len >> 8);
+    hdr[2] = u8(len >> 16);
+    hdr[3] = u8(len >> 24);
+    sock.sendAll(hdr, sizeof(hdr));
+    sock.sendAll(payload.data(), payload.size());
+}
+
+RecvStatus
+recvFrame(Socket &sock, std::string &out, int timeout_ms)
+{
+    if (!sock.waitReadable(timeout_ms))
+        return RecvStatus::Timeout;
+    u8 hdr[4];
+    if (!sock.recvAll(hdr, sizeof(hdr)))
+        return RecvStatus::Eof;
+    u32 len = u32(hdr[0]) | (u32(hdr[1]) << 8) | (u32(hdr[2]) << 16) |
+              (u32(hdr[3]) << 24);
+    if (len > maxFrameBytes)
+        throw NetError("oversized frame (" + std::to_string(len) +
+                       " bytes)");
+    out.resize(len);
+    if (len > 0 && !sock.recvAll(out.data(), len))
+        throw NetError("peer closed mid-frame");
+    return RecvStatus::Ok;
+}
+
+} // namespace darco::net

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Length-prefixed message framing over a Socket.
+ *
+ * Every campaign-service message travels as one frame:
+ *
+ *   [payload-len u32, little-endian][payload bytes]
+ *
+ * The payload itself is a snapshot container (snapshot::Serializer
+ * output) — see campaign/wire.hh. Framing is where network bytes
+ * first touch the process, so the length is validated against
+ * maxFrameBytes *before any allocation*: a hostile or corrupt peer
+ * can cost at most one bounded buffer, never an OOM.
+ */
+
+#ifndef DARCO_NET_FRAME_HH
+#define DARCO_NET_FRAME_HH
+
+#include <string>
+
+#include "net/socket.hh"
+
+namespace darco::net
+{
+
+/**
+ * Upper bound on one frame's payload. Checkpoint images of large
+ * guests dominate frame sizes; 256 MiB is an order of magnitude above
+ * anything the 32-bit guest address space can produce.
+ */
+constexpr u32 maxFrameBytes = 256u << 20;
+
+/** Send one framed payload. Throws NetError on failure. */
+void sendFrame(Socket &sock, const std::string &payload);
+
+/** Outcome of a bounded-wait receive. */
+enum class RecvStatus
+{
+    Ok,      //!< `out` holds one complete payload
+    Eof,     //!< peer closed cleanly between frames
+    Timeout, //!< nothing arrived within the wait budget
+};
+
+/**
+ * Receive one frame, waiting at most `timeout_ms` for it to *begin*
+ * (negative = forever); once the header has arrived the body is read
+ * to completion. Throws NetError on truncation, transport errors, or
+ * a length exceeding maxFrameBytes.
+ */
+RecvStatus recvFrame(Socket &sock, std::string &out, int timeout_ms);
+
+} // namespace darco::net
+
+#endif // DARCO_NET_FRAME_HH

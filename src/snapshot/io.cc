@@ -56,7 +56,7 @@ Serializer::beginSection(const std::string &name)
 {
     if (inSection_)
         throw SnapshotError("nested section '" + name + "'");
-    if (name.empty() || name.size() > 0xffff)
+    if (name.empty() || name.size() > maxSectionNameBytes)
         throw SnapshotError("bad section name");
     inSection_ = true;
     sectionName_ = name;
@@ -141,6 +141,22 @@ Serializer::wbytes(const void *data, std::size_t len)
 
 Deserializer::Deserializer(std::istream &is) : is_(is)
 {
+    // Learn the stream's true size when it is seekable (file and
+    // in-memory streams both are): section lengths can then be
+    // validated against reality before any allocation. Non-seekable
+    // streams fall back to the per-read truncation checks.
+    std::streampos pos = is_.tellg();
+    if (pos != std::streampos(-1)) {
+        is_.seekg(0, std::ios::end);
+        std::streampos end = is_.tellg();
+        is_.seekg(pos);
+        if (end != std::streampos(-1) && is_.good()) {
+            seekable_ = true;
+            end_ = std::streamoff(end);
+        }
+        is_.clear();
+    }
+
     u32 magic = raw32();
     if (magic != snapshotMagic)
         throw SnapshotError("bad magic (not a DARCO checkpoint)");
@@ -204,11 +220,27 @@ Deserializer::nextSection()
     u16 name_len = raw16();
     if (name_len == 0)
         return ""; // end marker
+    if (name_len > maxSectionNameBytes)
+        throw SnapshotError("section name too long (" +
+                            std::to_string(name_len) + " bytes)");
     std::string name(name_len, '\0');
     is_.read(name.data(), name_len);
     if (!is_)
         throw SnapshotError("truncated section name");
     sectionRemaining_ = raw64();
+    // Reject a length pointing past the end of the stream *now*,
+    // before any reader trusts it (string reads size allocations from
+    // it; skipping trusts it too). Without this, a single corrupt u64
+    // could drive a multi-gigabyte allocation from a 50-byte input.
+    if (seekable_) {
+        std::streampos here = is_.tellg();
+        if (here == std::streampos(-1) ||
+            sectionRemaining_ > u64(end_ - std::streamoff(here)))
+            throw SnapshotError(
+                "section '" + name + "' length " +
+                std::to_string(sectionRemaining_) +
+                " exceeds remaining input");
+    }
     inSection_ = true;
     return name;
 }

@@ -67,6 +67,14 @@ constexpr u32 snapshotMagic = 0x30435244u;
 constexpr u32 snapshotVersion = 5;
 
 /**
+ * Upper bound on a section name. Real names are a handful of bytes
+ * ("cfg", "tol", "ref12"); the cap exists because the container now
+ * also frames *network* payloads (campaign-service messages), where a
+ * hostile peer controls every header field.
+ */
+constexpr u16 maxSectionNameBytes = 256;
+
+/**
  * Checkpoint writer. Writes the header on construction; sections are
  * buffered so their byte length can prefix the payload. Call finish()
  * (or let the destructor do it) to emit the end marker.
@@ -114,6 +122,14 @@ class Serializer
  * (throwing SnapshotError otherwise); sections are consumed in stream
  * order via nextSection()/expectSection(), and every primitive read is
  * bounds-checked against the open section's length.
+ *
+ * Hostile-input posture (the container parses network bytes since the
+ * campaign service): on seekable streams — which includes every
+ * in-memory wire payload — a section length is validated against the
+ * bytes actually remaining in the stream *before* anything is
+ * allocated or skipped, and section names are capped at
+ * maxSectionNameBytes, so a corrupt or adversarial header can never
+ * drive an allocation beyond the input's own size.
  */
 class Deserializer
 {
@@ -152,6 +168,8 @@ class Deserializer
     u32 version_ = 0;
     u64 sectionRemaining_ = 0;
     bool inSection_ = false;
+    bool seekable_ = false;   //!< stream size is known
+    std::streamoff end_ = 0;  //!< absolute end offset when seekable
 
     void need(std::size_t n);
     u8 raw8();

@@ -369,3 +369,128 @@ TEST(SnapshotRefOnly, RefComponentRoundTrip)
     EXPECT_EQ(b.instCount(), a.instCount());
     EXPECT_EQ(b.os().output(), a.os().output());
 }
+
+// ---------------------------------------------------------------------
+// Hostile-input hardening: lengths are validated against the actual
+// stream before anything allocates or trusts them.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** A valid container header followed by `raw` body bytes. */
+std::string
+containerWith(const std::string &raw)
+{
+    std::string out;
+    u32 magic = snapshot::snapshotMagic;
+    u32 version = snapshot::snapshotVersion;
+    out.append(reinterpret_cast<const char *>(&magic), 4);
+    out.append(reinterpret_cast<const char *>(&version), 4);
+    out += raw;
+    return out;
+}
+
+std::string
+le16(u16 v)
+{
+    char b[2] = {char(v & 0xff), char(v >> 8)};
+    return std::string(b, 2);
+}
+
+std::string
+le64(u64 v)
+{
+    std::string out;
+    for (int i = 0; i < 8; ++i)
+        out += char((v >> (8 * i)) & 0xff);
+    return out;
+}
+
+} // namespace
+
+TEST(SnapshotHostile, SectionLengthBeyondStreamIsRejectedUpFront)
+{
+    // A 30-byte input claiming a multi-gigabyte section: the
+    // deserializer must reject the length against the stream size
+    // instead of trusting it (readers size allocations from it).
+    std::string body = le16(3);
+    body += "mem";
+    body += le64(3ull << 30);
+    std::istringstream ss(containerWith(body));
+    snapshot::Deserializer d(ss);
+    try {
+        d.nextSection();
+        FAIL() << "oversized section length accepted";
+    } catch (const SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("exceeds remaining"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotHostile, SectionLengthWithinStreamIsAccepted)
+{
+    // Sanity: the same shape with an honest length parses.
+    std::string payload = "0123456789";
+    std::string body = le16(3);
+    body += "mem";
+    body += le64(payload.size());
+    body += payload;
+    body += le16(0); // end marker
+    std::istringstream ss(containerWith(body));
+    snapshot::Deserializer d(ss);
+    EXPECT_EQ(d.nextSection(), "mem");
+    char buf[10];
+    d.rbytes(buf, sizeof(buf));
+    d.endSection();
+    EXPECT_EQ(d.nextSection(), "");
+}
+
+TEST(SnapshotHostile, HugeSectionNameIsRejectedBeforeAllocation)
+{
+    // A name length of 0xffff must be refused by the cap, not
+    // allocated and read.
+    std::string body = le16(0xffff);
+    body += "x"; // nowhere near 64 KiB of name follows
+    std::istringstream ss(containerWith(body));
+    snapshot::Deserializer d(ss);
+    try {
+        d.nextSection();
+        FAIL() << "oversized section name accepted";
+    } catch (const SnapshotError &e) {
+        EXPECT_NE(std::string(e.what()).find("name too long"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SnapshotHostile, SerializerRefusesOversizedSectionName)
+{
+    std::ostringstream os;
+    snapshot::Serializer s(os);
+    std::string huge(snapshot::maxSectionNameBytes + 1, 'n');
+    EXPECT_THROW(s.beginSection(huge), SnapshotError);
+    // The cap itself is fine.
+    std::string max(snapshot::maxSectionNameBytes, 'n');
+    s.beginSection(max);
+    s.endSection();
+    s.finish();
+}
+
+TEST(SnapshotHostile, StringLengthBeyondSectionIsRejected)
+{
+    // Inside a well-framed section, a string claiming more bytes than
+    // the section holds must fail the section-budget check, not
+    // allocate.
+    std::string payload = le64(1ull << 40); // absurd string length
+    std::string body = le16(3);
+    body += "str";
+    body += le64(payload.size());
+    body += payload;
+    body += le16(0);
+    std::istringstream ss(containerWith(body));
+    snapshot::Deserializer d(ss);
+    EXPECT_EQ(d.nextSection(), "str");
+    EXPECT_THROW(d.rstr(), SnapshotError);
+}

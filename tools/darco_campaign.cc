@@ -12,6 +12,13 @@
  *   darco_campaign --sample-mode simpoint --interval 100000 --max-k 8
  *   darco_campaign --list
  *
+ * Worker mode attaches this process to a running darco_campaignd
+ * coordinator instead of expanding a local matrix; all jobs (and the
+ * campaign-level run options) come over the wire:
+ *
+ *   darco_campaign --worker HOST:PORT [--worker-id NAME]
+ *                  [--checkpoint-dir D]
+ *
  * Every job runs the detailed timing + power models (cycles, IPC,
  * energy, average power columns); --no-timing turns them off. With
  * --sample-mode simpoint the detailed models run only over
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "campaign/service.hh"
 #include "common/logging.hh"
 #include "common/schema.hh"
 #include "workloads/suite.hh"
@@ -70,6 +78,8 @@ struct Options
     u64 maxK = 16;
     u64 sampleSeed = 42;
     u64 sampleWarmup = 25'000;
+    std::string worker;   //!< HOST:PORT of a coordinator; "" = local
+    std::string workerId; //!< advisory name in worker mode
 };
 
 void
@@ -105,6 +115,9 @@ usage(const char *argv0)
         "  --trace-out D       per-job Chrome trace + interval-metrics\n"
         "                      files in D (full-mode jobs)\n"
         "  --stats-json PATH   write every job's full stats dump here\n"
+        "  --worker HOST:PORT  run as a campaign-service worker for\n"
+        "                      the coordinator at HOST:PORT\n"
+        "  --worker-id NAME    advisory worker name (worker mode)\n"
         "  --list              list known workloads and presets\n"
         "  --list-config       print the generated parameter "
         "reference\n"
@@ -236,6 +249,16 @@ parseArgs(int argc, char **argv, Options &o)
             const char *v = next();
             if (!v || !number(v, o.sampleWarmup))
                 return false;
+        } else if (a == "--worker") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.worker = v;
+        } else if (a == "--worker-id") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.workerId = v;
         } else if (a == "--no-timing") {
             o.timing = false;
         } else if (a == "-c") {
@@ -281,6 +304,29 @@ main(int argc, char **argv)
     if (o.listConfig) {
         std::fputs(conf::schema().referenceMarkdown().c_str(), stdout);
         return 0;
+    }
+    if (!o.worker.empty()) {
+        std::size_t colon = o.worker.rfind(':');
+        char *end = nullptr;
+        unsigned long port =
+            colon == std::string::npos
+                ? 0
+                : std::strtoul(o.worker.c_str() + colon + 1, &end, 10);
+        if (colon == std::string::npos || colon == 0 || port == 0 ||
+            port > 65535 || !end || *end != '\0') {
+            std::fprintf(stderr, "--worker wants HOST:PORT\n");
+            return 2;
+        }
+        campaign::WorkerOptions wopts;
+        wopts.host = o.worker.substr(0, colon);
+        wopts.port = u16(port);
+        wopts.workerId = o.workerId;
+        wopts.checkpointDir = o.checkpointDir;
+        int rc = campaign::runWorker(wopts);
+        std::fprintf(stderr, "darco_campaign: worker %s\n",
+                     rc == 0 ? "shut down cleanly"
+                             : "lost the coordinator");
+        return rc;
     }
     if (o.sampleMode == campaign::SampleMode::SimPoint && o.skip > 0) {
         std::fprintf(stderr,

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * darco_campaignd: distributed-campaign coordinator daemon.
+ *
+ * Expands the same workload×config matrix as darco_campaign, but
+ * instead of running jobs in-process it serves them over TCP to
+ * darco_campaign --worker processes, streaming the CSV rows to stdout
+ * as results arrive (strictly in submission order — the final report
+ * is byte-identical to a local run, provenance columns aside).
+ *
+ *   darco_campaignd --port 39117 --csv report.csv
+ *   darco_campaign --worker host:39117 &            # on each machine
+ *
+ * Robustness knobs (see src/campaign/service.hh for semantics):
+ *
+ *   --manifest PATH   journal completed jobs; a restarted coordinator
+ *                     resumes, re-emitting recorded rows and running
+ *                     only the remainder
+ *   --store-dir D     content-addressed checkpoint store served to
+ *                     workers (fetch-or-compute keyed by job identity)
+ *   --lease-ms N      per-job lease before reassignment
+ *   --dead-after-ms N silence threshold declaring a worker dead
+ *   --window N        in-flight dispatch window (backpressure bound)
+ *
+ * Exit code: 0 when every job succeeded, 1 on any job failure, 2 on
+ * usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/service.hh"
+#include "common/schema.hh"
+#include "workloads/suite.hh"
+#include "workloads/synth.hh"
+
+using namespace darco;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads = {"400.perlbench", "401.bzip2",
+                                          "429.mcf"};
+    std::vector<std::string> configs = {"interp", "noopt", "fullopt",
+                                        "tinycc"};
+    std::vector<std::string> extra;
+    std::vector<u64> cores = {1};
+    double scale = 0.25;
+    u64 maxInsts = ~0ull;
+    u64 skip = 0;
+    std::string csvPath;
+    std::string jsonPath;
+    bool quiet = false;
+    bool timing = true;
+    campaign::SampleMode sampleMode = campaign::SampleMode::Full;
+    u64 interval = 100'000;
+    u64 maxK = 16;
+    u64 sampleSeed = 42;
+    u64 sampleWarmup = 25'000;
+    campaign::ServiceOptions svc;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --bind ADDR         listen address (default 127.0.0.1)\n"
+        "  --port N            listen port (default: ephemeral;\n"
+        "                      printed on startup)\n"
+        "  --manifest PATH     journal completed jobs for resume\n"
+        "  --store-dir D       content-addressed checkpoint store\n"
+        "  --lease-ms N        per-job lease (default 300000)\n"
+        "  --dead-after-ms N   worker-death silence threshold\n"
+        "                      (default 10000)\n"
+        "  --window N          in-flight dispatch window (default 64)\n"
+        "  --workloads a,b,c   paper-suite workload names\n"
+        "  --configs c1,c2     presets: "
+        "interp|noopt|fullopt|tinycc|async\n"
+        "  --cores n1,n2       guest core counts (cross-product)\n"
+        "  --scale S           workload dynamic-length scale\n"
+        "  --max-insts N       per-job guest-instruction budget\n"
+        "  --skip N            checkpointable fast-forward prefix\n"
+        "  --sample-mode M     full (default) | simpoint\n"
+        "  --interval N        BBV interval (sampled mode)\n"
+        "  --max-k K           k-means sweep upper bound\n"
+        "  --sample-seed S     clustering/projection seed\n"
+        "  --sample-warmup N   timing warm-up per sample\n"
+        "  --no-timing         skip the timing/power models\n"
+        "  --csv PATH          write the CSV report here\n"
+        "  --json PATH         write the JSON report here\n"
+        "  -c key=value        extra config override (repeatable)\n"
+        "  -q                  suppress the streamed stdout CSV\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    auto number = [](const char *v, u64 &out) {
+        char *end = nullptr;
+        out = std::strtoull(v, &end, 0);
+        return *v != '\0' && end && *end == '\0';
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        u64 n = 0;
+        if (a == "--bind") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.svc.bind = v;
+        } else if (a == "--port") {
+            const char *v = next();
+            if (!v || !number(v, n) || n > 65535)
+                return false;
+            o.svc.port = u16(n);
+        } else if (a == "--manifest") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.svc.manifestPath = v;
+        } else if (a == "--store-dir") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.svc.storeDir = v;
+        } else if (a == "--lease-ms") {
+            const char *v = next();
+            if (!v || !number(v, o.svc.leaseMs) || o.svc.leaseMs == 0)
+                return false;
+        } else if (a == "--dead-after-ms") {
+            const char *v = next();
+            if (!v || !number(v, o.svc.deadAfterMs) ||
+                o.svc.deadAfterMs == 0)
+                return false;
+        } else if (a == "--window") {
+            const char *v = next();
+            if (!v || !number(v, n) || n == 0)
+                return false;
+            o.svc.window = unsigned(n);
+        } else if (a == "--workloads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.workloads = splitCommas(v);
+        } else if (a == "--configs") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.configs = splitCommas(v);
+        } else if (a == "--cores") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.cores.clear();
+            for (const std::string &c : splitCommas(v)) {
+                if (!number(c.c_str(), n) || n == 0)
+                    return false;
+                o.cores.push_back(n);
+            }
+            if (o.cores.empty())
+                return false;
+        } else if (a == "--scale") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.scale = std::atof(v);
+            if (o.scale <= 0)
+                return false;
+        } else if (a == "--max-insts") {
+            const char *v = next();
+            if (!v || !number(v, o.maxInsts))
+                return false;
+        } else if (a == "--skip") {
+            const char *v = next();
+            if (!v || !number(v, o.skip))
+                return false;
+        } else if (a == "--sample-mode") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::string(v) == "full")
+                o.sampleMode = campaign::SampleMode::Full;
+            else if (std::string(v) == "simpoint")
+                o.sampleMode = campaign::SampleMode::SimPoint;
+            else
+                return false;
+        } else if (a == "--interval") {
+            const char *v = next();
+            if (!v || !number(v, o.interval) || o.interval == 0)
+                return false;
+        } else if (a == "--max-k") {
+            const char *v = next();
+            if (!v || !number(v, o.maxK) || o.maxK == 0)
+                return false;
+        } else if (a == "--sample-seed") {
+            const char *v = next();
+            if (!v || !number(v, o.sampleSeed))
+                return false;
+        } else if (a == "--sample-warmup") {
+            const char *v = next();
+            if (!v || !number(v, o.sampleWarmup))
+                return false;
+        } else if (a == "--no-timing") {
+            o.timing = false;
+        } else if (a == "--csv") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.csvPath = v;
+        } else if (a == "--json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.jsonPath = v;
+        } else if (a == "-c") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.extra.push_back(v);
+        } else if (a == "-q") {
+            o.quiet = true;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    f << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o)) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (o.sampleMode == campaign::SampleMode::SimPoint && o.skip > 0) {
+        std::fprintf(stderr,
+                     "--skip cannot be combined with --sample-mode "
+                     "simpoint (simpoints cover the whole run)\n");
+        return 2;
+    }
+
+    try {
+        std::vector<workloads::Benchmark> suite =
+            workloads::paperSuite(o.scale);
+        std::vector<std::pair<std::string, guest::Program>> progs;
+        for (const std::string &name : o.workloads) {
+            const workloads::Benchmark *b =
+                workloads::findBenchmark(suite, name);
+            if (!b) {
+                std::fprintf(stderr, "unknown workload '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            progs.emplace_back(name, workloads::synthesize(b->params));
+        }
+
+        std::vector<std::pair<std::string, Config>> presets =
+            campaign::presetConfigs(o.configs, o.extra);
+        std::vector<std::pair<std::string, Config>> cells;
+        for (u64 ncores : o.cores) {
+            for (const auto &[cname, ccfg] : presets) {
+                Config cfg = ccfg;
+                std::string name = cname;
+                if (ncores != 1) {
+                    cfg.parseLine("cores=" + std::to_string(ncores));
+                    name += "-c" + std::to_string(ncores);
+                }
+                cells.emplace_back(std::move(name), std::move(cfg));
+            }
+        }
+
+        std::vector<campaign::Job> jobs = campaign::expandMatrix(
+            progs, cells, o.maxInsts, o.skip);
+
+        o.svc.run.timing = o.timing;
+        o.svc.run.sampleMode = o.sampleMode;
+        o.svc.run.sampleInterval = o.interval;
+        o.svc.run.sampleMaxK = unsigned(o.maxK);
+        o.svc.run.sampleSeed = o.sampleSeed;
+        o.svc.run.sampleWarmup = o.sampleWarmup;
+        if (!o.quiet) {
+            std::printf("%s\n",
+                        campaign::CampaignResult::csvHeader().c_str());
+            std::fflush(stdout);
+            o.svc.onRow = [](std::size_t,
+                             const campaign::JobResult &r) {
+                std::printf("%s\n", campaign::csvRow(r).c_str());
+                std::fflush(stdout);
+            };
+        }
+
+        campaign::Coordinator coord(std::move(jobs), o.svc);
+        std::fprintf(stderr,
+                     "darco_campaignd: serving %zu jobs on %s:%u"
+                     " (%zu resumed from manifest)\n",
+                     coord.totalJobs(), o.svc.bind.c_str(),
+                     unsigned(coord.port()),
+                     coord.resumedFromManifest());
+
+        campaign::CampaignResult res = coord.wait();
+
+        if (!o.csvPath.empty() && !writeFile(o.csvPath, res.csv()))
+            return 2;
+        if (!o.jsonPath.empty() && !writeFile(o.jsonPath, res.json()))
+            return 2;
+
+        unsigned failed = 0;
+        for (const auto &r : res.results)
+            failed += r.ok ? 0 : 1;
+        std::fprintf(
+            stderr,
+            "darco_campaignd: %zu jobs in %.0f ms via %llu workers"
+            " (%u failed, %llu reassigned, %llu duplicate results)\n",
+            res.results.size(), res.wallMs,
+            (unsigned long long)coord.workersSeen(), failed,
+            (unsigned long long)coord.reassignments(),
+            (unsigned long long)coord.duplicateResults());
+        return failed ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "darco_campaignd: %s\n", e.what());
+        return 2;
+    }
+}
